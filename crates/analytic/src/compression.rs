@@ -1,0 +1,104 @@
+//! §6's compression option: trading CPU-side hardware for effective
+//! off-chip bandwidth.
+//!
+//! "Researchers have proposed and/or implemented schemes to use
+//! compression for data \[9\], addresses \[12\], and code \[10\]. All of
+//! these schemes increase effective bandwidth to memory at the expense of
+//! some extra hardware." This module provides the Amdahl-style algebra:
+//! only a fraction of traffic compresses, and it compresses by a finite
+//! ratio, so the effective-bandwidth gain saturates.
+
+use serde::{Deserialize, Serialize};
+
+/// A link-compression scheme: what fraction of bytes it applies to and
+/// how hard it squeezes them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompressionScheme {
+    /// Fraction of traffic the scheme applies to (`0..=1`).
+    pub coverage: f64,
+    /// Compressed-size ratio on covered bytes (`0 < ratio <= 1`; 0.5
+    /// means 2:1 compression).
+    pub ratio: f64,
+}
+
+impl CompressionScheme {
+    /// Validate and build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coverage` is outside `[0, 1]` or `ratio` outside
+    /// `(0, 1]`.
+    pub fn new(coverage: f64, ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&coverage), "coverage in [0,1]");
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio in (0,1]");
+        Self { coverage, ratio }
+    }
+
+    /// Bytes on the wire per uncompressed byte.
+    pub fn wire_fraction(&self) -> f64 {
+        (1.0 - self.coverage) + self.coverage * self.ratio
+    }
+
+    /// Effective bandwidth multiplier (`>= 1`).
+    pub fn bandwidth_gain(&self) -> f64 {
+        1.0 / self.wire_fraction()
+    }
+
+    /// Effective pin bandwidth for a `b_pin` MB/s package.
+    pub fn effective_bandwidth(&self, b_pin: f64) -> f64 {
+        b_pin * self.bandwidth_gain()
+    }
+
+    /// Compose with a second scheme applied to the residual stream
+    /// (e.g. address compression on top of data compression).
+    pub fn and_then(&self, other: &CompressionScheme) -> CompressionScheme {
+        CompressionScheme {
+            coverage: 1.0,
+            ratio: self.wire_fraction() * other.wire_fraction(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_coverage_two_to_one_doubles_bandwidth() {
+        let s = CompressionScheme::new(1.0, 0.5);
+        assert!((s.bandwidth_gain() - 2.0).abs() < 1e-12);
+        assert!((s.effective_bandwidth(800.0) - 1600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amdahl_limit_binds_partial_coverage() {
+        // Half the traffic compresses infinitely well -> at most 2x.
+        let s = CompressionScheme::new(0.5, 0.01);
+        assert!(s.bandwidth_gain() < 2.0);
+        assert!(s.bandwidth_gain() > 1.9);
+    }
+
+    #[test]
+    fn no_compression_is_identity() {
+        let s = CompressionScheme::new(0.0, 0.5);
+        assert_eq!(s.bandwidth_gain(), 1.0);
+        let t = CompressionScheme::new(1.0, 1.0);
+        assert_eq!(t.bandwidth_gain(), 1.0);
+    }
+
+    #[test]
+    fn composition_multiplies_wire_fractions() {
+        let data = CompressionScheme::new(0.8, 0.5);
+        let addr = CompressionScheme::new(0.2, 0.25);
+        let both = data.and_then(&addr);
+        let expect = data.wire_fraction() * addr.wire_fraction();
+        assert!((both.wire_fraction() - expect).abs() < 1e-12);
+        assert!(both.bandwidth_gain() > data.bandwidth_gain());
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio in (0,1]")]
+    fn rejects_expansion() {
+        let _ = CompressionScheme::new(1.0, 1.5);
+    }
+}

@@ -1,0 +1,107 @@
+//! Effective pin bandwidth (Eq. 5) and its upper bound (Eq. 7).
+
+/// Effective pin bandwidth `E_pin = B_pin / Π R_i` (Eq. 5), where `R_i`
+/// are the traffic ratios of the on-chip cache levels.
+///
+/// A traffic ratio below 1 means the cache *filters* traffic, so the
+/// processor sees more usable bandwidth than the package provides.
+///
+/// # Panics
+///
+/// Panics if any ratio is non-positive or `b_pin` is not positive.
+///
+/// # Example
+///
+/// ```
+/// use membw_analytic::effective_pin_bandwidth;
+///
+/// // A single cache level that halves traffic doubles effective pin
+/// // bandwidth.
+/// let e = effective_pin_bandwidth(800.0, &[0.5]);
+/// assert_eq!(e, 1600.0);
+/// ```
+pub fn effective_pin_bandwidth(b_pin: f64, ratios: &[f64]) -> f64 {
+    assert!(b_pin > 0.0, "pin bandwidth must be positive");
+    let product: f64 = ratios
+        .iter()
+        .map(|&r| {
+            assert!(r > 0.0, "traffic ratios must be positive");
+            r
+        })
+        .product();
+    b_pin / product
+}
+
+/// Upper bound on effective pin bandwidth,
+/// `OE_pin = B_pin · Π G_i / Π R_i` (Eq. 7): what Eq. 5 would give if
+/// every cache level were replaced by its minimal-traffic equivalent.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, any value is non-positive, or
+/// any `G < 1` (an MTC cannot generate more traffic than the cache it
+/// bounds).
+pub fn upper_bound_epin(b_pin: f64, ratios: &[f64], inefficiencies: &[f64]) -> f64 {
+    assert_eq!(
+        ratios.len(),
+        inefficiencies.len(),
+        "need one inefficiency per cache level"
+    );
+    let g: f64 = inefficiencies
+        .iter()
+        .map(|&g| {
+            assert!(g >= 1.0, "traffic inefficiency is at least 1, got {g}");
+            g
+        })
+        .product();
+    effective_pin_bandwidth(b_pin, ratios) * g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_level_ratios_multiply() {
+        // Two levels at R = 0.5 each: 4x effective bandwidth.
+        let e = effective_pin_bandwidth(100.0, &[0.5, 0.5]);
+        assert!((e - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_above_one_shrinks_effective_bandwidth() {
+        // The paper's small-cache pathology: R > 1 makes things worse
+        // than no cache.
+        let e = effective_pin_bandwidth(100.0, &[2.0]);
+        assert!((e - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upper_bound_scales_with_g() {
+        // Table 8's headline: G up to ~100 → two orders of magnitude of
+        // headroom.
+        let oe = upper_bound_epin(100.0, &[0.5], &[100.0]);
+        assert!((oe - 20_000.0).abs() < 1e-6);
+        let base = effective_pin_bandwidth(100.0, &[0.5]);
+        assert!(oe / base >= 100.0 - 1e-9);
+    }
+
+    #[test]
+    fn g_of_one_means_no_headroom() {
+        let oe = upper_bound_epin(100.0, &[0.7], &[1.0]);
+        let e = effective_pin_bandwidth(100.0, &[0.7]);
+        assert!((oe - e).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_g_below_one() {
+        let _ = upper_bound_epin(100.0, &[0.5], &[0.9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one inefficiency per cache level")]
+    fn rejects_mismatched_levels() {
+        let _ = upper_bound_epin(100.0, &[0.5, 0.5], &[2.0]);
+    }
+}

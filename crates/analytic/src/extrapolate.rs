@@ -1,0 +1,94 @@
+//! §4.3: extrapolating pin and performance growth a decade out.
+//!
+//! "If we conservatively assume a growth rate of 60% in sustained
+//! microprocessor performance … and that pin counts keep growing at 16%
+//! per year … in a decade the processor of 2006 will have a package with
+//! two or three thousand pins. Even with this large package, the
+//! bandwidth requirements *per pin* will be a factor of 25 greater than
+//! those of today."
+
+use serde::{Deserialize, Serialize};
+
+/// Result of projecting the trends `years` ahead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Projection {
+    /// Years projected forward.
+    pub years: u32,
+    /// Projected pin count.
+    pub pins: f64,
+    /// Performance multiple relative to the base year.
+    pub performance_multiple: f64,
+    /// Required bandwidth-per-pin multiple relative to the base year
+    /// (assuming traffic ratios stay constant).
+    pub per_pin_bandwidth_multiple: f64,
+}
+
+/// Project `base_pins` and performance forward under the paper's rates.
+///
+/// `pin_growth` and `perf_growth` are annual fractions (0.16, 0.60).
+///
+/// # Panics
+///
+/// Panics if growth rates are not positive or `base_pins` is zero.
+pub fn project(base_pins: f64, pin_growth: f64, perf_growth: f64, years: u32) -> Projection {
+    assert!(base_pins > 0.0, "need a positive base pin count");
+    assert!(
+        pin_growth > 0.0 && perf_growth > 0.0,
+        "growth rates must be positive"
+    );
+    let pins = base_pins * (1.0 + pin_growth).powi(years as i32);
+    let perf = (1.0 + perf_growth).powi(years as i32);
+    Projection {
+        years,
+        pins,
+        performance_multiple: perf,
+        per_pin_bandwidth_multiple: perf / (pins / base_pins),
+    }
+}
+
+/// The paper's 2006 projection from a 1996 base: 16 %/yr pins from a
+/// ~600-pin 1996 package, 60 %/yr performance, ten years.
+pub fn paper_projection() -> Projection {
+    project(600.0, 0.16, 0.60, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_2006_package_has_two_to_three_thousand_pins() {
+        let p = paper_projection();
+        assert!((2000.0..3500.0).contains(&p.pins), "pins = {}", p.pins);
+    }
+
+    #[test]
+    fn per_pin_bandwidth_demand_grows_about_25x() {
+        let p = paper_projection();
+        assert!(
+            (20.0..30.0).contains(&p.per_pin_bandwidth_multiple),
+            "got {}",
+            p.per_pin_bandwidth_multiple
+        );
+    }
+
+    #[test]
+    fn performance_multiple_is_about_110() {
+        let p = paper_projection();
+        assert!((90.0..130.0).contains(&p.performance_multiple));
+    }
+
+    #[test]
+    fn zero_years_is_identity() {
+        let p = project(500.0, 0.16, 0.6, 0);
+        assert_eq!(p.pins, 500.0);
+        assert_eq!(p.performance_multiple, 1.0);
+        assert_eq!(p.per_pin_bandwidth_multiple, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive_growth() {
+        let _ = project(500.0, 0.0, 0.6, 10);
+    }
+}

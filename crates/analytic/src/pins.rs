@@ -1,0 +1,288 @@
+//! The Figure 1 dataset: pins, performance, and package bandwidth for
+//! the 18 microprocessors the paper plots (1978–1997), plus log-linear
+//! trend fitting.
+//!
+//! The paper compiled these numbers by hand from processor manuals and
+//! *Microprocessor Report* back issues; we reconstruct them from public
+//! sources. Absolute values are approximate — what the figure (and our
+//! reproduction) establishes is the *growth rates*: pins at ≈16 %/year,
+//! performance-per-pin and performance-per-package-bandwidth rising
+//! steeply. Performance mixes VAX MIPS (early chips) with issue-width ×
+//! clock (later chips), exactly as the paper's footnote concedes.
+
+use serde::{Deserialize, Serialize};
+
+/// One processor data point of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Processor {
+    /// Marketing name as printed in the figure.
+    pub name: &'static str,
+    /// Year of introduction.
+    pub year: u32,
+    /// Package pin count.
+    pub pins: u32,
+    /// Performance in (VAX or issue×clock) MIPS.
+    pub mips: f64,
+    /// Peak package (bus) bandwidth in MB/s.
+    pub package_mb_s: f64,
+}
+
+impl Processor {
+    /// Figure 1b's y-value: MIPS per pin.
+    pub fn mips_per_pin(&self) -> f64 {
+        self.mips / f64::from(self.pins)
+    }
+
+    /// Figure 1c's y-value: MIPS per MB/s of package bandwidth.
+    pub fn mips_per_bandwidth(&self) -> f64 {
+        self.mips / self.package_mb_s
+    }
+}
+
+/// The 18 processors named in Figure 1.
+pub fn dataset() -> Vec<Processor> {
+    vec![
+        Processor {
+            name: "8086",
+            year: 1978,
+            pins: 40,
+            mips: 0.33,
+            package_mb_s: 2.0,
+        },
+        Processor {
+            name: "68000",
+            year: 1979,
+            pins: 64,
+            mips: 0.7,
+            package_mb_s: 4.0,
+        },
+        Processor {
+            name: "80286",
+            year: 1982,
+            pins: 68,
+            mips: 1.2,
+            package_mb_s: 8.0,
+        },
+        Processor {
+            name: "68020",
+            year: 1984,
+            pins: 114,
+            mips: 2.0,
+            package_mb_s: 16.0,
+        },
+        Processor {
+            name: "80386",
+            year: 1985,
+            pins: 132,
+            mips: 4.0,
+            package_mb_s: 32.0,
+        },
+        Processor {
+            name: "68030",
+            year: 1987,
+            pins: 128,
+            mips: 6.0,
+            package_mb_s: 50.0,
+        },
+        Processor {
+            name: "R3000",
+            year: 1988,
+            pins: 144,
+            mips: 20.0,
+            package_mb_s: 100.0,
+        },
+        Processor {
+            name: "80486",
+            year: 1989,
+            pins: 168,
+            mips: 15.0,
+            package_mb_s: 100.0,
+        },
+        Processor {
+            name: "68040",
+            year: 1990,
+            pins: 179,
+            mips: 20.0,
+            package_mb_s: 100.0,
+        },
+        Processor {
+            name: "Pentium",
+            year: 1993,
+            pins: 273,
+            mips: 132.0,
+            package_mb_s: 528.0,
+        },
+        Processor {
+            name: "Harp1",
+            year: 1993,
+            pins: 500,
+            mips: 120.0,
+            package_mb_s: 400.0,
+        },
+        Processor {
+            name: "SSparc2",
+            year: 1994,
+            pins: 293,
+            mips: 270.0,
+            package_mb_s: 400.0,
+        },
+        Processor {
+            name: "68060",
+            year: 1994,
+            pins: 223,
+            mips: 100.0,
+            package_mb_s: 200.0,
+        },
+        Processor {
+            name: "P6",
+            year: 1995,
+            pins: 387,
+            mips: 600.0,
+            package_mb_s: 528.0,
+        },
+        Processor {
+            name: "UltraSparc",
+            year: 1995,
+            pins: 521,
+            mips: 668.0,
+            package_mb_s: 1328.0,
+        },
+        Processor {
+            name: "21164",
+            year: 1995,
+            pins: 499,
+            mips: 1200.0,
+            package_mb_s: 1200.0,
+        },
+        Processor {
+            name: "R10000",
+            year: 1996,
+            pins: 599,
+            mips: 800.0,
+            package_mb_s: 800.0,
+        },
+        Processor {
+            name: "PA8000",
+            year: 1996,
+            pins: 1085,
+            mips: 720.0,
+            package_mb_s: 768.0,
+        },
+    ]
+}
+
+/// Which quantity of Figure 1 to fit or plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Series {
+    /// Figure 1a: pin count.
+    Pins,
+    /// Figure 1b: MIPS per pin.
+    MipsPerPin,
+    /// Figure 1c: MIPS per MB/s of package bandwidth.
+    MipsPerBandwidth,
+}
+
+impl Series {
+    /// Extract this series' y-value from a processor.
+    pub fn value(&self, p: &Processor) -> f64 {
+        match self {
+            Series::Pins => f64::from(p.pins),
+            Series::MipsPerPin => p.mips_per_pin(),
+            Series::MipsPerBandwidth => p.mips_per_bandwidth(),
+        }
+    }
+}
+
+/// Fit `ln(y) = a + b·year` by least squares and return the implied
+/// annual growth rate `e^b − 1` (0.16 = 16 %/year).
+///
+/// # Panics
+///
+/// Panics if `data` has fewer than two points or any non-positive value.
+pub fn fit_growth(data: &[Processor], series: Series) -> f64 {
+    assert!(data.len() >= 2, "need at least two points to fit");
+    let pts: Vec<(f64, f64)> = data
+        .iter()
+        .map(|p| {
+            let y = series.value(p);
+            assert!(y > 0.0, "log fit needs positive values");
+            (f64::from(p.year), y.ln())
+        })
+        .collect();
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|(x, _)| x).sum();
+    let sy: f64 = pts.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = pts.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = pts.iter().map(|(x, y)| x * y).sum();
+    let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    b.exp() - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_has_the_18_figure_processors() {
+        let d = dataset();
+        assert_eq!(d.len(), 18);
+        let names: std::collections::HashSet<_> = d.iter().map(|p| p.name).collect();
+        for expected in ["8086", "PA8000", "21164", "R10000", "UltraSparc", "Harp1"] {
+            assert!(names.contains(expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn years_span_the_figure_range() {
+        let d = dataset();
+        assert_eq!(d.iter().map(|p| p.year).min(), Some(1978));
+        assert_eq!(d.iter().map(|p| p.year).max(), Some(1996));
+    }
+
+    #[test]
+    fn pin_growth_is_about_16_percent() {
+        let rate = fit_growth(&dataset(), Series::Pins);
+        assert!(
+            (0.10..0.22).contains(&rate),
+            "paper says ~16 %/yr, fit gave {rate}"
+        );
+    }
+
+    #[test]
+    fn performance_per_pin_explodes() {
+        let rate = fit_growth(&dataset(), Series::MipsPerPin);
+        assert!(rate > 0.25, "Figure 1b shows steep growth, got {rate}");
+    }
+
+    #[test]
+    fn performance_outpaces_package_bandwidth() {
+        let rate = fit_growth(&dataset(), Series::MipsPerBandwidth);
+        assert!(rate > 0.05, "Figure 1c rises, got {rate}");
+        // The PA-8000 aberration: cacheless design with a huge package.
+        let d = dataset();
+        let pa = d.iter().find(|p| p.name == "PA8000").unwrap();
+        assert!(pa.pins > 1000);
+    }
+
+    #[test]
+    fn fit_recovers_exact_exponentials() {
+        let synthetic: Vec<Processor> = (0..10)
+            .map(|i| Processor {
+                name: "x",
+                year: 1980 + i,
+                pins: (100.0 * 1.16f64.powi(i as i32)).round() as u32,
+                mips: 1.0,
+                package_mb_s: 1.0,
+            })
+            .collect();
+        let rate = fit_growth(&synthetic, Series::Pins);
+        assert!((rate - 0.16).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn fit_rejects_single_point() {
+        let d = vec![dataset()[0]];
+        let _ = fit_growth(&d, Series::Pins);
+    }
+}

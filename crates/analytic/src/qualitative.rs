@@ -1,0 +1,188 @@
+//! Table 1: estimated effects of techniques and trends on the execution
+//! -time split.
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of change of a fraction (`↑`, `↓`, `?`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// The fraction increases.
+    Up,
+    /// The fraction decreases.
+    Down,
+    /// The paper marks the effect uncertain.
+    Unknown,
+}
+
+impl Direction {
+    /// The table's glyph.
+    pub fn glyph(&self) -> &'static str {
+        match self {
+            Direction::Up => "↑",
+            Direction::Down => "↓",
+            Direction::Unknown => "?",
+        }
+    }
+}
+
+/// The table's three sections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Table1Section {
+    /// A. Latency-reduction techniques.
+    LatencyReduction,
+    /// B. Processor trends.
+    ProcessorTrends,
+    /// C. Physical trends.
+    PhysicalTrends,
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Technique or trend name.
+    pub name: &'static str,
+    /// Which section it belongs to.
+    pub section: Table1Section,
+    /// Effect on `f_P`.
+    pub f_p: Direction,
+    /// Effect on `f_L`.
+    pub f_l: Direction,
+    /// Effect on `f_B`.
+    pub f_b: Direction,
+}
+
+/// The full Table 1.
+pub fn table1() -> Vec<Table1Row> {
+    use Direction::{Down, Unknown, Up};
+    use Table1Section::{LatencyReduction, PhysicalTrends, ProcessorTrends};
+    vec![
+        Table1Row {
+            name: "Lockup-free caches",
+            section: LatencyReduction,
+            f_p: Unknown,
+            f_l: Down,
+            f_b: Up,
+        },
+        Table1Row {
+            name: "Intelligent load scheduling",
+            section: LatencyReduction,
+            f_p: Up,
+            f_l: Down,
+            f_b: Up,
+        },
+        Table1Row {
+            name: "Hardware prefetching",
+            section: LatencyReduction,
+            f_p: Unknown,
+            f_l: Down,
+            f_b: Up,
+        },
+        Table1Row {
+            name: "Software prefetching",
+            section: LatencyReduction,
+            f_p: Up,
+            f_l: Down,
+            f_b: Up,
+        },
+        Table1Row {
+            name: "Speculative loads",
+            section: LatencyReduction,
+            f_p: Up,
+            f_l: Down,
+            f_b: Up,
+        },
+        Table1Row {
+            name: "Multithreading",
+            section: LatencyReduction,
+            f_p: Unknown,
+            f_l: Down,
+            f_b: Up,
+        },
+        Table1Row {
+            name: "Larger cache blocks",
+            section: LatencyReduction,
+            f_p: Unknown,
+            f_l: Down,
+            f_b: Up,
+        },
+        Table1Row {
+            name: "Faster clock speed",
+            section: ProcessorTrends,
+            f_p: Down,
+            f_l: Up,
+            f_b: Up,
+        },
+        Table1Row {
+            name: "Wider-issue",
+            section: ProcessorTrends,
+            f_p: Down,
+            f_l: Unknown,
+            f_b: Up,
+        },
+        Table1Row {
+            name: "Speculative (Multiscalar)",
+            section: ProcessorTrends,
+            f_p: Down,
+            f_l: Unknown,
+            f_b: Up,
+        },
+        Table1Row {
+            name: "Multiprocessors/chip",
+            section: ProcessorTrends,
+            f_p: Down,
+            f_l: Up,
+            f_b: Up,
+        },
+        Table1Row {
+            name: "Better packaging technology",
+            section: PhysicalTrends,
+            f_p: Up,
+            f_l: Down,
+            f_b: Down,
+        },
+        Table1Row {
+            name: "Larger on-chip memories",
+            section: PhysicalTrends,
+            f_p: Up,
+            f_l: Down,
+            f_b: Down,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_a_and_b_row_raises_bandwidth_stalls() {
+        // The paper: "In every row of Tables 1A and 1B, we see that the
+        // normalized fraction of bandwidth stalls is increasing."
+        for row in table1() {
+            match row.section {
+                Table1Section::LatencyReduction | Table1Section::ProcessorTrends => {
+                    assert_eq!(row.f_b, Direction::Up, "{}", row.name);
+                }
+                Table1Section::PhysicalTrends => {
+                    assert_eq!(row.f_b, Direction::Down, "{}", row.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sections_have_the_paper_row_counts() {
+        let t = table1();
+        let count = |s| t.iter().filter(|r| r.section == s).count();
+        assert_eq!(count(Table1Section::LatencyReduction), 7);
+        assert_eq!(count(Table1Section::ProcessorTrends), 4);
+        assert_eq!(count(Table1Section::PhysicalTrends), 2);
+    }
+
+    #[test]
+    fn glyphs_render() {
+        assert_eq!(Direction::Up.glyph(), "↑");
+        assert_eq!(Direction::Down.glyph(), "↓");
+        assert_eq!(Direction::Unknown.glyph(), "?");
+    }
+}

@@ -1,0 +1,70 @@
+//! Ablation bench: the cache-assist techniques (plain / tagged prefetch
+//! / stream buffers / victim / bypass) on one low-locality workload.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use membw_core::cache::{BypassCache, Cache, CacheConfig, StreamBuffers, VictimCache};
+use membw_core::trace::Workload;
+use membw_core::workloads::Compress;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    let refs = Compress::new(20_000, 1 << 12, 7).collect_mem_refs();
+    g.throughput(Throughput::Elements(refs.len() as u64));
+    let cfg = CacheConfig::builder(16 * 1024, 32).build().expect("valid");
+
+    g.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(cfg);
+            for &r in black_box(&refs) {
+                cache.access(r);
+            }
+            black_box(cache.flush())
+        })
+    });
+    g.bench_function("tagged_prefetch", |b| {
+        let pf = CacheConfig::builder(16 * 1024, 32)
+            .tagged_prefetch(true)
+            .build()
+            .expect("valid");
+        b.iter(|| {
+            let mut cache = Cache::new(pf);
+            for &r in black_box(&refs) {
+                cache.access(r);
+            }
+            black_box(cache.flush())
+        })
+    });
+    g.bench_function("stream_buffers", |b| {
+        b.iter(|| {
+            let mut cache = StreamBuffers::new(cfg, 4, 4);
+            for &r in black_box(&refs) {
+                cache.access(r);
+            }
+            black_box(cache.flush())
+        })
+    });
+    g.bench_function("victim", |b| {
+        b.iter(|| {
+            let mut cache = VictimCache::new(cfg, 8);
+            for &r in black_box(&refs) {
+                cache.access(r);
+            }
+            black_box(cache.flush())
+        })
+    });
+    g.bench_function("bypass", |b| {
+        b.iter(|| {
+            let mut cache = BypassCache::new(cfg, 1024);
+            for &r in black_box(&refs) {
+                cache.access(r);
+            }
+            black_box(cache.flush())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! §4.3 bench: the trend projection (and Eq. 5/7 arithmetic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use membw_core::analytic::extrapolate::project;
+use membw_core::analytic::{effective_pin_bandwidth, upper_bound_epin};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extrapolation");
+    g.bench_function("ten_year_projection", |b| {
+        b.iter(|| black_box(project(black_box(600.0), 0.16, 0.60, 10)))
+    });
+    g.bench_function("epin_equations", |b| {
+        b.iter(|| {
+            let e = effective_pin_bandwidth(black_box(800.0), &[0.51, 0.73]);
+            let o = upper_bound_epin(black_box(800.0), &[0.51, 0.73], &[29.2, 2.0]);
+            black_box((e, o))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 1 bench: dataset assembly and log-linear trend fitting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use membw_core::analytic::pins::{dataset, fit_growth, Series};
+use membw_core::run_fig1;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.bench_function("fit_all_three_series", |b| {
+        let data = dataset();
+        b.iter(|| {
+            let p = fit_growth(black_box(&data), Series::Pins);
+            let m = fit_growth(black_box(&data), Series::MipsPerPin);
+            let w = fit_growth(black_box(&data), Series::MipsPerBandwidth);
+            black_box((p, m, w))
+        })
+    });
+    g.bench_function("full_figure", |b| b.iter(|| black_box(run_fig1::run())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

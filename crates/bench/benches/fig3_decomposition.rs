@@ -1,0 +1,23 @@
+//! Figure 3 / Table 6 bench: the three-run execution-time decomposition
+//! on in-order (A) and aggressive out-of-order (F) machines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use membw_core::sim::{decompose, Experiment, MachineSpec};
+use membw_core::workloads::Espresso;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    let w = Espresso::new(128, 8, 2, 1);
+    for e in [Experiment::A, Experiment::C, Experiment::F] {
+        g.bench_function(format!("decompose_espresso_exp{}", e.label()), |b| {
+            let spec = MachineSpec::spec92(e);
+            b.iter(|| black_box(decompose(black_box(&w), &spec)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

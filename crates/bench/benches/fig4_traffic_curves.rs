@@ -1,0 +1,44 @@
+//! Figure 4 bench: one traffic-vs-size curve (cache and MTC) per
+//! iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use membw_core::cache::{Associativity, Cache, CacheConfig};
+use membw_core::mtc::{MinCache, MinConfig};
+use membw_core::trace::Workload;
+use membw_core::workloads::Compress;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    let refs = Compress::new(10_000, 1 << 12, 7).collect_mem_refs();
+    g.bench_function("cache_curve_6_blocksizes", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for block in [4u64, 8, 16, 32, 64, 128] {
+                let cfg = CacheConfig::builder(16 * 1024, block)
+                    .associativity(Associativity::Ways(4))
+                    .build()
+                    .expect("valid");
+                let mut cache = Cache::new(cfg);
+                for &r in black_box(&refs) {
+                    cache.access(r);
+                }
+                total += cache.flush().traffic_below();
+            }
+            black_box(total)
+        })
+    });
+    g.bench_function("mtc_curve_point", |b| {
+        b.iter(|| {
+            black_box(MinCache::simulate(
+                &MinConfig::mtc(16 * 1024),
+                black_box(&refs),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

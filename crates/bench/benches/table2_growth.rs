@@ -1,0 +1,33 @@
+//! Table 2 bench: minimal-traffic measurement of the tiled kernels at
+//! two on-chip memory sizes (the C/D gain experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use membw_core::mtc::{MinCache, MinConfig, MinWritePolicy};
+use membw_core::run_table2;
+use membw_core::trace::Workload;
+use membw_core::workloads::kernels::{Fft, TiledMatMul};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    let tmm = TiledMatMul::new(24, 8).collect_mem_refs();
+    let fft = Fft::new(10).collect_mem_refs();
+    g.bench_function("mtc_traffic_tmm", |b| {
+        b.iter(|| {
+            let cfg = MinConfig::new(1024, 4, MinWritePolicy::Allocate, true);
+            black_box(MinCache::simulate(&cfg, black_box(&tmm)).traffic_below())
+        })
+    });
+    g.bench_function("mtc_traffic_fft", |b| {
+        b.iter(|| {
+            let cfg = MinConfig::new(1024, 4, MinWritePolicy::Allocate, true);
+            black_box(MinCache::simulate(&cfg, black_box(&fft)).traffic_below())
+        })
+    });
+    g.bench_function("full_table", |b| b.iter(|| black_box(run_table2::run(512))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

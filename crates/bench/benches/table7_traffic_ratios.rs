@@ -1,0 +1,31 @@
+//! Table 7 bench: the trace-driven cache simulator over the traffic-
+//! ratio size sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use membw_core::cache::{Cache, CacheConfig};
+use membw_core::trace::Workload;
+use membw_core::workloads::Compress;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table7");
+    g.sample_size(10);
+    let refs = Compress::new(20_000, 1 << 12, 7).collect_mem_refs();
+    g.throughput(Throughput::Elements(refs.len() as u64));
+    for size in [1u64 << 10, 1 << 14, 1 << 18] {
+        g.bench_function(format!("traffic_ratio_compress_{size}B"), |b| {
+            b.iter(|| {
+                let cfg = CacheConfig::builder(size, 32).build().expect("valid");
+                let mut cache = Cache::new(cfg);
+                for &r in black_box(&refs) {
+                    cache.access(r);
+                }
+                black_box(cache.flush().traffic_ratio())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

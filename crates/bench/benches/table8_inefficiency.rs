@@ -1,0 +1,30 @@
+//! Table 8 bench: the two-pass Belady MTC simulation behind the traffic
+//! -inefficiency numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use membw_core::mtc::{MinCache, MinConfig};
+use membw_core::trace::Workload;
+use membw_core::workloads::{Compress, Eqntott};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table8");
+    g.sample_size(10);
+    let compress = Compress::new(20_000, 1 << 12, 7).collect_mem_refs();
+    let eqntott = Eqntott::new(512, 7).collect_mem_refs();
+    for (name, refs) in [("compress", &compress), ("eqntott", &eqntott)] {
+        g.throughput(Throughput::Elements(refs.len() as u64));
+        g.bench_function(format!("mtc_simulate_{name}"), |b| {
+            b.iter(|| {
+                black_box(MinCache::simulate(
+                    &MinConfig::mtc(16 * 1024),
+                    black_box(refs),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

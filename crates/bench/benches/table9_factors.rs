@@ -1,0 +1,23 @@
+//! Table 9 bench: factor isolation (five experiment pairs against the
+//! reference MTC).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use membw_core::mtc::factors::{factor_gap, TABLE10_FACTORS};
+use membw_core::workloads::Espresso;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table9");
+    g.sample_size(10);
+    let w = Espresso::new(128, 8, 4, 1);
+    for spec in &TABLE10_FACTORS {
+        let label = spec.name.replace(' ', "_").replace(['(', ')'], "");
+        g.bench_function(format!("factor_{label}"), |b| {
+            b.iter(|| black_box(factor_gap(black_box(spec), &w, 16 * 1024)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! `mwtrace`: inspect `.mwtr` trace files.
+//!
+//! ```text
+//! mwtrace stats  FILE...        reference counts, mix, footprint
+//! mwtrace reuse  FILE           LRU miss-ratio curve (stack distances)
+//! mwtrace opt    FILE           LRU vs Belady-min miss-ratio curves
+//! mwtrace ratio  FILE SIZE_KB   traffic ratio of a 32B direct-mapped cache
+//! ```
+//!
+//! Dump traces with `repro dump` first.
+
+use membw_core::cache::{Cache, CacheConfig};
+use membw_core::mtc::OptProfile;
+use membw_core::trace::io::load_workload;
+use membw_core::trace::reuse::ReuseProfile;
+use membw_core::trace::stats::TraceStats;
+use membw_core::trace::Workload;
+use std::path::Path;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: mwtrace <stats|reuse|opt> FILE...  |  mwtrace ratio FILE SIZE_KB");
+    exit(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    exit(1)
+}
+
+fn cmd_stats(paths: &[String]) {
+    println!(
+        "{:<20}{:>12}{:>10}{:>10}{:>14}",
+        "trace", "refs", "reads%", "writes%", "footprint KB"
+    );
+    for p in paths {
+        let w = load_workload(Path::new(p)).unwrap_or_else(|e| fail(e));
+        let s = TraceStats::of(&w);
+        println!(
+            "{:<20}{:>12}{:>9.1}%{:>9.1}%{:>14.1}",
+            w.name(),
+            s.refs,
+            100.0 * (1.0 - s.write_fraction()),
+            100.0 * s.write_fraction(),
+            s.footprint_bytes(4) as f64 / 1024.0
+        );
+    }
+}
+
+fn capacity_sweep() -> Vec<u64> {
+    (5..=16).map(|p| 1u64 << p).collect() // 32 blocks (1KB) .. 64K blocks (2MB)
+}
+
+fn cmd_reuse(path: &str) {
+    let w = load_workload(Path::new(path)).unwrap_or_else(|e| fail(e));
+    let profile = ReuseProfile::measure(&w, 32);
+    println!("LRU miss-ratio curve for {} (32B blocks):", w.name());
+    println!("{:>12}{:>12}", "capacity", "miss ratio");
+    for blocks in capacity_sweep() {
+        println!(
+            "{:>10}KB{:>12.4}",
+            blocks * 32 / 1024,
+            profile.lru_miss_ratio(blocks)
+        );
+    }
+}
+
+fn cmd_opt(path: &str) {
+    let w = load_workload(Path::new(path)).unwrap_or_else(|e| fail(e));
+    let refs = w.collect_mem_refs();
+    let lru = ReuseProfile::measure(&w, 32);
+    let opt = OptProfile::measure(&refs, 32);
+    println!("LRU vs min miss ratios for {} (32B blocks):", w.name());
+    println!("{:>12}{:>10}{:>10}{:>8}", "capacity", "LRU", "min", "gap");
+    for blocks in capacity_sweep() {
+        let l = lru.lru_miss_ratio(blocks);
+        let o = opt.miss_ratio(blocks as usize);
+        println!(
+            "{:>10}KB{:>10.4}{:>10.4}{:>7.2}x",
+            blocks * 32 / 1024,
+            l,
+            o,
+            if o > 0.0 { l / o } else { 1.0 }
+        );
+    }
+}
+
+fn cmd_ratio(path: &str, size_kb: &str) {
+    let kb: u64 = size_kb
+        .parse()
+        .unwrap_or_else(|_| fail("SIZE_KB must be a number"));
+    let w = load_workload(Path::new(path)).unwrap_or_else(|e| fail(e));
+    let cfg = CacheConfig::builder(kb * 1024, 32)
+        .build()
+        .unwrap_or_else(|e| fail(e));
+    let mut cache = Cache::new(cfg);
+    w.for_each_mem_ref(&mut |r| {
+        cache.access(r);
+    });
+    let stats = cache.flush();
+    println!("{}: {}KB direct-mapped 32B-block cache", w.name(), kb);
+    println!("  accesses      {:>12}", stats.accesses);
+    println!("  miss ratio    {:>12.4}", stats.miss_ratio());
+    println!("  fetched KB    {:>12}", stats.bytes_fetched / 1024);
+    println!(
+        "  written KB    {:>12}",
+        (stats.bytes_written_back + stats.bytes_flushed) / 1024
+    );
+    println!(
+        "  traffic ratio {:>12.3}",
+        stats.traffic_ratio().unwrap_or(0.0)
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "stats" && !rest.is_empty() => cmd_stats(rest),
+        Some((cmd, [file])) if cmd == "reuse" => cmd_reuse(file),
+        Some((cmd, [file])) if cmd == "opt" => cmd_opt(file),
+        Some((cmd, [file, kb])) if cmd == "ratio" => cmd_ratio(file, kb),
+        _ => usage(),
+    }
+}

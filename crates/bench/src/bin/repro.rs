@@ -1,0 +1,374 @@
+//! `repro`: regenerate every table and figure of Burger, Goodman & Kägi
+//! (ISCA 1996).
+//!
+//! ```text
+//! repro [--scale test|small|full] [--json DIR] <target>...
+//!
+//! targets: fig1 table1 table2 table3 params fig3 table6 table7 table8
+//!          fig4 table9 extrapolate all
+//! ```
+
+use membw_bench::parse_scale;
+use membw_core::analytic::pins::{dataset, Series};
+use membw_core::sim::{Experiment, MachineSpec};
+use membw_core::workloads::{Scale, Suite};
+use membw_core::{
+    run_ablation, run_dram, run_epin, run_extrapolation, run_fig1, run_fig2, run_fig3, run_fig4,
+    run_interference, run_speculation, run_swprefetch, run_table1, run_table2, run_table3,
+    run_table7, run_table8, run_table9, AsciiPlot, Table,
+};
+use std::path::PathBuf;
+
+struct Options {
+    scale: Scale,
+    json_dir: Option<PathBuf>,
+    targets: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut scale = Scale::Small;
+    let mut json_dir = None;
+    let mut targets = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = parse_scale(&v)?;
+            }
+            "--json" => {
+                let v = args.next().ok_or("--json needs a directory")?;
+                json_dir = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--scale test|small|full] [--json DIR] <target>...");
+                println!("targets: fig1 table1 table2 table3 params fig3 table6 table7");
+                println!("         table8 fig4 table9 epin extrapolate ablation interference");
+                println!("         dram speculation swprefetch dump all");
+                std::process::exit(0);
+            }
+            t if !t.starts_with('-') => targets.push(t.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    Ok(Options {
+        scale,
+        json_dir,
+        targets,
+    })
+}
+
+fn emit(opts: &Options, name: &str, table: &Table, json: Option<String>) {
+    println!("{}", table.render());
+    if let (Some(dir), Some(body)) = (&opts.json_dir, json) {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, body).expect("write json");
+        eprintln!("  [wrote {}]", path.display());
+    }
+}
+
+fn params_table(suite: &str, spec_for: impl Fn(Experiment) -> MachineSpec) -> Table {
+    let mut t = Table::new(
+        format!("Tables 4-5: machine parameters ({suite})"),
+        [
+            "Exp", "Core", "RUU", "LSQ", "Bpred", "MHz", "L1", "L1 blk", "L2", "L2 blk", "L1 kind",
+            "Prefetch",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for e in Experiment::ALL {
+        let m = spec_for(e);
+        t.row(vec![
+            e.label().to_string(),
+            format!("{:?}", m.core),
+            m.ruu_slots.to_string(),
+            m.lsq_entries.to_string(),
+            m.bpred_entries.to_string(),
+            m.cpu_mhz.to_string(),
+            format!("{}KB", m.mem.l1_bytes / 1024),
+            format!("{}B", m.mem.l1_block),
+            format!("{}KB", m.mem.l2_bytes / 1024),
+            format!("{}B", m.mem.l2_block),
+            if m.mem.blocking {
+                "blocking"
+            } else {
+                "lockup-free"
+            }
+            .to_string(),
+            if m.mem.tagged_prefetch { "tagged" } else { "-" }.to_string(),
+        ]);
+    }
+    t
+}
+
+fn run_target(opts: &Options, target: &str) -> Result<(), String> {
+    let scale = opts.scale;
+    match target {
+        "fig1" => {
+            let (res, table) = run_fig1::run();
+            emit(
+                opts,
+                "fig1",
+                &table,
+                serde_json::to_string_pretty(&res).ok(),
+            );
+            for (label, series) in [
+                ("Figure 1a: pins vs year (log y)", Series::Pins),
+                ("Figure 1b: MIPS/pin vs year (log y)", Series::MipsPerPin),
+                (
+                    "Figure 1c: MIPS/(pin MB/s) vs year (log y)",
+                    Series::MipsPerBandwidth,
+                ),
+            ] {
+                let pts: Vec<(f64, f64)> = dataset()
+                    .iter()
+                    .map(|pr| (f64::from(pr.year), series.value(pr)))
+                    .collect();
+                let plot = AsciiPlot::new(label, 60, 14)
+                    .log_y()
+                    .series('o', "processors", pts);
+                println!("{}", plot.render());
+            }
+        }
+        "table1" => {
+            let (_, table) = run_table1::run();
+            emit(opts, "table1", &table, None);
+        }
+        "table2" => {
+            let (res, table) = run_table2::run(1024);
+            emit(
+                opts,
+                "table2",
+                &table,
+                serde_json::to_string_pretty(&res).ok(),
+            );
+        }
+        "table3" => {
+            let (res, table) = run_table3::run(scale);
+            emit(
+                opts,
+                "table3",
+                &table,
+                serde_json::to_string_pretty(&res).ok(),
+            );
+        }
+        "params" => {
+            println!("{}", params_table("SPEC92", MachineSpec::spec92).render());
+            println!("{}", params_table("SPEC95", MachineSpec::spec95).render());
+        }
+        "fig2" => {
+            let (res, table, plots) = run_fig2::run(12);
+            emit(
+                opts,
+                "fig2",
+                &table,
+                serde_json::to_string_pretty(&res).ok(),
+            );
+            for p in plots {
+                println!("{}", p.render());
+            }
+        }
+        "fig3" | "table6" => {
+            for (suite, label) in [(Suite::Spec92, "SPEC92"), (Suite::Spec95, "SPEC95")] {
+                let res = run_fig3::run_suite(suite, scale, &Experiment::ALL);
+                if target == "fig3" {
+                    let t = run_fig3::render(&res, &format!("Figure 3 ({label} benchmarks)"));
+                    emit(
+                        opts,
+                        &format!("fig3_{}", label.to_lowercase()),
+                        &t,
+                        serde_json::to_string_pretty(&res).ok(),
+                    );
+                }
+                let t6 = run_fig3::render_table6(&res);
+                emit(opts, &format!("table6_{}", label.to_lowercase()), &t6, None);
+            }
+        }
+        "table7" => {
+            let (res, table) = run_table7::run(scale);
+            emit(
+                opts,
+                "table7",
+                &table,
+                serde_json::to_string_pretty(&res).ok(),
+            );
+        }
+        "table8" => {
+            let (res, table) = run_table8::run(scale);
+            emit(
+                opts,
+                "table8",
+                &table,
+                serde_json::to_string_pretty(&res).ok(),
+            );
+        }
+        "fig4" => {
+            let (panels, tables) = run_fig4::run(scale);
+            for t in &tables {
+                println!("{}", t.render());
+            }
+            for p in &panels {
+                let mut plot = AsciiPlot::new(
+                    format!(
+                        "Figure 4 ({}): traffic (bytes) vs capacity, log-log",
+                        p.name
+                    ),
+                    64,
+                    16,
+                )
+                .log_log();
+                let markers = ['1', '2', '3', '4', '5', '6', 'A', 'V'];
+                for (c, m) in p.curves.iter().zip(markers) {
+                    let pts: Vec<(f64, f64)> = c
+                        .points
+                        .iter()
+                        .map(|&(s, t)| (s as f64, t as f64))
+                        .collect();
+                    plot = plot.series(m, c.label.clone(), pts);
+                }
+                println!("{}", plot.render());
+            }
+            if let Some(dir) = &opts.json_dir {
+                std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+                let body = serde_json::to_string_pretty(&panels).map_err(|e| e.to_string())?;
+                std::fs::write(dir.join("fig4.json"), body).map_err(|e| e.to_string())?;
+            }
+        }
+        "table9" => {
+            let (res, tables) = run_table9::run(scale);
+            for t in &tables {
+                println!("{}", t.render());
+            }
+            if let Some(dir) = &opts.json_dir {
+                std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+                let body = serde_json::to_string_pretty(&res).map_err(|e| e.to_string())?;
+                std::fs::write(dir.join("table9.json"), body).map_err(|e| e.to_string())?;
+            }
+        }
+        "ablation" => {
+            let (res, table) = run_ablation::run(scale, 16 * 1024);
+            emit(
+                opts,
+                "ablation",
+                &table,
+                serde_json::to_string_pretty(&res).ok(),
+            );
+        }
+        "dump" => {
+            // Dump every benchmark's reference stream as .mwtr files.
+            let dir = opts
+                .json_dir
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("traces"));
+            std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+            use membw_core::trace::io::save_workload;
+            use membw_core::workloads::{suite92, suite95};
+            for b in suite92(scale).iter().chain(suite95(scale).iter()) {
+                let path = dir.join(format!("{}.mwtr", b.name()));
+                let n = save_workload(&b.workload(), &path).map_err(|e| e.to_string())?;
+                println!("wrote {} ({n} refs)", path.display());
+            }
+        }
+        "epin" => {
+            let (res, table) = run_epin::run(scale);
+            emit(
+                opts,
+                "epin",
+                &table,
+                serde_json::to_string_pretty(&res).ok(),
+            );
+        }
+        "swprefetch" => {
+            let (res, table) = run_swprefetch::run();
+            emit(
+                opts,
+                "swprefetch",
+                &table,
+                serde_json::to_string_pretty(&res).ok(),
+            );
+        }
+        "speculation" => {
+            let (res, table) = run_speculation::run();
+            emit(
+                opts,
+                "speculation",
+                &table,
+                serde_json::to_string_pretty(&res).ok(),
+            );
+        }
+        "dram" => {
+            let (res, table) = run_dram::run();
+            emit(
+                opts,
+                "dram",
+                &table,
+                serde_json::to_string_pretty(&res).ok(),
+            );
+        }
+        "interference" => {
+            let (res, table) = run_interference::run(16 * 1024, 200);
+            emit(
+                opts,
+                "interference",
+                &table,
+                serde_json::to_string_pretty(&res).ok(),
+            );
+        }
+        "extrapolate" => {
+            let (res, table) = run_extrapolation::run();
+            emit(
+                opts,
+                "extrapolate",
+                &table,
+                serde_json::to_string_pretty(&res).ok(),
+            );
+        }
+        "all" => {
+            for t in [
+                "fig1",
+                "table1",
+                "fig2",
+                "table2",
+                "table3",
+                "params",
+                "table7",
+                "table8",
+                "fig4",
+                "table9",
+                "epin",
+                "extrapolate",
+                "ablation",
+                "interference",
+                "dram",
+                "speculation",
+                "swprefetch",
+                "fig3",
+            ] {
+                run_target(opts, t)?;
+            }
+        }
+        other => return Err(format!("unknown target '{other}'")),
+    }
+    Ok(())
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    for t in opts.targets.clone() {
+        if let Err(e) = run_target(&opts, &t) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Benchmark harness for the membw reproduction.
+//!
+//! Two entry points:
+//!
+//! * the **`repro` binary** (`cargo run -p membw-bench --release --bin
+//!   repro -- all`) regenerates every table and figure of the paper and
+//!   prints them in the paper's layout (optionally archiving JSON);
+//! * the **criterion benches** (`cargo bench -p membw-bench`) time the
+//!   simulators themselves, one bench group per table/figure, so
+//!   regressions in the instruments are caught.
+
+use membw_core::workloads::Scale;
+
+/// Parse a `--scale` argument value.
+///
+/// # Errors
+///
+/// Returns the offending string if it is not `test`, `small`, or
+/// `full`.
+pub fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s {
+        "test" => Ok(Scale::Test),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        other => Err(format!(
+            "unknown scale '{other}' (expected test|small|full)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scales() {
+        assert_eq!(parse_scale("test").unwrap(), Scale::Test);
+        assert_eq!(parse_scale("small").unwrap(), Scale::Small);
+        assert_eq!(parse_scale("full").unwrap(), Scale::Full);
+        assert!(parse_scale("huge").is_err());
+    }
+}

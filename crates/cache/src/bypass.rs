@@ -1,0 +1,184 @@
+//! Dynamic cache bypassing (Tyson, Farrens, Matthews & Pleszkun \[45\]).
+//!
+//! §5.2 of the paper notes that "for small caches, greater selectivity
+//! about what is cached can significantly reduce memory traffic". This
+//! model keeps a small table of 2-bit reuse counters indexed by block
+//! address; blocks with no demonstrated reuse are fetched *around* the
+//! cache (the word goes to the processor, nothing is allocated, nothing
+//! useful is evicted).
+
+use crate::cache::Cache;
+use crate::config::{CacheConfig, WriteAllocate, WritePolicy};
+use crate::stats::CacheStats;
+use membw_trace::{AccessKind, MemRef};
+
+/// A write-back write-allocate cache with reuse-predicted bypassing.
+///
+/// # Example
+///
+/// ```
+/// use membw_cache::{BypassCache, CacheConfig};
+/// use membw_trace::MemRef;
+///
+/// let cfg = CacheConfig::builder(256, 32).build()?;
+/// let mut c = BypassCache::new(cfg, 256);
+/// c.access(MemRef::read(0, 4));
+/// # Ok::<(), membw_cache::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct BypassCache {
+    cache: Cache,
+    /// 2-bit saturating reuse counters, direct-mapped by block address.
+    counters: Vec<u8>,
+    bypasses: u64,
+    extra_traffic: u64,
+    extra_requests: u64,
+    accesses: u64,
+}
+
+impl BypassCache {
+    /// Build around a cache of `cfg` with a reuse table of
+    /// `table_entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_entries` is not a power of two, or `cfg` is not
+    /// write-back write-allocate.
+    pub fn new(cfg: CacheConfig, table_entries: usize) -> Self {
+        assert!(table_entries.is_power_of_two());
+        assert!(
+            cfg.write_policy() == WritePolicy::WriteBack
+                && cfg.write_allocate() == WriteAllocate::Allocate,
+            "bypass model requires write-back write-allocate"
+        );
+        Self {
+            cache: Cache::new(cfg),
+            // Start weakly reusable so first-touch blocks are cached.
+            counters: vec![2; table_entries],
+            bypasses: 0,
+            extra_traffic: 0,
+            extra_requests: 0,
+            accesses: 0,
+        }
+    }
+
+    fn counter_index(&self, block_addr: u64) -> usize {
+        let mask = self.counters.len() as u64 - 1;
+        ((block_addr / self.cache.config().block_size()) & mask) as usize
+    }
+
+    /// Misses served around the cache.
+    pub fn bypasses(&self) -> u64 {
+        self.bypasses
+    }
+
+    /// Combined statistics (bypassed words appear as write-through-style
+    /// word traffic).
+    pub fn stats(&self) -> CacheStats {
+        let mut s = *self.cache.stats();
+        s.bytes_written_through += self.extra_traffic;
+        s.request_bytes += self.extra_requests;
+        s.accesses += self.bypasses;
+        s
+    }
+
+    /// Present one access; returns `true` on a cache hit.
+    pub fn access(&mut self, r: MemRef) -> bool {
+        self.accesses += 1;
+        let block_size = self.cache.config().block_size();
+        let block_addr = r.addr & !(block_size - 1);
+        let idx = self.counter_index(block_addr);
+
+        if self.cache.is_resident(r.addr) {
+            // Reuse demonstrated: strengthen the counter.
+            self.counters[idx] = (self.counters[idx] + 1).min(3);
+            return self.cache.access(r).hit;
+        }
+
+        // Miss: predict reuse.
+        let predict_reuse = self.counters[idx] >= 2;
+        self.counters[idx] = self.counters[idx].saturating_sub(1);
+        if predict_reuse {
+            return self.cache.access(r).hit;
+        }
+
+        // Bypass: the word crosses the pins; nothing is allocated.
+        self.bypasses += 1;
+        self.extra_traffic += u64::from(r.size);
+        self.extra_requests += u64::from(r.size);
+        if r.kind == AccessKind::Write {
+            // Write goes straight to memory (already counted above).
+        }
+        false
+    }
+
+    /// Flush the cache and return combined statistics.
+    pub fn flush(&mut self) -> CacheStats {
+        self.cache.flush();
+        self.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_single_use_data_gets_bypassed() {
+        // One pass over a huge region: after the counters decay, most
+        // blocks bypass, saving the 8x block-fill waste.
+        let cfg = CacheConfig::builder(1024, 32).build().unwrap();
+        let mut bypass = BypassCache::new(cfg, 64);
+        let mut plain = Cache::new(cfg);
+        for i in 0..20_000u64 {
+            let addr = i * 4096; // one word per block, never reused
+            bypass.access(MemRef::read(addr, 4));
+            plain.access(MemRef::read(addr, 4));
+        }
+        let b = bypass.flush();
+        let p = plain.flush();
+        assert!(bypass.bypasses() > 10_000);
+        assert!(
+            b.traffic_below() < p.traffic_below() / 2,
+            "bypass should cut traffic: {} vs {}",
+            b.traffic_below(),
+            p.traffic_below()
+        );
+    }
+
+    #[test]
+    fn hot_data_stays_cached() {
+        let cfg = CacheConfig::builder(1024, 32).build().unwrap();
+        let mut c = BypassCache::new(cfg, 64);
+        let mut hits = 0u64;
+        for i in 0..1000u64 {
+            if c.access(MemRef::read((i % 8) * 32, 4)) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 990, "hot set must live in the cache, hits = {hits}");
+        assert_eq!(c.bypasses(), 0, "reused blocks are never bypassed");
+    }
+
+    #[test]
+    fn accounting_includes_bypassed_words() {
+        let cfg = CacheConfig::builder(256, 32).build().unwrap();
+        let mut c = BypassCache::new(cfg, 16);
+        for i in 0..200u64 {
+            c.access(MemRef::read(i * 512, 4));
+        }
+        let s = c.flush();
+        assert_eq!(s.accesses, 200);
+        assert!(s.bytes_written_through > 0, "bypassed words counted");
+    }
+
+    #[test]
+    #[should_panic(expected = "write-back write-allocate")]
+    fn rejects_other_write_policies() {
+        let cfg = CacheConfig::builder(256, 32)
+            .write_policy(WritePolicy::WriteThrough)
+            .build()
+            .unwrap();
+        let _ = BypassCache::new(cfg, 16);
+    }
+}

@@ -1,0 +1,748 @@
+//! Single-level functional cache with traffic accounting.
+
+use crate::config::{CacheConfig, WriteAllocate, WritePolicy};
+use crate::replacement::{PlruBits, VictimPicker};
+use crate::stats::CacheStats;
+use membw_trace::{AccessKind, MemRef};
+
+/// What a below-cache transfer is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BelowKind {
+    /// Block (or partial-block) fetch caused by a demand miss.
+    Fetch,
+    /// Block fetch caused by the prefetcher.
+    PrefetchFetch,
+    /// Dirty data written back on eviction or flush.
+    Writeback,
+    /// A write propagated through (write-through or no-allocate miss).
+    WriteThrough,
+}
+
+/// A transfer emitted below the cache (toward memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BelowRequest {
+    /// Starting byte address of the transfer.
+    pub addr: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Transfer kind.
+    pub kind: BelowKind,
+}
+
+impl BelowRequest {
+    /// `true` if the transfer moves data *up* (fetch), `false` if down.
+    pub fn is_fetch(&self) -> bool {
+        matches!(self.kind, BelowKind::Fetch | BelowKind::PrefetchFetch)
+    }
+}
+
+/// Outcome of a single access: hit/miss plus the transfers it generated.
+#[derive(Debug, Clone, Default)]
+pub struct AccessOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    below: Vec<BelowRequest>,
+}
+
+impl AccessOutcome {
+    /// Transfers emitted below the cache by this access, in issue order.
+    pub fn below(&self) -> &[BelowRequest] {
+        &self.below
+    }
+
+    /// Total bytes moved below by this access.
+    pub fn bytes_below(&self) -> u64 {
+        self.below.iter().map(|b| b.bytes).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    tag: u64,
+    /// Bit per 4-byte word: word holds up-to-date data.
+    valid_mask: u64,
+    /// Bit per 4-byte word: word is dirty.
+    dirty_mask: u64,
+    /// Tagged-prefetch bit: set once the line is demand-referenced.
+    referenced: bool,
+    last_touch: u64,
+    filled_at: u64,
+}
+
+/// A single-level, functional (untimed) cache.
+///
+/// See the [crate docs](crate) for the traffic-accounting rules. Accesses
+/// that straddle block boundaries are split QPT-style into per-block
+/// sub-accesses, each counted separately.
+///
+/// # Example
+///
+/// ```
+/// use membw_cache::{Cache, CacheConfig};
+/// use membw_trace::MemRef;
+///
+/// let mut c = Cache::new(CacheConfig::builder(256, 32).build()?);
+/// assert!(!c.access(MemRef::read(0, 4)).hit);   // cold miss
+/// assert!(c.access(MemRef::read(28, 4)).hit);   // same block
+/// assert_eq!(c.stats().bytes_fetched, 32);
+/// # Ok::<(), membw_cache::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>, // num_sets * ways, set-major
+    plru: Vec<PlruBits>,
+    picker: VictimPicker,
+    clock: u64,
+    stats: CacheStats,
+    full_mask: u64,
+}
+
+impl Cache {
+    /// Build an empty cache for `cfg`.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let blocks = (cfg.num_sets() * cfg.ways()) as usize;
+        let wpb = cfg.words_per_block();
+        let full_mask = if wpb >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << wpb) - 1
+        };
+        Self {
+            cfg,
+            lines: vec![Line::default(); blocks],
+            plru: vec![PlruBits::default(); cfg.num_sets() as usize],
+            picker: VictimPicker::new(cfg.replacement()),
+            clock: 0,
+            stats: CacheStats::default(),
+            full_mask,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// `true` if the block containing `addr` is resident (any validity).
+    pub fn is_resident(&self, addr: u64) -> bool {
+        let set = self.cfg.set_of(addr);
+        let tag = self.cfg.tag_of(addr);
+        self.set_lines(set).iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    fn set_lines(&self, set: u64) -> &[Line] {
+        let ways = self.cfg.ways() as usize;
+        let base = set as usize * ways;
+        &self.lines[base..base + ways]
+    }
+
+    fn line_index(&self, set: u64, way: usize) -> usize {
+        set as usize * self.cfg.ways() as usize + way
+    }
+
+    fn find(&self, set: u64, tag: u64) -> Option<usize> {
+        self.set_lines(set)
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
+    }
+
+    fn touch(&mut self, set: u64, way: usize) {
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.cfg.ways() as usize;
+        let idx = self.line_index(set, way);
+        self.lines[idx].last_touch = clock;
+        if ways.is_power_of_two() && ways <= 64 {
+            self.plru[set as usize].touch(way, ways);
+        }
+    }
+
+    /// Pick a victim way in `set`, preferring invalid lines.
+    fn pick_victim(&mut self, set: u64) -> usize {
+        if let Some(w) = self.set_lines(set).iter().position(|l| !l.valid) {
+            return w;
+        }
+        let meta: Vec<(u64, u64)> = self
+            .set_lines(set)
+            .iter()
+            .map(|l| (l.last_touch, l.filled_at))
+            .collect();
+        self.picker.pick(&meta, &self.plru[set as usize])
+    }
+
+    /// Evict `way` of `set` if valid, emitting a write-back when dirty.
+    fn evict(&mut self, set: u64, way: usize, out: &mut Vec<BelowRequest>, flush: bool) {
+        let idx = self.line_index(set, way);
+        let line = self.lines[idx];
+        if !line.valid {
+            return;
+        }
+        let dirty = line.dirty_mask & line.valid_mask;
+        if dirty != 0 {
+            let addr = self.cfg.addr_of(set, line.tag);
+            let bytes = match self.cfg.write_allocate() {
+                // Word-granular memory writes under write-validate.
+                WriteAllocate::Validate => u64::from(dirty.count_ones()) * 4,
+                // Whole-block write-back otherwise.
+                _ => self.cfg.block_size(),
+            };
+            out.push(BelowRequest {
+                addr,
+                bytes,
+                kind: BelowKind::Writeback,
+            });
+            if flush {
+                self.stats.bytes_flushed += bytes;
+            } else {
+                self.stats.bytes_written_back += bytes;
+            }
+        }
+        self.lines[idx] = Line::default();
+    }
+
+    /// Fill `way` of `set` with `tag`; the caller sets masks afterwards.
+    fn fill(&mut self, set: u64, way: usize, tag: u64, referenced: bool) {
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.line_index(set, way);
+        self.lines[idx] = Line {
+            valid: true,
+            tag,
+            valid_mask: 0,
+            dirty_mask: 0,
+            referenced,
+            last_touch: clock,
+            filled_at: clock,
+        };
+        let ways = self.cfg.ways() as usize;
+        if ways.is_power_of_two() && ways <= 64 {
+            self.plru[set as usize].touch(way, ways);
+        }
+    }
+
+    /// Probe for a full-validity hit without any miss handling: touches
+    /// the line and sets dirty bits on writes. Used by [`VictimCache`].
+    ///
+    /// [`VictimCache`]: crate::VictimCache
+    pub(crate) fn probe_touch(&mut self, r: MemRef) -> bool {
+        let set = self.cfg.set_of(r.addr);
+        let tag = self.cfg.tag_of(r.addr);
+        let need = self.word_mask(r);
+        if let Some(way) = self.find(set, tag) {
+            let idx = self.line_index(set, way);
+            if r.kind.is_write() {
+                self.lines[idx].valid_mask |= need;
+                self.lines[idx].dirty_mask |= need;
+                self.lines[idx].referenced = true;
+                self.touch(set, way);
+                return true;
+            }
+            if self.lines[idx].valid_mask & need == need {
+                self.lines[idx].referenced = true;
+                self.touch(set, way);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Install a block with the given masks, returning the displaced
+    /// line's `(block_addr, dirty_word_mask)` if one was evicted. No
+    /// traffic is counted — the caller owns the accounting. Used by
+    /// [`VictimCache`](crate::VictimCache).
+    pub(crate) fn swap_in(
+        &mut self,
+        block_addr: u64,
+        valid_mask: u64,
+        dirty_mask: u64,
+    ) -> Option<(u64, u64)> {
+        let set = self.cfg.set_of(block_addr);
+        let tag = self.cfg.tag_of(block_addr);
+        debug_assert!(self.find(set, tag).is_none(), "block already resident");
+        let way = self.pick_victim(set);
+        let idx = self.line_index(set, way);
+        let old = self.lines[idx];
+        let displaced = if old.valid {
+            Some((
+                self.cfg.addr_of(set, old.tag),
+                old.dirty_mask & old.valid_mask,
+            ))
+        } else {
+            None
+        };
+        self.fill(set, way, tag, true);
+        let idx = self.line_index(set, way);
+        self.lines[idx].valid_mask = valid_mask;
+        self.lines[idx].dirty_mask = dirty_mask;
+        displaced
+    }
+
+    /// Drain all resident lines as `(block_addr, dirty_word_mask)` pairs
+    /// without counting traffic. Used by
+    /// [`VictimCache`](crate::VictimCache) at flush time.
+    pub(crate) fn drain_lines(&mut self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for set in 0..self.cfg.num_sets() {
+            for way in 0..self.cfg.ways() as usize {
+                let idx = self.line_index(set, way);
+                let line = self.lines[idx];
+                if line.valid {
+                    out.push((
+                        self.cfg.addr_of(set, line.tag),
+                        line.dirty_mask & line.valid_mask,
+                    ));
+                    self.lines[idx] = Line::default();
+                }
+            }
+        }
+        out
+    }
+
+    /// Word-mask (within a block) covered by `r`.
+    pub(crate) fn word_mask(&self, r: MemRef) -> u64 {
+        let block = self.cfg.block_size();
+        let off = r.addr % block;
+        let first = off / 4;
+        let last = (off + u64::from(r.size).max(1) - 1) / 4;
+        let count = last - first + 1;
+        let ones = if count >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << count) - 1
+        };
+        ones << first
+    }
+
+    /// Issue a tagged prefetch of the block after `block_addr`.
+    fn prefetch_next(&mut self, block_addr: u64, out: &mut Vec<BelowRequest>) {
+        let next = block_addr + self.cfg.block_size();
+        let set = self.cfg.set_of(next);
+        let tag = self.cfg.tag_of(next);
+        if self.find(set, tag).is_some() {
+            return;
+        }
+        let way = self.pick_victim(set);
+        self.evict(set, way, out, false);
+        self.fill(set, way, tag, false);
+        let idx = self.line_index(set, way);
+        self.lines[idx].valid_mask = self.full_mask;
+        out.push(BelowRequest {
+            addr: next,
+            bytes: self.cfg.block_size(),
+            kind: BelowKind::PrefetchFetch,
+        });
+        self.stats.bytes_prefetched += self.cfg.block_size();
+        self.stats.prefetch_fills += 1;
+    }
+
+    /// Present one access; splits block-straddling references.
+    ///
+    /// Returns the combined outcome (`hit` is true only if *all* pieces
+    /// hit).
+    pub fn access(&mut self, r: MemRef) -> AccessOutcome {
+        if r.fits_in_block(self.cfg.block_size()) {
+            return self.access_within_block(r);
+        }
+        // Split QPT-style into per-block pieces.
+        let block = self.cfg.block_size();
+        let mut outcome = AccessOutcome {
+            hit: true,
+            below: Vec::new(),
+        };
+        let mut addr = r.addr;
+        let end = r.addr + u64::from(r.size);
+        while addr < end {
+            let block_end = (addr / block + 1) * block;
+            let piece = (block_end.min(end) - addr) as u16;
+            let sub = MemRef {
+                addr,
+                size: piece,
+                kind: r.kind,
+            };
+            let o = self.access_within_block(sub);
+            outcome.hit &= o.hit;
+            outcome.below.extend_from_slice(&o.below);
+            addr += u64::from(piece);
+        }
+        outcome
+    }
+
+    fn access_within_block(&mut self, r: MemRef) -> AccessOutcome {
+        debug_assert!(r.fits_in_block(self.cfg.block_size()));
+        self.stats.accesses += 1;
+        self.stats.request_bytes += u64::from(r.size);
+        match r.kind {
+            AccessKind::Read => {
+                self.stats.reads += 1;
+                self.read(r)
+            }
+            AccessKind::Write => {
+                self.stats.writes += 1;
+                self.write(r)
+            }
+        }
+    }
+
+    fn read(&mut self, r: MemRef) -> AccessOutcome {
+        let set = self.cfg.set_of(r.addr);
+        let tag = self.cfg.tag_of(r.addr);
+        let need = self.word_mask(r);
+        let block_addr = r.addr & !(self.cfg.block_size() - 1);
+        let mut below = Vec::new();
+
+        if let Some(way) = self.find(set, tag) {
+            let idx = self.line_index(set, way);
+            if self.lines[idx].valid_mask & need == need {
+                // Full hit.
+                self.stats.read_hits += 1;
+                self.touch(set, way);
+                let first_use = !self.lines[idx].referenced;
+                self.lines[idx].referenced = true;
+                if self.cfg.tagged_prefetch() && first_use {
+                    self.prefetch_next(block_addr, &mut below);
+                }
+                return AccessOutcome { hit: true, below };
+            }
+            // Partial-validity miss (write-validate line): fetch the
+            // missing words of the block.
+            self.stats.read_misses += 1;
+            let missing = self.full_mask & !self.lines[idx].valid_mask;
+            let bytes = u64::from(missing.count_ones()) * 4;
+            below.push(BelowRequest {
+                addr: block_addr,
+                bytes,
+                kind: BelowKind::Fetch,
+            });
+            self.stats.bytes_fetched += bytes;
+            self.lines[idx].valid_mask = self.full_mask;
+            self.lines[idx].referenced = true;
+            self.touch(set, way);
+            if self.cfg.tagged_prefetch() {
+                self.prefetch_next(block_addr, &mut below);
+            }
+            return AccessOutcome { hit: false, below };
+        }
+
+        // Full miss: evict, fetch, fill.
+        self.stats.read_misses += 1;
+        let way = self.pick_victim(set);
+        self.evict(set, way, &mut below, false);
+        self.fill(set, way, tag, true);
+        let idx = self.line_index(set, way);
+        self.lines[idx].valid_mask = self.full_mask;
+        below.push(BelowRequest {
+            addr: block_addr,
+            bytes: self.cfg.block_size(),
+            kind: BelowKind::Fetch,
+        });
+        self.stats.bytes_fetched += self.cfg.block_size();
+        if self.cfg.tagged_prefetch() {
+            self.prefetch_next(block_addr, &mut below);
+        }
+        AccessOutcome { hit: false, below }
+    }
+
+    fn write(&mut self, r: MemRef) -> AccessOutcome {
+        let set = self.cfg.set_of(r.addr);
+        let tag = self.cfg.tag_of(r.addr);
+        let need = self.word_mask(r);
+        let block_addr = r.addr & !(self.cfg.block_size() - 1);
+        let mut below = Vec::new();
+
+        if let Some(way) = self.find(set, tag) {
+            // Write hit (line presence suffices; we overwrite words).
+            self.stats.write_hits += 1;
+            let idx = self.line_index(set, way);
+            self.lines[idx].valid_mask |= need;
+            self.lines[idx].referenced = true;
+            match self.cfg.write_policy() {
+                WritePolicy::WriteBack => {
+                    self.lines[idx].dirty_mask |= need;
+                }
+                WritePolicy::WriteThrough => {
+                    below.push(BelowRequest {
+                        addr: r.addr,
+                        bytes: u64::from(r.size),
+                        kind: BelowKind::WriteThrough,
+                    });
+                    self.stats.bytes_written_through += u64::from(r.size);
+                }
+            }
+            self.touch(set, way);
+            return AccessOutcome { hit: true, below };
+        }
+
+        // Write miss.
+        self.stats.write_misses += 1;
+        match self.cfg.write_allocate() {
+            WriteAllocate::NoAllocate => {
+                below.push(BelowRequest {
+                    addr: r.addr,
+                    bytes: u64::from(r.size),
+                    kind: BelowKind::WriteThrough,
+                });
+                self.stats.bytes_written_through += u64::from(r.size);
+            }
+            WriteAllocate::Allocate => {
+                let way = self.pick_victim(set);
+                self.evict(set, way, &mut below, false);
+                self.fill(set, way, tag, true);
+                below.push(BelowRequest {
+                    addr: block_addr,
+                    bytes: self.cfg.block_size(),
+                    kind: BelowKind::Fetch,
+                });
+                self.stats.bytes_fetched += self.cfg.block_size();
+                let idx = self.line_index(set, way);
+                self.lines[idx].valid_mask = self.full_mask;
+                match self.cfg.write_policy() {
+                    WritePolicy::WriteBack => self.lines[idx].dirty_mask |= need,
+                    WritePolicy::WriteThrough => {
+                        below.push(BelowRequest {
+                            addr: r.addr,
+                            bytes: u64::from(r.size),
+                            kind: BelowKind::WriteThrough,
+                        });
+                        self.stats.bytes_written_through += u64::from(r.size);
+                    }
+                }
+            }
+            WriteAllocate::Validate => {
+                // Allocate without fetching; only written words valid.
+                let way = self.pick_victim(set);
+                self.evict(set, way, &mut below, false);
+                self.fill(set, way, tag, true);
+                let idx = self.line_index(set, way);
+                self.lines[idx].valid_mask = need;
+                self.lines[idx].dirty_mask = need;
+            }
+        }
+        AccessOutcome { hit: false, below }
+    }
+
+    /// Write back all dirty data (end-of-run flush, counted separately as
+    /// `bytes_flushed`), empty the cache, and return the final statistics.
+    ///
+    /// The emitted write-backs are also returned for hierarchy plumbing.
+    pub fn flush(&mut self) -> CacheStats {
+        self.flush_collect().1
+    }
+
+    /// Like [`Cache::flush`], also returning the emitted write-backs.
+    pub fn flush_collect(&mut self) -> (Vec<BelowRequest>, CacheStats) {
+        let mut out = Vec::new();
+        for set in 0..self.cfg.num_sets() {
+            for way in 0..self.cfg.ways() as usize {
+                self.evict(set, way, &mut out, true);
+            }
+        }
+        (out, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Associativity, ReplacementPolicy};
+
+    fn cfg(size: u64, block: u64) -> CacheConfig {
+        CacheConfig::builder(size, block).build().unwrap()
+    }
+
+    #[test]
+    fn cold_miss_then_spatial_hit() {
+        let mut c = Cache::new(cfg(256, 32));
+        let o = c.access(MemRef::read(0, 4));
+        assert!(!o.hit);
+        assert_eq!(o.below().len(), 1);
+        assert_eq!(o.below()[0].bytes, 32);
+        assert!(o.below()[0].is_fetch());
+        assert!(c.access(MemRef::read(28, 4)).hit);
+        assert_eq!(c.stats().read_hits, 1);
+        assert_eq!(c.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn conflict_misses_in_direct_mapped() {
+        // 256-byte direct-mapped, 32B blocks: addresses 0 and 256 conflict.
+        let mut c = Cache::new(cfg(256, 32));
+        assert!(!c.access(MemRef::read(0, 4)).hit);
+        assert!(!c.access(MemRef::read(256, 4)).hit);
+        assert!(!c.access(MemRef::read(0, 4)).hit, "evicted by conflict");
+        // Same pattern in a 2-way cache of the same size hits.
+        let cfg2 = CacheConfig::builder(256, 32)
+            .associativity(Associativity::Ways(2))
+            .build()
+            .unwrap();
+        let mut c2 = Cache::new(cfg2);
+        c2.access(MemRef::read(0, 4));
+        c2.access(MemRef::read(256, 4));
+        assert!(c2.access(MemRef::read(0, 4)).hit);
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction_and_flush() {
+        let mut c = Cache::new(cfg(64, 32)); // two blocks, direct-mapped
+        c.access(MemRef::write(0, 4)); // miss: fetch 32, dirty
+        assert_eq!(c.stats().bytes_fetched, 32);
+        c.access(MemRef::read(64, 4)); // conflicts with block 0 (set 0)
+        assert_eq!(c.stats().bytes_written_back, 32, "dirty eviction");
+        c.access(MemRef::write(96, 4)); // set 1, dirty
+        let stats = c.flush();
+        assert_eq!(stats.bytes_flushed, 32, "flush writes back remaining dirty");
+    }
+
+    #[test]
+    fn write_through_counts_every_write() {
+        let c_cfg = CacheConfig::builder(256, 32)
+            .write_policy(WritePolicy::WriteThrough)
+            .build()
+            .unwrap();
+        let mut c = Cache::new(c_cfg);
+        c.access(MemRef::write(0, 4)); // miss: allocate (fetch 32) + through 4
+        c.access(MemRef::write(0, 4)); // hit: through 4
+        assert_eq!(c.stats().bytes_written_through, 8);
+        assert_eq!(c.stats().bytes_fetched, 32);
+        let s = c.flush();
+        assert_eq!(s.bytes_flushed, 0, "write-through lines are never dirty");
+    }
+
+    #[test]
+    fn no_allocate_write_miss_bypasses() {
+        let c_cfg = CacheConfig::builder(256, 32)
+            .write_allocate(WriteAllocate::NoAllocate)
+            .build()
+            .unwrap();
+        let mut c = Cache::new(c_cfg);
+        let o = c.access(MemRef::write(0, 4));
+        assert!(!o.hit);
+        assert_eq!(o.below()[0].kind, BelowKind::WriteThrough);
+        assert_eq!(o.below()[0].bytes, 4);
+        assert!(!c.is_resident(0));
+    }
+
+    #[test]
+    fn write_validate_allocates_without_fetch() {
+        let c_cfg = CacheConfig::builder(256, 32)
+            .write_allocate(WriteAllocate::Validate)
+            .build()
+            .unwrap();
+        let mut c = Cache::new(c_cfg);
+        let o = c.access(MemRef::write(0, 4));
+        assert!(!o.hit);
+        assert_eq!(o.bytes_below(), 0, "no fetch on write-validate miss");
+        assert!(c.is_resident(0));
+        // Reading the written word hits; reading another word of the block
+        // is a partial miss fetching only the 7 missing words.
+        assert!(c.access(MemRef::read(0, 4)).hit);
+        let o = c.access(MemRef::read(8, 4));
+        assert!(!o.hit);
+        assert_eq!(o.below()[0].bytes, 28);
+        // Flush writes back only the dirty word.
+        let s = c.flush();
+        assert_eq!(s.bytes_flushed, 4);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let c_cfg = CacheConfig::builder(128, 32)
+            .associativity(Associativity::Full)
+            .build()
+            .unwrap();
+        let mut c = Cache::new(c_cfg); // 4 blocks FA LRU
+        for b in 0..4u64 {
+            c.access(MemRef::read(b * 32, 4));
+        }
+        c.access(MemRef::read(0, 4)); // touch block 0: LRU is now block 1
+        c.access(MemRef::read(4 * 32, 4)); // evicts block 1
+        assert!(c.is_resident(0));
+        assert!(!c.is_resident(32));
+        assert!(c.is_resident(64));
+    }
+
+    #[test]
+    fn fifo_eviction_ignores_touches() {
+        let c_cfg = CacheConfig::builder(128, 32)
+            .associativity(Associativity::Full)
+            .replacement(ReplacementPolicy::Fifo)
+            .build()
+            .unwrap();
+        let mut c = Cache::new(c_cfg);
+        for b in 0..4u64 {
+            c.access(MemRef::read(b * 32, 4));
+        }
+        c.access(MemRef::read(0, 4)); // touch does not matter for FIFO
+        c.access(MemRef::read(4 * 32, 4)); // evicts block 0 (first in)
+        assert!(!c.is_resident(0));
+        assert!(c.is_resident(32));
+    }
+
+    #[test]
+    fn straddling_access_splits() {
+        let mut c = Cache::new(cfg(256, 32));
+        let o = c.access(MemRef::read(30, 4)); // straddles blocks 0 and 1
+        assert!(!o.hit);
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().bytes_fetched, 64);
+        assert_eq!(c.stats().request_bytes, 4);
+    }
+
+    #[test]
+    fn tagged_prefetch_fetches_next_block() {
+        let c_cfg = CacheConfig::builder(256, 32)
+            .tagged_prefetch(true)
+            .build()
+            .unwrap();
+        let mut c = Cache::new(c_cfg);
+        let o = c.access(MemRef::read(0, 4)); // miss: fetch 0, prefetch 32
+        assert!(!o.hit);
+        assert_eq!(c.stats().bytes_prefetched, 32);
+        assert!(c.is_resident(32));
+        // First use of the prefetched block triggers the next prefetch.
+        let o = c.access(MemRef::read(32, 4));
+        assert!(o.hit);
+        assert!(c.is_resident(64));
+        assert_eq!(c.stats().prefetch_fills, 2);
+        // Re-touching an already-referenced block does not prefetch again.
+        c.access(MemRef::read(32, 4));
+        assert_eq!(c.stats().prefetch_fills, 2);
+    }
+
+    #[test]
+    fn traffic_equals_sum_of_outcome_bytes() {
+        let mut c = Cache::new(cfg(128, 32));
+        let refs = [
+            MemRef::read(0, 4),
+            MemRef::write(128, 4),
+            MemRef::read(256, 4),
+            MemRef::write(0, 4),
+            MemRef::read(128, 4),
+        ];
+        let mut total = 0;
+        for r in refs {
+            total += c.access(r).bytes_below();
+        }
+        let (flushed, stats) = c.flush_collect();
+        total += flushed.iter().map(|b| b.bytes).sum::<u64>();
+        assert_eq!(total, stats.traffic_below());
+    }
+
+    #[test]
+    fn small_cache_can_exceed_unity_traffic_ratio() {
+        // Single-word random-ish touches with 32B blocks: each miss hauls
+        // 32 bytes for a 4-byte request → R approaches 8.
+        let mut c = Cache::new(cfg(1024, 32));
+        for i in 0..4096u64 {
+            c.access(MemRef::read((i * 4096 + i * 4) % (1 << 22), 4));
+        }
+        let s = c.flush();
+        assert!(s.traffic_ratio().unwrap() > 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-cache event and traffic counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a [`Cache`](crate::Cache) over a run.
+///
+/// All byte counters measure traffic *below* the cache (toward memory),
+/// per the paper's §4.1 methodology: demand fetches, prefetch fetches,
+/// write-backs (including those forced by the end-of-run flush), and
+/// write-throughs. Request (address) traffic is not counted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total accesses presented to the cache.
+    pub accesses: u64,
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Read accesses that hit.
+    pub read_hits: u64,
+    /// Read accesses that missed (including partial-validity misses).
+    pub read_misses: u64,
+    /// Write accesses that hit.
+    pub write_hits: u64,
+    /// Write accesses that missed.
+    pub write_misses: u64,
+    /// Bytes fetched from below on demand misses.
+    pub bytes_fetched: u64,
+    /// Bytes fetched from below by the prefetcher.
+    pub bytes_prefetched: u64,
+    /// Bytes written back on dirty evictions.
+    pub bytes_written_back: u64,
+    /// Bytes written through (write-through hits/misses, no-allocate
+    /// write misses).
+    pub bytes_written_through: u64,
+    /// Bytes written back by [`Cache::flush`](crate::Cache::flush).
+    pub bytes_flushed: u64,
+    /// Prefetch fills issued.
+    pub prefetch_fills: u64,
+    /// Request bytes presented from above (loads + stores × size).
+    pub request_bytes: u64,
+}
+
+impl CacheStats {
+    /// Read plus write misses.
+    pub fn demand_misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Read plus write hits.
+    pub fn demand_hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Demand miss ratio (0.0 for an idle cache).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.demand_misses() as f64 / self.accesses as f64
+        }
+    }
+
+    /// Total bytes moved below the cache: fetches + prefetches +
+    /// write-backs + write-throughs + flush write-backs.
+    pub fn traffic_below(&self) -> u64 {
+        self.bytes_fetched
+            + self.bytes_prefetched
+            + self.bytes_written_back
+            + self.bytes_written_through
+            + self.bytes_flushed
+    }
+
+    /// Traffic ratio `R` (Eq. 4): traffic below divided by request bytes
+    /// from above. Returns `None` when no requests were made.
+    pub fn traffic_ratio(&self) -> Option<f64> {
+        if self.request_bytes == 0 {
+            None
+        } else {
+            Some(self.traffic_below() as f64 / self.request_bytes as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let s = CacheStats {
+            accesses: 10,
+            reads: 6,
+            writes: 4,
+            read_hits: 4,
+            read_misses: 2,
+            write_hits: 3,
+            write_misses: 1,
+            bytes_fetched: 96,
+            bytes_prefetched: 32,
+            bytes_written_back: 64,
+            bytes_written_through: 8,
+            bytes_flushed: 32,
+            prefetch_fills: 1,
+            request_bytes: 40,
+        };
+        assert_eq!(s.demand_misses(), 3);
+        assert_eq!(s.demand_hits(), 7);
+        assert!((s.miss_ratio() - 0.3).abs() < 1e-12);
+        assert_eq!(s.traffic_below(), 232);
+        assert!((s.traffic_ratio().unwrap() - 232.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_cache_ratios() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.traffic_ratio(), None);
+    }
+}

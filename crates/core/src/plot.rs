@@ -1,0 +1,252 @@
+//! ASCII scatter/line plots for figure-shaped output.
+//!
+//! Figures 1 and 4 of the paper are log-scale scatter plots; the `repro`
+//! binary renders them as monospace charts so the curves' shapes (who is
+//! above whom, where the knees fall) are visible without leaving the
+//! terminal.
+
+/// One plotted series: marker, label, points.
+type Series = (char, String, Vec<(f64, f64)>);
+
+/// A scatter plot with optional log axes.
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    title: String,
+    width: usize,
+    height: usize,
+    log_x: bool,
+    log_y: bool,
+    series: Vec<Series>,
+}
+
+impl AsciiPlot {
+    /// A new plot of `width × height` character cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 16` or `height < 6`.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 16 && height >= 6, "plot too small to render");
+        Self {
+            title: title.into(),
+            width,
+            height,
+            log_x: false,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Use log₁₀ scales on both axes (the paper's Figure 4).
+    pub fn log_log(mut self) -> Self {
+        self.log_x = true;
+        self.log_y = true;
+        self
+    }
+
+    /// Use a log₁₀ y-axis with a linear x-axis (the paper's Figure 1).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Add a series drawn with `marker`.
+    ///
+    /// Points with non-positive coordinates are dropped on log axes.
+    pub fn series(
+        mut self,
+        marker: char,
+        label: impl Into<String>,
+        points: Vec<(f64, f64)>,
+    ) -> Self {
+        self.series.push((marker, label.into(), points));
+        self
+    }
+
+    fn tx(&self, v: f64) -> f64 {
+        if self.log_x {
+            v.log10()
+        } else {
+            v
+        }
+    }
+
+    fn ty(&self, v: f64) -> f64 {
+        if self.log_y {
+            v.log10()
+        } else {
+            v
+        }
+    }
+
+    /// Render to a string (title, canvas with axes, legend).
+    pub fn render(&self) -> String {
+        let pts: Vec<(usize, f64, f64)> = self
+            .series
+            .iter()
+            .enumerate()
+            .flat_map(|(i, (_, _, ps))| {
+                let (log_x, log_y) = (self.log_x, self.log_y);
+                ps.iter()
+                    .filter(move |(x, y)| (!log_x || *x > 0.0) && (!log_y || *y > 0.0))
+                    .map(move |&(x, y)| (i, x, y))
+            })
+            .collect();
+        if pts.is_empty() {
+            return format!("{}\n(no data)\n", self.title);
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(_, x, y) in &pts {
+            let (x, y) = (self.tx(x), self.ty(y));
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for &(si, x, y) in &pts {
+            let fx = (self.tx(x) - x0) / (x1 - x0);
+            let fy = (self.ty(y) - y0) / (y1 - y0);
+            let cx = (fx * (self.width - 1) as f64).round() as usize;
+            let cy = (self.height - 1) - (fy * (self.height - 1) as f64).round() as usize;
+            let marker = self.series[si].0;
+            // Later series overwrite earlier ones where they collide.
+            grid[cy][cx] = marker;
+        }
+
+        let ylab = |v: f64| -> String {
+            let raw = if self.log_y { 10f64.powf(v) } else { v };
+            format_si(raw)
+        };
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        for (row, line) in grid.iter().enumerate() {
+            let frac = 1.0 - row as f64 / (self.height - 1) as f64;
+            let yv = y0 + frac * (y1 - y0);
+            let label = if row == 0 || row == self.height - 1 || row == self.height / 2 {
+                format!("{:>8} |", ylab(yv))
+            } else {
+                format!("{:>8} |", "")
+            };
+            out.push_str(&label);
+            out.extend(line.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(self.width)));
+        let xl = if self.log_x { 10f64.powf(x0) } else { x0 };
+        let xr = if self.log_x { 10f64.powf(x1) } else { x1 };
+        out.push_str(&format!(
+            "{:>10}{}{:>width$}\n",
+            format_si(xl),
+            "",
+            format_si(xr),
+            width = self.width - format_si(xl).len().min(self.width)
+        ));
+        for (marker, label, _) in &self.series {
+            out.push_str(&format!("  {marker} {label}\n"));
+        }
+        out
+    }
+}
+
+/// Compact SI-ish formatting: 1.5K, 2M, 0.25.
+fn format_si(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e9 {
+        format!("{:.1}G", v / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if a >= 1e4 {
+        format!("{:.1}K", v / 1e3)
+    } else if a >= 10.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markers_and_legend() {
+        let p = AsciiPlot::new("T", 40, 10)
+            .series('o', "up", vec![(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)])
+            .series('x', "down", vec![(1.0, 3.0), (3.0, 1.0)]);
+        let s = p.render();
+        assert!(s.contains('o'));
+        assert!(s.contains('x'));
+        assert!(s.contains("up"));
+        assert!(s.contains("down"));
+        assert!(s.lines().count() >= 13);
+    }
+
+    #[test]
+    fn monotone_series_renders_monotone() {
+        let p = AsciiPlot::new("T", 40, 12).series(
+            '*',
+            "line",
+            (1..=10).map(|i| (i as f64, i as f64)).collect(),
+        );
+        let s = p.render();
+        // Row of the first '*' per column must be non-increasing in
+        // column order (y grows with x).
+        let rows: Vec<&str> = s.lines().skip(1).take(12).collect();
+        let mut last_row_for_col = None;
+        for col in 0..40 {
+            for (ri, row) in rows.iter().enumerate() {
+                let chars: Vec<char> = row.chars().collect();
+                let off = 10 + col; // label prefix is 10 chars
+                if off < chars.len() && chars[off] == '*' {
+                    if let Some(last) = last_row_for_col {
+                        assert!(ri <= last, "series must rise left-to-right");
+                    }
+                    last_row_for_col = Some(ri);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_log_drops_non_positive_points() {
+        let p = AsciiPlot::new("T", 30, 8).log_log().series(
+            '#',
+            "s",
+            vec![(0.0, 5.0), (10.0, 100.0), (100.0, 1000.0)],
+        );
+        let s = p.render();
+        assert_eq!(s.matches('#').count(), 2 + 1, "two points + legend marker");
+    }
+
+    #[test]
+    fn empty_plot_says_so() {
+        let p = AsciiPlot::new("T", 30, 8);
+        assert!(p.render().contains("no data"));
+    }
+
+    #[test]
+    fn si_formatting() {
+        assert_eq!(format_si(1536.0), "1536");
+        assert_eq!(format_si(15360.0), "15.4K");
+        assert_eq!(format_si(1978.0), "1978", "years print plainly");
+        assert_eq!(format_si(2_000_000.0), "2.0M");
+        assert_eq!(format_si(0.25), "0.25");
+        assert_eq!(format_si(64.0), "64");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_tiny_canvas() {
+        let _ = AsciiPlot::new("T", 4, 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Paper-style aligned text tables.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple column-aligned table with a title, rendered as monospace
+/// text (the shape of the paper's tables).
+///
+/// # Example
+///
+/// ```
+/// use membw_core::Table;
+///
+/// let mut t = Table::new("Table X: demo", vec!["Trace".into(), "1KB".into()]);
+/// t.row(vec!["compress".into(), "3.03".into()]);
+/// let s = t.render();
+/// assert!(s.contains("compress"));
+/// assert!(s.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Self {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match the header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Title text.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The rows, for programmatic inspection.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Render to aligned text: title, rule, header, rule, rows.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let rule = "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1));
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&rule);
+        out.push('\n');
+        out.push_str(&line(&self.headers));
+        out.push('\n');
+        out.push_str(&rule);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a byte count the way the paper's column heads do (1KB … 2MB).
+pub fn size_label(bytes: u64) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{}MB", bytes / (1024 * 1024))
+    } else if bytes >= 1024 {
+        format!("{}KB", bytes / 1024)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("T", vec!["a".into(), "bbbb".into()]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Header and data lines are equal width.
+        assert_eq!(lines[2].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("T", vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(64), "64B");
+        assert_eq!(size_label(1024), "1KB");
+        assert_eq!(size_label(64 * 1024), "64KB");
+        assert_eq!(size_label(2 * 1024 * 1024), "2MB");
+    }
+
+    #[test]
+    fn accessors() {
+        let mut t = Table::new("T", vec!["a".into()]);
+        t.row(vec!["1".into()]);
+        assert_eq!(t.title(), "T");
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.rows()[0][0], "1");
+    }
+}

@@ -1,0 +1,124 @@
+//! DRAM bank sensitivity (extension): how many banks before "infinite"?
+//!
+//! Table 4 assumes infinite memory banks, and §2.3 argues DRAM is
+//! "unlikely to become a long-term performance bottleneck". This
+//! experiment swaps finite banked parts (with open-page row buffers)
+//! into experiment F and measures how quickly execution time converges
+//! to the infinite-bank baseline.
+
+use crate::report::Table;
+use membw_sim::{decompose, DramConfig, Experiment, MachineSpec};
+use membw_trace::Workload;
+use membw_workloads::{Swm, Vortex};
+use serde::{Deserialize, Serialize};
+
+/// One (workload, banks) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DramCell {
+    /// Workload name.
+    pub workload: String,
+    /// Bank count (0 = infinite).
+    pub banks: u32,
+    /// Full-system cycles.
+    pub cycles: u64,
+    /// Slowdown vs. the infinite-bank run.
+    pub slowdown: f64,
+    /// Bandwidth-stall fraction.
+    pub f_b: f64,
+}
+
+/// Bank counts swept (0 = the paper's infinite).
+pub const BANK_SWEEP: [u32; 5] = [1, 2, 4, 16, 0];
+
+/// Run the bank sweep on experiment F.
+pub fn run() -> (Vec<DramCell>, Table) {
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(Swm::new(64, 64, 2)),
+        Box::new(Vortex::new(2048, 4000, 7)),
+    ];
+    let mut cells = Vec::new();
+    for w in &workloads {
+        let mut infinite_cycles = None;
+        // Measure infinite first so slowdowns are relative to it.
+        let mut order = BANK_SWEEP;
+        order.reverse();
+        let mut per_w = Vec::new();
+        for banks in order {
+            let mut spec = MachineSpec::spec92(Experiment::F);
+            let base = spec.mem.dram.access_cycles;
+            spec.mem.dram = if banks == 0 {
+                DramConfig::infinite_banks(base)
+            } else {
+                DramConfig::banked(banks, base, base / 3)
+            };
+            let d = decompose(w, &spec);
+            if banks == 0 {
+                infinite_cycles = Some(d.t);
+            }
+            per_w.push((banks, d));
+        }
+        let baseline = infinite_cycles.expect("infinite run measured") as f64;
+        for (banks, d) in per_w {
+            cells.push(DramCell {
+                workload: w.name().to_string(),
+                banks,
+                cycles: d.t,
+                slowdown: d.t as f64 / baseline,
+                f_b: d.f_b,
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        "DRAM bank sensitivity (experiment F; slowdown vs infinite banks)",
+        ["Workload", "Banks", "Cycles", "Slowdown", "f_B"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for c in &cells {
+        table.row(vec![
+            c.workload.clone(),
+            if c.banks == 0 {
+                "inf".to_string()
+            } else {
+                c.banks.to_string()
+            },
+            c.cycles.to_string(),
+            format!("{:.2}x", c.slowdown),
+            format!("{:.2}", c.f_b),
+        ]);
+    }
+    (cells, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn few_banks_slow_things_down_and_many_converge() {
+        let (cells, table) = run();
+        assert_eq!(table.num_rows(), 2 * BANK_SWEEP.len());
+        for w in ["swm", "vortex"] {
+            let get = |banks: u32| {
+                cells
+                    .iter()
+                    .find(|c| c.workload == w && c.banks == banks)
+                    .expect("cell")
+            };
+            assert!(
+                get(1).slowdown >= get(16).slowdown,
+                "{w}: one bank cannot beat sixteen"
+            );
+            assert!(
+                get(16).slowdown < 1.35,
+                "{w}: 16 banks should approach infinite, got {}",
+                get(16).slowdown
+            );
+            assert!(
+                (get(0).slowdown - 1.0).abs() < 1e-9,
+                "infinite is its own baseline"
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! §4.3: the ten-year package extrapolation.
+
+use crate::report::Table;
+use membw_analytic::extrapolate::{paper_projection, project, Projection};
+
+/// Regenerate the §4.3 projection (1996 → 2006 and a few mid-points).
+pub fn run() -> (Projection, Table) {
+    let final_proj = paper_projection();
+    let mut table = Table::new(
+        "Section 4.3: extrapolated package requirements (16%/yr pins, 60%/yr performance)",
+        ["Year", "Pins", "Perf multiple", "BW/pin multiple"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for years in [0u32, 2, 4, 6, 8, 10] {
+        let p = project(600.0, 0.16, 0.60, years);
+        table.row(vec![
+            (1996 + years).to_string(),
+            format!("{:.0}", p.pins),
+            format!("{:.1}x", p.performance_multiple),
+            format!("{:.1}x", p.per_pin_bandwidth_multiple),
+        ]);
+    }
+    (final_proj, table)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reproduces_the_25x_claim() {
+        let (p, t) = super::run();
+        assert!((20.0..30.0).contains(&p.per_pin_bandwidth_multiple));
+        assert!((2000.0..3500.0).contains(&p.pins));
+        assert!(t.render().contains("2006"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 1: physical microprocessor trends (pins, MIPS/pin,
+//! MIPS/(pin MB/s)) with fitted growth rates.
+
+use crate::report::Table;
+use membw_analytic::pins::{dataset, fit_growth, Processor, Series};
+use serde::{Deserialize, Serialize};
+
+/// The three fitted growth rates of Figure 1.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fig1Result {
+    /// Annual pin-count growth (the paper's dotted line: ≈ 0.16).
+    pub pin_growth: f64,
+    /// Annual MIPS-per-pin growth (Figure 1b).
+    pub mips_per_pin_growth: f64,
+    /// Annual MIPS-per-bandwidth growth (Figure 1c).
+    pub mips_per_bandwidth_growth: f64,
+}
+
+/// Regenerate Figure 1: the dataset table plus the three trend fits.
+pub fn run() -> (Fig1Result, Table) {
+    let data = dataset();
+    let result = Fig1Result {
+        pin_growth: fit_growth(&data, Series::Pins),
+        mips_per_pin_growth: fit_growth(&data, Series::MipsPerPin),
+        mips_per_bandwidth_growth: fit_growth(&data, Series::MipsPerBandwidth),
+    };
+    let mut table = Table::new(
+        format!(
+            "Figure 1: physical trends (fits: pins {:+.1}%/yr, MIPS/pin {:+.1}%/yr, MIPS/(pin MB/s) {:+.1}%/yr)",
+            result.pin_growth * 100.0,
+            result.mips_per_pin_growth * 100.0,
+            result.mips_per_bandwidth_growth * 100.0
+        ),
+        ["Processor", "Year", "Pins", "MIPS", "MB/s", "MIPS/pin", "MIPS/(MB/s)"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let mut sorted: Vec<Processor> = data;
+    sorted.sort_by_key(|p| (p.year, p.pins));
+    for p in sorted {
+        table.row(vec![
+            p.name.to_string(),
+            p.year.to_string(),
+            p.pins.to_string(),
+            format!("{:.2}", p.mips),
+            format!("{:.0}", p.package_mb_s),
+            format!("{:.4}", p.mips_per_pin()),
+            format!("{:.4}", p.mips_per_bandwidth()),
+        ]);
+    }
+    (result, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trends_match_the_paper_qualitatively() {
+        let (r, t) = run();
+        assert!((0.10..0.22).contains(&r.pin_growth));
+        assert!(r.mips_per_pin_growth > r.pin_growth);
+        assert!(r.mips_per_bandwidth_growth > 0.0);
+        assert_eq!(t.num_rows(), 18);
+    }
+}

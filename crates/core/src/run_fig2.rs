@@ -1,0 +1,136 @@
+//! Figure 2: the two opposing technology trends, rendered from the
+//! models instead of the paper's "qualitative, not real data" sketch.
+//!
+//! * (a) processor bandwidth (words/s, growing at 60 %/yr) vs. off-chip
+//!   bandwidth (growing with pins at 16 %/yr) — gap (1);
+//! * (b) for a fixed program, computation stays constant while off-chip
+//!   traffic falls as on-chip memory grows (TMM's `1/√S` law) — gap (2).
+
+use crate::plot::AsciiPlot;
+use crate::report::Table;
+use membw_analytic::growth::Algorithm;
+use serde::{Deserialize, Serialize};
+
+/// One year's point on both panels.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fig2Point {
+    /// Years after the base year.
+    pub year: u32,
+    /// Processor operand demand, normalized to year 0.
+    pub processor_bandwidth: f64,
+    /// Off-chip (pin) bandwidth, normalized to year 0.
+    pub offchip_bandwidth: f64,
+    /// TMM off-chip traffic for a fixed N, normalized to year 0 (on-chip
+    /// memory assumed to double every ~2.3 years with density).
+    pub traffic: f64,
+    /// Gap (1) minus gap (2): positive = bandwidth pressure is winning.
+    pub pressure: f64,
+}
+
+/// Evaluate both panels over `years` years.
+pub fn run(years: u32) -> (Vec<Fig2Point>, Table, Vec<AsciiPlot>) {
+    let n = 4096.0; // fixed program size
+    let s0 = 16.0 * 1024.0; // base on-chip memory, elements
+    let mem_growth: f64 = 1.35; // on-chip memory per year (4x per ~4.6 yrs)
+    let base_traffic = Algorithm::Tmm.traffic(n, s0);
+    let mut points = Vec::new();
+    for year in 0..=years {
+        let proc = 1.60f64.powi(year as i32);
+        let pins = 1.16f64.powi(year as i32);
+        let s = s0 * mem_growth.powi(year as i32);
+        let traffic = Algorithm::Tmm.traffic(n, s) / base_traffic;
+        // Demand per unit of off-chip supply, net of traffic filtering.
+        let pressure = (proc * traffic) / pins;
+        points.push(Fig2Point {
+            year,
+            processor_bandwidth: proc,
+            offchip_bandwidth: pins,
+            traffic,
+            pressure,
+        });
+    }
+
+    let mut table = Table::new(
+        "Figure 2: processing vs bandwidth trends (normalized to year 0)",
+        [
+            "Year",
+            "Proc b/w",
+            "Off-chip b/w",
+            "Traffic (fixed N)",
+            "Net pressure",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for p in &points {
+        table.row(vec![
+            p.year.to_string(),
+            format!("{:.2}", p.processor_bandwidth),
+            format!("{:.2}", p.offchip_bandwidth),
+            format!("{:.2}", p.traffic),
+            format!("{:.2}", p.pressure),
+        ]);
+    }
+
+    let plot_a = AsciiPlot::new("Figure 2a: processor vs off-chip bandwidth (log y)", 56, 12)
+        .log_y()
+        .series(
+            'p',
+            "processor b/w",
+            points
+                .iter()
+                .map(|p| (f64::from(p.year), p.processor_bandwidth))
+                .collect(),
+        )
+        .series(
+            'o',
+            "off-chip b/w",
+            points
+                .iter()
+                .map(|p| (f64::from(p.year), p.offchip_bandwidth))
+                .collect(),
+        );
+    let plot_b = AsciiPlot::new(
+        "Figure 2b: fixed-program traffic as on-chip memory grows",
+        56,
+        12,
+    )
+    .series(
+        't',
+        "off-chip traffic",
+        points
+            .iter()
+            .map(|p| (f64::from(p.year), p.traffic))
+            .collect(),
+    );
+    (points, table, vec![plot_a, plot_b])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_one_outpaces_gap_two() {
+        // The §2.4 conclusion: processing-demand growth beats the traffic
+        // reduction bought by bigger on-chip memory, so net pressure on
+        // the pins rises.
+        let (points, table, plots) = run(10);
+        assert_eq!(points.len(), 11);
+        assert_eq!(table.num_rows(), 11);
+        assert_eq!(plots.len(), 2);
+        assert!(points[10].pressure > points[0].pressure * 3.0);
+        // Traffic itself falls (memory growth helps)...
+        assert!(points[10].traffic < points[0].traffic);
+        // ...but demand grows faster than pins supply.
+        assert!(points[10].processor_bandwidth / points[10].offchip_bandwidth > 10.0);
+    }
+
+    #[test]
+    fn plots_render() {
+        let (_, _, plots) = run(6);
+        for p in &plots {
+            assert!(p.render().lines().count() > 10);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Figure 3 + Table 6: execution-time decomposition across experiments
+//! A–F for both benchmark suites.
+
+use crate::report::Table;
+use membw_sim::{decompose, Decomposition, Experiment, MachineSpec};
+use membw_workloads::{suite92, suite95, Scale, Suite};
+use serde::{Deserialize, Serialize};
+
+/// One bar of Figure 3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Cell {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Suite the benchmark belongs to.
+    pub suite_label: String,
+    /// Experiment label (`A`–`F`).
+    pub experiment: String,
+    /// The three-run decomposition.
+    pub decomposition: Decomposition,
+    /// Execution time in seconds-equivalent units (cycles / MHz),
+    /// normalized to experiment A's `T_P` for the same benchmark —
+    /// Figure 3's y-axis.
+    pub normalized_time: f64,
+}
+
+/// The whole figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Result {
+    /// All bars.
+    pub cells: Vec<Fig3Cell>,
+}
+
+impl Fig3Result {
+    /// Find one cell.
+    pub fn cell(&self, benchmark: &str, experiment: &str) -> Option<&Fig3Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.benchmark == benchmark && c.experiment == experiment)
+    }
+
+    /// Table 6's comparison rows: `(benchmark, f_L(A), f_B(A), f_L(F),
+    /// f_B(F))` as percentages.
+    pub fn table6_rows(&self) -> Vec<(String, f64, f64, f64, f64)> {
+        let mut names: Vec<String> = self
+            .cells
+            .iter()
+            .map(|c| c.benchmark.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect::<Vec<_>>();
+        names.sort();
+        names
+            .into_iter()
+            .filter_map(|n| {
+                let a = self.cell(&n, "A")?;
+                let f = self.cell(&n, "F")?;
+                Some((
+                    n,
+                    a.decomposition.f_l * 100.0,
+                    a.decomposition.f_b * 100.0,
+                    f.decomposition.f_l * 100.0,
+                    f.decomposition.f_b * 100.0,
+                ))
+            })
+            .collect()
+    }
+}
+
+/// Run the decomposition for one suite at `scale` over `experiments`.
+///
+/// Benchmarks run on parallel threads (each owns its three simulations).
+pub fn run_suite(suite: Suite, scale: Scale, experiments: &[Experiment]) -> Fig3Result {
+    let benchmarks = match suite {
+        Suite::Spec92 => suite92(scale),
+        Suite::Spec95 => suite95(scale),
+    };
+    let suite_label = match suite {
+        Suite::Spec92 => "SPEC92",
+        Suite::Spec95 => "SPEC95",
+    };
+    let spec_for = |e: Experiment| match suite {
+        Suite::Spec92 => MachineSpec::spec92(e),
+        Suite::Spec95 => MachineSpec::spec95(e),
+    };
+
+    let mut cells = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = benchmarks
+            .iter()
+            .map(|b| {
+                let experiments = experiments.to_vec();
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut base: Option<f64> = None; // T_P(A) in cycles/MHz
+                    for e in experiments {
+                        let spec = spec_for(e);
+                        let d = decompose(&b.workload(), &spec);
+                        let seconds = d.t as f64 / spec.cpu_mhz as f64;
+                        let base_seconds = *base.get_or_insert_with(|| {
+                            // Experiment A must come first for the
+                            // paper's normalization; otherwise fall back
+                            // to this experiment's own T_P.
+                            d.t_p as f64 / spec.cpu_mhz as f64
+                        });
+                        out.push(Fig3Cell {
+                            benchmark: b.name().to_string(),
+                            suite_label: suite_label.to_string(),
+                            experiment: e.label().to_string(),
+                            decomposition: d,
+                            normalized_time: seconds / base_seconds,
+                        });
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            cells.extend(h.join().expect("benchmark thread panicked"));
+        }
+    });
+    cells.sort_by_key(|a| (a.benchmark.clone(), a.experiment.clone()));
+    Fig3Result { cells }
+}
+
+/// Render a Figure 3 panel as a table (one row per benchmark ×
+/// experiment).
+pub fn render(result: &Fig3Result, title: &str) -> Table {
+    let mut table = Table::new(
+        title,
+        ["Benchmark", "Exp", "Norm. time", "f_P", "f_L", "f_B", "IPC"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for c in &result.cells {
+        table.row(vec![
+            c.benchmark.clone(),
+            c.experiment.clone(),
+            format!("{:.2}", c.normalized_time),
+            format!("{:.2}", c.decomposition.f_p),
+            format!("{:.2}", c.decomposition.f_l),
+            format!("{:.2}", c.decomposition.f_b),
+            format!("{:.2}", c.decomposition.ipc()),
+        ]);
+    }
+    table
+}
+
+/// Render Table 6 from a Figure 3 result.
+pub fn render_table6(result: &Fig3Result) -> Table {
+    let mut table = Table::new(
+        "Table 6: latency vs bandwidth stalls, experiments A and F (percent of execution time)",
+        ["Benchmark", "A: f_L%", "A: f_B%", "F: f_L%", "F: f_B%"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for (name, fl_a, fb_a, fl_f, fb_f) in result.table6_rows() {
+        table.row(vec![
+            name,
+            format!("{fl_a:.1}"),
+            format!("{fb_a:.1}"),
+            format!("{fl_f:.1}"),
+            format!("{fb_f:.1}"),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_fractions_are_valid_everywhere() {
+        let r = run_suite(Suite::Spec92, Scale::Test, &[Experiment::A, Experiment::F]);
+        assert_eq!(r.cells.len(), 14, "7 benchmarks x 2 experiments");
+        for c in &r.cells {
+            let d = &c.decomposition;
+            assert!(
+                (d.f_p + d.f_l + d.f_b - 1.0).abs() < 1e-9,
+                "{}",
+                c.benchmark
+            );
+            assert!(d.f_p > 0.0);
+            assert!(c.normalized_time > 0.0);
+        }
+    }
+
+    #[test]
+    fn bandwidth_stalls_grow_from_a_to_f_on_average() {
+        // The paper's thesis: latency tolerance exposes bandwidth stalls.
+        let r = run_suite(Suite::Spec92, Scale::Test, &[Experiment::A, Experiment::F]);
+        let t6 = r.table6_rows();
+        assert!(!t6.is_empty());
+        let mean_fb_a: f64 = t6.iter().map(|r| r.2).sum::<f64>() / t6.len() as f64;
+        let mean_fb_f: f64 = t6.iter().map(|r| r.4).sum::<f64>() / t6.len() as f64;
+        assert!(
+            mean_fb_f > mean_fb_a,
+            "f_B should grow: A {mean_fb_a:.1}% -> F {mean_fb_f:.1}%"
+        );
+    }
+
+    #[test]
+    fn tables_render() {
+        let r = run_suite(Suite::Spec92, Scale::Test, &[Experiment::A]);
+        let t = render(&r, "Figure 3 (SPEC92)");
+        assert_eq!(t.num_rows(), 7);
+        let t6 = render_table6(&r);
+        // Table 6 needs both A and F; with only A it is empty.
+        assert_eq!(t6.num_rows(), 0);
+    }
+}

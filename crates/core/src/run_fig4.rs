@@ -1,0 +1,191 @@
+//! Figure 4: total traffic vs. cache (and MTC) size, log-log, for
+//! Compress, Eqntott, and Swm — 4-way set-associative caches with block
+//! sizes 4 B – 128 B, plus the write-allocate and write-validate MTCs.
+
+use crate::report::{size_label, Table};
+use membw_cache::{Associativity, Cache, CacheConfig};
+use membw_mtc::{MinCache, MinConfig, MinWritePolicy};
+use membw_trace::MemRef;
+use membw_workloads::{suite92, Scale};
+use serde::{Deserialize, Serialize};
+
+/// The block sizes of the figure's six cache curves.
+pub const BLOCK_SIZES: [u64; 6] = [4, 8, 16, 32, 64, 128];
+
+/// One curve: traffic (bytes) per cache size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Curve {
+    /// Curve label (`"32B blocks"`, `"MTC write-validate"`, …).
+    pub label: String,
+    /// `(capacity_bytes, traffic_bytes)` points; capacities where the
+    /// geometry is invalid (block × 4 ways > size) are omitted.
+    pub points: Vec<(u64, u64)>,
+}
+
+/// One benchmark's panel of Figure 4.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Panel {
+    /// Benchmark name.
+    pub name: String,
+    /// Six cache curves plus the two MTC curves.
+    pub curves: Vec<Curve>,
+}
+
+/// Cache sizes swept (64 B – 4 MB, the figure's x-axis).
+pub fn sizes() -> Vec<u64> {
+    (6..=22).map(|p| 1u64 << p).collect()
+}
+
+fn cache_traffic(refs: &[MemRef], size: u64, block: u64) -> Option<u64> {
+    let cfg = CacheConfig::builder(size, block)
+        .associativity(Associativity::Ways(4))
+        .build()
+        .ok()?;
+    let mut c = Cache::new(cfg);
+    for &r in refs {
+        c.access(r);
+    }
+    Some(c.flush().traffic_below())
+}
+
+/// Regenerate Figure 4 at `scale` for the three panel benchmarks.
+pub fn run(scale: Scale) -> (Vec<Fig4Panel>, Vec<Table>) {
+    let suite = suite92(scale);
+    let mut panels = Vec::new();
+    let mut tables = Vec::new();
+    for name in ["compress", "eqntott", "swm"] {
+        let b = suite
+            .iter()
+            .find(|b| b.name() == name)
+            .expect("panel benchmark exists in SPEC92 suite");
+        let refs = b.workload().collect_mem_refs();
+        let mut curves = Vec::new();
+        for &block in &BLOCK_SIZES {
+            let points: Vec<(u64, u64)> = sizes()
+                .into_iter()
+                .filter_map(|s| cache_traffic(&refs, s, block).map(|t| (s, t)))
+                .collect();
+            curves.push(Curve {
+                label: format!("{block}B blocks"),
+                points,
+            });
+        }
+        for (label, write) in [
+            ("MTC write-allocate", MinWritePolicy::Allocate),
+            ("MTC write-validate", MinWritePolicy::Validate),
+        ] {
+            let points: Vec<(u64, u64)> = sizes()
+                .into_iter()
+                .map(|s| {
+                    let cfg = MinConfig::new(s, 4, write, true);
+                    (s, MinCache::simulate(&cfg, &refs).traffic_below())
+                })
+                .collect();
+            curves.push(Curve {
+                label: label.to_string(),
+                points,
+            });
+        }
+
+        let mut table = Table::new(
+            format!("Figure 4 ({name}): traffic in KB vs cache/MTC size"),
+            {
+                let mut h = vec!["Size".to_string()];
+                h.extend(curves.iter().map(|c| c.label.clone()));
+                h
+            },
+        );
+        for s in sizes() {
+            let mut cells = vec![size_label(s)];
+            for c in &curves {
+                let v = c
+                    .points
+                    .iter()
+                    .find(|(cap, _)| *cap == s)
+                    .map(|(_, t)| format!("{:.0}", *t as f64 / 1024.0))
+                    .unwrap_or_else(|| "-".to_string());
+                cells.push(v);
+            }
+            table.row(cells);
+        }
+        tables.push(table);
+        panels.push(Fig4Panel {
+            name: name.to_string(),
+            curves,
+        });
+    }
+    (panels, tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mtc_curves_lower_bound_everything() {
+        let (panels, _) = run(Scale::Test);
+        assert_eq!(panels.len(), 3);
+        for p in &panels {
+            let wv = p
+                .curves
+                .iter()
+                .find(|c| c.label == "MTC write-validate")
+                .expect("WV curve");
+            for c in p.curves.iter().filter(|c| c.label.ends_with("blocks")) {
+                for &(s, t) in &c.points {
+                    let m = wv
+                        .points
+                        .iter()
+                        .find(|(cap, _)| *cap == s)
+                        .expect("same sizes");
+                    assert!(
+                        m.1 <= t,
+                        "{}: MTC above a cache at {s} ({} vs {t})",
+                        p.name,
+                        m.1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compress_traffic_rises_with_block_size() {
+        // The paper: "Compress has little spatial locality... any increase
+        // in block size causes a corresponding increase in traffic."
+        let (panels, _) = run(Scale::Test);
+        let compress = &panels[0];
+        assert_eq!(compress.name, "compress");
+        let at = |label: &str, size: u64| {
+            compress
+                .curves
+                .iter()
+                .find(|c| c.label == label)
+                .and_then(|c| c.points.iter().find(|(s, _)| *s == size))
+                .map(|(_, t)| *t)
+        };
+        let size = 16 * 1024;
+        let t4 = at("4B blocks", size).expect("point");
+        let t128 = at("128B blocks", size).expect("point");
+        assert!(t128 > 2 * t4, "128B should waste traffic: {t128} vs {t4}");
+    }
+
+    #[test]
+    fn traffic_is_monotone_nonincreasing_for_mtc() {
+        let (panels, _) = run(Scale::Test);
+        for p in &panels {
+            let wv = p
+                .curves
+                .iter()
+                .find(|c| c.label.contains("validate"))
+                .unwrap();
+            for w in wv.points.windows(2) {
+                assert!(
+                    w[1].1 <= w[0].1 + 64,
+                    "{}: MTC traffic must fall with capacity",
+                    p.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Shared-cache interference (extension): the §2.1–2.2 multithreading /
+//! single-chip-multiprocessor argument, measured.
+//!
+//! "Frequent switching of threads will increase interference in the
+//! caches …"; "if one processor loses performance due to limited pin
+//! bandwidth, then multiple processors on a chip will lose far more
+//! performance for the same reason." We interleave 1, 2, and 4 contexts
+//! of the same kernel (distinct address spaces) through one cache and
+//! watch the traffic *per context* grow.
+
+use crate::report::Table;
+use membw_cache::{Cache, CacheConfig};
+use membw_trace::{Interleave, Workload};
+use membw_workloads::{Espresso, Li, Vortex};
+use serde::{Deserialize, Serialize};
+
+/// One (kernel, context-count) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterferenceCell {
+    /// Kernel name.
+    pub workload: String,
+    /// Number of interleaved contexts.
+    pub contexts: usize,
+    /// Traffic ratio of the shared cache.
+    pub traffic_ratio: f64,
+    /// Miss ratio of the shared cache.
+    pub miss_ratio: f64,
+}
+
+/// The whole interference grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterferenceResult {
+    /// All measurements.
+    pub cells: Vec<InterferenceCell>,
+    /// Shared-cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Context-switch granularity in uops.
+    pub switch_every: usize,
+}
+
+fn measure<W: Workload>(threads: Vec<W>, chunk: usize, cache_bytes: u64) -> (f64, f64) {
+    // Separate each thread's address space by a large offset.
+    let il = Interleave::new(threads, chunk, 1 << 36);
+    let cfg = CacheConfig::builder(cache_bytes, 32)
+        .build()
+        .expect("valid geometry");
+    let mut cache = Cache::new(cfg);
+    il.for_each_mem_ref(&mut |r| {
+        cache.access(r);
+    });
+    let stats = cache.flush();
+    (
+        stats.traffic_ratio().expect("non-empty trace"),
+        stats.miss_ratio(),
+    )
+}
+
+/// Run the interference experiment: each kernel at 1, 2, and 4 contexts
+/// through a shared cache of `cache_bytes`, switching every
+/// `switch_every` uops.
+pub fn run(cache_bytes: u64, switch_every: usize) -> (InterferenceResult, Table) {
+    let mut cells = Vec::new();
+    // Kernels whose single-context working set fits the shared cache, so
+    // interference (not capacity alone) is what multi-context runs add.
+    type Builder = Box<dyn Fn(u64) -> Box<dyn Workload>>;
+    let builders: Vec<(&str, Builder)> = vec![
+        (
+            "espresso",
+            Box::new(|seed| Box::new(Espresso::new(160, 8, 4, seed)) as Box<dyn Workload>),
+        ),
+        (
+            "li",
+            Box::new(|seed| Box::new(Li::new(2048, 300, seed)) as Box<dyn Workload>),
+        ),
+        (
+            "vortex",
+            Box::new(|seed| Box::new(Vortex::new(1024, 3000, seed)) as Box<dyn Workload>),
+        ),
+    ];
+    for (name, build) in &builders {
+        for contexts in [1usize, 2, 4] {
+            let threads: Vec<Box<dyn Workload>> =
+                (0..contexts as u64).map(|i| build(100 + i)).collect();
+            let (traffic_ratio, miss_ratio) = measure(threads, switch_every, cache_bytes);
+            cells.push(InterferenceCell {
+                workload: name.to_string(),
+                contexts,
+                traffic_ratio,
+                miss_ratio,
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        format!(
+            "Shared-cache interference ({} bytes, switch every {switch_every} uops)",
+            cache_bytes
+        ),
+        [
+            "Kernel",
+            "1 ctx R",
+            "2 ctx R",
+            "4 ctx R",
+            "1 ctx miss",
+            "4 ctx miss",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for (name, _) in &builders {
+        let get = |ctx: usize| {
+            cells
+                .iter()
+                .find(|c| c.workload == *name && c.contexts == ctx)
+                .expect("cell exists")
+        };
+        table.row(vec![
+            name.to_string(),
+            format!("{:.2}", get(1).traffic_ratio),
+            format!("{:.2}", get(2).traffic_ratio),
+            format!("{:.2}", get(4).traffic_ratio),
+            format!("{:.3}", get(1).miss_ratio),
+            format!("{:.3}", get(4).miss_ratio),
+        ]);
+    }
+    (
+        InterferenceResult {
+            cells,
+            cache_bytes,
+            switch_every,
+        },
+        table,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_contexts_mean_more_traffic_per_reference() {
+        let (res, table) = run(16 * 1024, 200);
+        assert_eq!(table.num_rows(), 3);
+        for name in ["espresso", "li", "vortex"] {
+            let get = |ctx: usize| {
+                res.cells
+                    .iter()
+                    .find(|c| c.workload == name && c.contexts == ctx)
+                    .expect("cell")
+            };
+            assert!(
+                get(4).traffic_ratio > get(1).traffic_ratio,
+                "{name}: 4-context sharing must raise the traffic ratio ({} vs {})",
+                get(4).traffic_ratio,
+                get(1).traffic_ratio
+            );
+            assert!(
+                get(4).miss_ratio >= get(1).miss_ratio,
+                "{name}: interference cannot reduce misses"
+            );
+        }
+    }
+
+    #[test]
+    fn two_contexts_sit_between_one_and_four() {
+        let (res, _) = run(16 * 1024, 200);
+        let li = |ctx: usize| {
+            res.cells
+                .iter()
+                .find(|c| c.workload == "li" && c.contexts == ctx)
+                .expect("cell")
+                .traffic_ratio
+        };
+        assert!(li(1) <= li(2) + 1e-9 && li(2) <= li(4) + 1e-9);
+    }
+}

@@ -1,0 +1,146 @@
+//! Software prefetching (extension): §2.1's Table 1 row — and §6's
+//! warning — measured.
+//!
+//! A compiler-style prefetch pass (non-binding early loads) on the
+//! lockup-free in-order machine (experiment C), applied to two kernels:
+//!
+//! * `li` (dependent pointer walks, latency-bound): prefetching converts
+//!   a 2× slowdown into processing time — latency tolerance works;
+//! * `swm` (streaming, bus-saturated): prefetching buys nothing — the
+//!   paper's §6 warning that latency tolerance "has the potential to
+//!   worsen performance if memory bandwidth … is the primary bottleneck"
+//!   (and the inaccurate variant moves strictly more bytes).
+
+use crate::report::Table;
+use membw_sim::{decompose, Experiment, MachineSpec};
+use membw_trace::swprefetch::SoftwarePrefetch;
+use membw_trace::Workload;
+use membw_workloads::{Li, Swm};
+use serde::{Deserialize, Serialize};
+
+/// One configuration's decomposition summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SwPrefetchCell {
+    /// Kernel name.
+    pub kernel: String,
+    /// Configuration label.
+    pub config: String,
+    /// Full-run cycles.
+    pub cycles: u64,
+    /// Latency-stall fraction.
+    pub f_l: f64,
+    /// Bandwidth-stall fraction.
+    pub f_b: f64,
+    /// Memory traffic in bytes.
+    pub memory_traffic: u64,
+}
+
+fn measure(kernel: &str, w: &dyn Workload, config: &str, cells: &mut Vec<SwPrefetchCell>) {
+    let spec = MachineSpec::spec92(Experiment::C);
+    let d = decompose(w, &spec);
+    cells.push(SwPrefetchCell {
+        kernel: kernel.into(),
+        config: config.into(),
+        cycles: d.t,
+        f_l: d.f_l,
+        f_b: d.f_b,
+        memory_traffic: d.full_mem.memory_traffic,
+    });
+}
+
+/// Run none / accurate / inaccurate software prefetching on experiment C
+/// for a latency-bound and a bandwidth-bound kernel.
+pub fn run() -> (Vec<SwPrefetchCell>, Table) {
+    let mut cells = Vec::new();
+    // Dependent pointer walks over a 256 KiB heap: L2-latency-bound.
+    let li = Li::new(32 * 1024, 900, 7);
+    measure("li", &li, "none", &mut cells);
+    measure(
+        "li",
+        &SoftwarePrefetch::new(li.clone(), 64),
+        "accurate d=64",
+        &mut cells,
+    );
+    measure(
+        "li",
+        &SoftwarePrefetch::with_inaccuracy(li.clone(), 64, 64, 5),
+        "25% wrong d=64",
+        &mut cells,
+    );
+    // Streaming stencil: the memory bus is already saturated.
+    let swm = Swm::new(96, 96, 2);
+    measure("swm", &swm, "none", &mut cells);
+    measure(
+        "swm",
+        &SoftwarePrefetch::new(swm.clone(), 64),
+        "accurate d=64",
+        &mut cells,
+    );
+    measure(
+        "swm",
+        &SoftwarePrefetch::with_inaccuracy(swm.clone(), 64, 64, 5),
+        "25% wrong d=64",
+        &mut cells,
+    );
+
+    let mut table = Table::new(
+        "Software prefetching on experiment C: latency-bound vs bandwidth-bound",
+        ["Kernel", "Config", "Cycles", "f_L", "f_B", "Traffic KB"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for c in &cells {
+        table.row(vec![
+            c.kernel.clone(),
+            c.config.clone(),
+            c.cycles.to_string(),
+            format!("{:.2}", c.f_l),
+            format!("{:.2}", c.f_b),
+            (c.memory_traffic / 1024).to_string(),
+        ]);
+    }
+    (cells, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetching_helps_latency_bound_but_not_bandwidth_bound_code() {
+        let (cells, table) = run();
+        assert_eq!(table.num_rows(), 6);
+        let get = |k: &str, c: &str| {
+            cells
+                .iter()
+                .find(|x| x.kernel == k && x.config == c)
+                .expect("cell exists")
+        };
+        // Latency-bound: big speedup, latency stalls vanish.
+        let li_none = get("li", "none");
+        let li_pf = get("li", "accurate d=64");
+        assert!(
+            (li_none.cycles as f64) > 1.5 * li_pf.cycles as f64,
+            "li must speed up: {} vs {}",
+            li_none.cycles,
+            li_pf.cycles
+        );
+        assert!(li_pf.f_l < li_none.f_l);
+        // Bandwidth-bound: essentially no speedup (the §6 warning).
+        let swm_none = get("swm", "none");
+        let swm_pf = get("swm", "accurate d=64");
+        assert!(
+            (swm_pf.cycles as f64) > 0.95 * swm_none.cycles as f64,
+            "swm cannot be prefetched past the bus: {} vs {}",
+            swm_pf.cycles,
+            swm_none.cycles
+        );
+        // Inaccurate prefetching strictly adds traffic on both kernels.
+        for k in ["li", "swm"] {
+            assert!(
+                get(k, "25% wrong d=64").memory_traffic > get(k, "accurate d=64").memory_traffic,
+                "{k}: wrong prefetches must move extra bytes"
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Table 1: estimated effects on the execution-time divisions.
+
+use crate::report::Table;
+use membw_analytic::qualitative::{table1, Table1Row, Table1Section};
+
+/// Regenerate Table 1.
+pub fn run() -> (Vec<Table1Row>, Table) {
+    let rows = table1();
+    let mut table = Table::new(
+        "Table 1: estimated effects on execution divisions",
+        ["Technique / trend", "Section", "f_P", "f_L", "f_B"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for r in &rows {
+        let section = match r.section {
+            Table1Section::LatencyReduction => "A. Latency reduction",
+            Table1Section::ProcessorTrends => "B. Processor trends",
+            Table1Section::PhysicalTrends => "C. Physical trends",
+        };
+        table.row(vec![
+            r.name.to_string(),
+            section.to_string(),
+            r.f_p.glyph().to_string(),
+            r.f_l.glyph().to_string(),
+            r.f_b.glyph().to_string(),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_13_rows() {
+        let (rows, table) = super::run();
+        assert_eq!(rows.len(), 13);
+        assert_eq!(table.num_rows(), 13);
+        assert!(table.render().contains("Lockup-free caches"));
+    }
+}

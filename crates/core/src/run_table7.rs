@@ -1,0 +1,159 @@
+//! Table 7: traffic ratios for 32-byte-block direct-mapped caches,
+//! 1 KB – 2 MB, over the SPEC92 workloads — plus the Eq. 5 effective
+//! pin bandwidth they imply.
+
+use crate::report::{size_label, Table};
+use membw_analytic::effective_pin_bandwidth;
+use membw_cache::{Cache, CacheConfig};
+use membw_trace::MemRef;
+use membw_workloads::{suite92, Scale};
+use serde::{Deserialize, Serialize};
+
+/// The cache sizes of Table 7's columns.
+pub const SIZES: [u64; 12] = [
+    1 << 10,
+    1 << 11,
+    1 << 12,
+    1 << 13,
+    1 << 14,
+    1 << 15,
+    1 << 16,
+    1 << 17,
+    1 << 18,
+    1 << 19,
+    1 << 20,
+    1 << 21,
+];
+
+/// One benchmark's row: the traffic ratio per cache size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table7Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Footprint used for the `<<<` marking.
+    pub footprint_bytes: u64,
+    /// `(cache_bytes, ratio)`; ratio is `None` for `<<<` cells.
+    pub ratios: Vec<(u64, Option<f64>)>,
+}
+
+/// The whole experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table7Result {
+    /// Per-benchmark rows.
+    pub rows: Vec<Table7Row>,
+    /// Mean traffic ratio over cells with size ≥ 64 KiB and below the
+    /// benchmark's data-set size (the paper reports 0.51).
+    pub mean_reasonable_ratio: f64,
+    /// Eq. 5: effective pin bandwidth for a nominal 800 MB/s package at
+    /// the mean ratio.
+    pub effective_pin_bandwidth_mb_s: f64,
+}
+
+/// Regenerate Table 7 at `scale`.
+pub fn run(scale: Scale) -> (Table7Result, Table) {
+    let suite = suite92(scale);
+    let mut rows = Vec::new();
+    for b in &suite {
+        // Collect once, replay across the size sweep.
+        let refs: Vec<MemRef> = b.workload().collect_mem_refs();
+        let mut ratios = Vec::new();
+        for &size in &SIZES {
+            let cfg = CacheConfig::builder(size, 32)
+                .build()
+                .expect("valid geometry");
+            let mut cache = Cache::new(cfg);
+            for &r in &refs {
+                cache.access(r);
+            }
+            let stats = cache.flush();
+            let oversized = size >= b.footprint_bytes;
+            ratios.push((
+                size,
+                if oversized {
+                    None
+                } else {
+                    stats.traffic_ratio()
+                },
+            ));
+        }
+        rows.push(Table7Row {
+            name: b.name().to_string(),
+            footprint_bytes: b.footprint_bytes,
+            ratios,
+        });
+    }
+
+    let reasonable: Vec<f64> = rows
+        .iter()
+        .flat_map(|r| {
+            r.ratios
+                .iter()
+                .filter(|(s, v)| *s >= 64 * 1024 && v.is_some())
+                .map(|(_, v)| v.expect("filtered"))
+        })
+        .collect();
+    let mean = if reasonable.is_empty() {
+        0.0
+    } else {
+        reasonable.iter().sum::<f64>() / reasonable.len() as f64
+    };
+    let result = Table7Result {
+        rows,
+        mean_reasonable_ratio: mean,
+        effective_pin_bandwidth_mb_s: if mean > 0.0 {
+            effective_pin_bandwidth(800.0, &[mean])
+        } else {
+            800.0
+        },
+    };
+
+    let mut headers = vec!["Trace".to_string()];
+    headers.extend(SIZES.iter().map(|&s| size_label(s)));
+    let mut table = Table::new(
+        format!(
+            "Table 7: traffic ratios, 32B-block direct-mapped (mean >=64KB cells: {:.2}; E_pin @800MB/s = {:.0} MB/s)",
+            result.mean_reasonable_ratio, result.effective_pin_bandwidth_mb_s
+        ),
+        headers,
+    );
+    for r in &result.rows {
+        let mut cells = vec![r.name.clone()];
+        cells.extend(r.ratios.iter().map(|(_, v)| match v {
+            Some(x) => format!("{x:.2}"),
+            None => "<<<".to_string(),
+        }));
+        table.row(cells);
+    }
+    (result, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_behave_like_the_paper() {
+        let (res, table) = run(Scale::Test);
+        assert_eq!(table.num_rows(), 7);
+        // Small caches exceed R=1 for at least one low-locality code.
+        let any_over_one = res.rows.iter().any(|r| {
+            r.ratios
+                .iter()
+                .take(3)
+                .any(|(_, v)| v.is_some_and(|x| x > 1.0))
+        });
+        assert!(
+            any_over_one,
+            "1-4KB caches should out-traffic no-cache somewhere"
+        );
+        // Ratios never negative; oversized cells marked.
+        for r in &res.rows {
+            for (s, v) in &r.ratios {
+                if *s >= r.footprint_bytes {
+                    assert!(v.is_none(), "{}: {s} should be <<<", r.name);
+                }
+            }
+        }
+        assert!(res.mean_reasonable_ratio >= 0.0);
+    }
+}

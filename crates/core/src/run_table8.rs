@@ -1,0 +1,130 @@
+//! Table 8: traffic inefficiencies (`G`, Eq. 6) for 32-byte-block
+//! direct-mapped caches against same-size MTCs — plus the Eq. 7 upper
+//! bound on effective pin bandwidth.
+
+use crate::report::{size_label, Table};
+use crate::run_table7::SIZES;
+use membw_analytic::upper_bound_epin;
+use membw_cache::{Cache, CacheConfig};
+use membw_mtc::{MinCache, MinConfig};
+use membw_trace::MemRef;
+use membw_workloads::{suite92, Scale};
+use serde::{Deserialize, Serialize};
+
+/// One benchmark's row: `G` per cache size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table8Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Footprint used for the `<<<` marking.
+    pub footprint_bytes: u64,
+    /// `(cache_bytes, G)`; `None` for `<<<` cells.
+    pub inefficiencies: Vec<(u64, Option<f64>)>,
+}
+
+/// The whole experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table8Result {
+    /// Per-benchmark rows.
+    pub rows: Vec<Table8Row>,
+    /// Largest `G` observed outside `<<<` cells (the paper: up to two
+    /// orders of magnitude).
+    pub max_g: f64,
+    /// Eq. 7 bound for a nominal 800 MB/s package, R = 0.5, at the
+    /// median observed `G`.
+    pub oe_pin_at_median_g: f64,
+}
+
+/// Regenerate Table 8 at `scale`.
+pub fn run(scale: Scale) -> (Table8Result, Table) {
+    let suite = suite92(scale);
+    let mut rows = Vec::new();
+    let mut all_g = Vec::new();
+    for b in &suite {
+        let refs: Vec<MemRef> = b.workload().collect_mem_refs();
+        let mut inefficiencies = Vec::new();
+        for &size in &SIZES {
+            if size >= b.footprint_bytes {
+                inefficiencies.push((size, None));
+                continue;
+            }
+            let cfg = CacheConfig::builder(size, 32)
+                .build()
+                .expect("valid geometry");
+            let mut cache = Cache::new(cfg);
+            for &r in &refs {
+                cache.access(r);
+            }
+            let cache_traffic = cache.flush().traffic_below();
+            let mtc_traffic = MinCache::simulate(&MinConfig::mtc(size), &refs).traffic_below();
+            let g = if mtc_traffic == 0 {
+                None
+            } else {
+                let g = cache_traffic as f64 / mtc_traffic as f64;
+                all_g.push(g);
+                Some(g)
+            };
+            inefficiencies.push((size, g));
+        }
+        rows.push(Table8Row {
+            name: b.name().to_string(),
+            footprint_bytes: b.footprint_bytes,
+            inefficiencies,
+        });
+    }
+    all_g.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let max_g = all_g.last().copied().unwrap_or(1.0);
+    let median_g = if all_g.is_empty() {
+        1.0
+    } else {
+        all_g[all_g.len() / 2].max(1.0)
+    };
+    let result = Table8Result {
+        rows,
+        max_g,
+        oe_pin_at_median_g: upper_bound_epin(800.0, &[0.5], &[median_g]),
+    };
+
+    let mut headers = vec!["Trace".to_string()];
+    headers.extend(SIZES.iter().map(|&s| size_label(s)));
+    let mut table = Table::new(
+        format!(
+            "Table 8: traffic inefficiencies vs same-size MTC (max G = {:.1}; OE_pin @800MB/s,R=0.5,median G = {:.0} MB/s)",
+            result.max_g, result.oe_pin_at_median_g
+        ),
+        headers,
+    );
+    for r in &result.rows {
+        let mut cells = vec![r.name.clone()];
+        cells.extend(r.inefficiencies.iter().map(|(_, v)| match v {
+            Some(g) => format!("{g:.1}"),
+            None => "<<<".to_string(),
+        }));
+        table.row(cells);
+    }
+    (result, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inefficiencies_are_at_least_one_and_sizable() {
+        let (res, table) = run(Scale::Test);
+        assert_eq!(table.num_rows(), 7);
+        for r in &res.rows {
+            for (s, g) in &r.inefficiencies {
+                if let Some(g) = g {
+                    assert!(
+                        *g >= 0.99,
+                        "{} @ {s}: G = {g} must be >= 1 (MTC is a lower bound)",
+                        r.name
+                    );
+                }
+            }
+        }
+        // The gap should be substantial somewhere (paper: 2–100).
+        assert!(res.max_g > 3.0, "max G = {}", res.max_g);
+    }
+}

@@ -1,0 +1,206 @@
+//! Factor isolation for the traffic-inefficiency gap (Tables 9–10).
+//!
+//! Each factor toggles exactly one cache property between two experiment
+//! configurations; the reported gap is the *difference in traffic
+//! inefficiency* `G(exp1) − G(exp2)` against the common reference MTC
+//! (the write-validate MTC used throughout §5, per the Figure 4 caption).
+
+use crate::min::{MinCache, MinConfig, MinWritePolicy};
+use membw_cache::{Associativity, Cache, CacheConfig};
+use membw_trace::{MemRef, Workload};
+use serde::{Deserialize, Serialize};
+
+/// One side of a factor experiment (a row of Table 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactorExperiment {
+    /// An LRU cache: `(associativity, block_size)`, write-allocate,
+    /// write-back.
+    Lru(Associativity, u64),
+    /// A fully-associative **min** cache: `(block_size, write policy)`,
+    /// write-back, no bypass (bypass is folded into **min**'s victim
+    /// choice for the factor studies).
+    Min(u64, MinWritePolicy),
+}
+
+impl FactorExperiment {
+    /// Simulate this experiment at `capacity_bytes` over `refs` and
+    /// return total traffic below in bytes.
+    pub fn traffic(&self, capacity_bytes: u64, refs: &[MemRef]) -> u64 {
+        match *self {
+            FactorExperiment::Lru(assoc, block) => {
+                let cfg = CacheConfig::builder(capacity_bytes, block)
+                    .associativity(assoc)
+                    .build()
+                    .expect("factor experiment geometry is valid");
+                let mut c = Cache::new(cfg);
+                for &r in refs {
+                    c.access(r);
+                }
+                c.flush().traffic_below()
+            }
+            FactorExperiment::Min(block, write) => {
+                let cfg = MinConfig::new(capacity_bytes, block, write, true);
+                MinCache::simulate(&cfg, refs).traffic_below()
+            }
+        }
+    }
+
+    /// Compact label, e.g. `LRU,1a,32B,WA`.
+    pub fn label(&self) -> String {
+        match *self {
+            FactorExperiment::Lru(assoc, block) => {
+                let a = match assoc {
+                    Associativity::Ways(n) => format!("{n}a"),
+                    Associativity::Full => "fa".to_string(),
+                };
+                format!("LRU,{a},{block}B,WA")
+            }
+            FactorExperiment::Min(block, write) => {
+                let w = match write {
+                    MinWritePolicy::Allocate => "WA",
+                    MinWritePolicy::Validate => "WV",
+                };
+                format!("MIN,fa,{block}B,{w}")
+            }
+        }
+    }
+}
+
+/// A named factor: the pair of experiments that isolate it (Table 10).
+#[derive(Debug, Clone, Copy)]
+pub struct FactorSpec {
+    /// Factor name as in Table 9 (e.g. `"Associativity"`).
+    pub name: &'static str,
+    /// Baseline experiment.
+    pub exp1: FactorExperiment,
+    /// Improved experiment.
+    pub exp2: FactorExperiment,
+}
+
+/// The five factor rows of Table 10.
+pub const TABLE10_FACTORS: [FactorSpec; 5] = [
+    FactorSpec {
+        name: "Associativity",
+        exp1: FactorExperiment::Lru(Associativity::Ways(1), 32),
+        exp2: FactorExperiment::Lru(Associativity::Full, 32),
+    },
+    FactorSpec {
+        name: "Replacement",
+        exp1: FactorExperiment::Lru(Associativity::Full, 32),
+        exp2: FactorExperiment::Min(32, MinWritePolicy::Allocate),
+    },
+    FactorSpec {
+        name: "Blocksize (cache)",
+        exp1: FactorExperiment::Lru(Associativity::Ways(1), 32),
+        exp2: FactorExperiment::Lru(Associativity::Ways(1), 4),
+    },
+    FactorSpec {
+        name: "Blocksize (MTC)",
+        exp1: FactorExperiment::Min(32, MinWritePolicy::Allocate),
+        exp2: FactorExperiment::Min(4, MinWritePolicy::Allocate),
+    },
+    FactorSpec {
+        name: "Write validate",
+        exp1: FactorExperiment::Min(4, MinWritePolicy::Allocate),
+        exp2: FactorExperiment::Min(4, MinWritePolicy::Validate),
+    },
+];
+
+/// Result of isolating one factor for one workload (a cell of Table 9).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FactorGap {
+    /// Factor name.
+    pub factor: String,
+    /// Workload name.
+    pub workload: String,
+    /// Capacity used.
+    pub capacity_bytes: u64,
+    /// Inefficiency of experiment 1 against the reference MTC.
+    pub g_exp1: f64,
+    /// Inefficiency of experiment 2 against the reference MTC.
+    pub g_exp2: f64,
+}
+
+impl FactorGap {
+    /// The Table 9 value: `G(exp1) − G(exp2)`. Negative values mean the
+    /// "improvement" increased traffic (as the paper observes for
+    /// Dnasa7's associativity factor).
+    pub fn delta(&self) -> f64 {
+        self.g_exp1 - self.g_exp2
+    }
+}
+
+/// Measure one factor's inefficiency gap for `workload` at
+/// `capacity_bytes`.
+///
+/// Returns `None` if the reference MTC generated no traffic (degenerate
+/// trace).
+pub fn factor_gap<W: Workload + ?Sized>(
+    spec: &FactorSpec,
+    workload: &W,
+    capacity_bytes: u64,
+) -> Option<FactorGap> {
+    let refs = workload.collect_mem_refs();
+    let mtc = MinCache::simulate(&MinConfig::mtc(capacity_bytes), &refs);
+    let d_mtc = mtc.traffic_below();
+    if d_mtc == 0 {
+        return None;
+    }
+    let t1 = spec.exp1.traffic(capacity_bytes, &refs);
+    let t2 = spec.exp2.traffic(capacity_bytes, &refs);
+    Some(FactorGap {
+        factor: spec.name.to_string(),
+        workload: workload.name().to_string(),
+        capacity_bytes,
+        g_exp1: t1 as f64 / d_mtc as f64,
+        g_exp2: t2 as f64 / d_mtc as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use membw_trace::pattern::{UniformRandom, Zipf};
+
+    #[test]
+    fn labels_match_table_10() {
+        assert_eq!(TABLE10_FACTORS[0].exp1.label(), "LRU,1a,32B,WA");
+        assert_eq!(TABLE10_FACTORS[0].exp2.label(), "LRU,fa,32B,WA");
+        assert_eq!(TABLE10_FACTORS[1].exp2.label(), "MIN,fa,32B,WA");
+        assert_eq!(TABLE10_FACTORS[4].exp2.label(), "MIN,fa,4B,WV");
+    }
+
+    #[test]
+    fn block_size_factor_dominates_for_no_spatial_locality() {
+        // Uniform random single-word touches over a large extent: 32-byte
+        // blocks waste 8x traffic, so the cache block-size factor is large
+        // and positive.
+        let w = UniformRandom::new(0, 1 << 20, 30_000, 21);
+        let spec = &TABLE10_FACTORS[2];
+        let gap = factor_gap(spec, &w, 16 * 1024).expect("traffic exists");
+        assert!(gap.delta() > 1.0, "delta = {}", gap.delta());
+    }
+
+    #[test]
+    fn write_validate_factor_positive_for_write_heavy_code() {
+        let w = UniformRandom::new(0, 1 << 20, 30_000, 22).with_write_fraction(0.5);
+        let gap = factor_gap(&TABLE10_FACTORS[4], &w, 16 * 1024).expect("traffic exists");
+        assert!(gap.delta() > 0.0, "WV must cut write-fetch traffic");
+    }
+
+    #[test]
+    fn replacement_factor_non_negative_on_reuse_heavy_code() {
+        let w = Zipf::new(0, 4096, 16, 50_000, 0.9, 23);
+        let gap = factor_gap(&TABLE10_FACTORS[1], &w, 4096).expect("traffic exists");
+        // min replacement cannot generate more misses than LRU; traffic
+        // differences from write-backs are second-order here.
+        assert!(gap.delta() > -0.5, "delta = {}", gap.delta());
+    }
+
+    #[test]
+    fn factor_gap_none_for_empty_trace() {
+        use membw_trace::VecWorkload;
+        let w = VecWorkload::new("empty", vec![]);
+        assert!(factor_gap(&TABLE10_FACTORS[0], &w, 1024).is_none());
+    }
+}

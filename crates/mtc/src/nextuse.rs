@@ -1,0 +1,132 @@
+//! Future-reference (next-use) indexing for two-pass **min** simulation.
+
+use membw_trace::MemRef;
+use std::collections::HashMap;
+
+/// Sentinel meaning "never referenced again".
+pub const NEVER: u64 = u64::MAX;
+
+/// For each position in a reference stream, the position of the *next*
+/// reference to the same block.
+///
+/// Built with one reverse pass (the classic two-pass Belady setup
+/// [Belady 1966; Sugumar & Abraham 1993]).
+///
+/// # Example
+///
+/// ```
+/// use membw_mtc::nextuse::{NextUseIndex, NEVER};
+/// use membw_trace::MemRef;
+///
+/// let refs = [MemRef::read(0, 4), MemRef::read(8, 4), MemRef::read(0, 4)];
+/// let idx = NextUseIndex::build(&refs, 4);
+/// assert_eq!(idx.next_use(0), 2);      // word 0 referenced again at 2
+/// assert_eq!(idx.next_use(1), NEVER);  // word 2 never again
+/// assert_eq!(idx.next_use(2), NEVER);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NextUseIndex {
+    next: Vec<u64>,
+    blocks: Vec<u64>,
+    block_size: u64,
+}
+
+impl NextUseIndex {
+    /// Build the index over `refs` at `block_size` granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is not a power of two.
+    pub fn build(refs: &[MemRef], block_size: u64) -> Self {
+        assert!(
+            block_size.is_power_of_two(),
+            "block size must be a power of two, got {block_size}"
+        );
+        let blocks: Vec<u64> = refs.iter().map(|r| r.block(block_size)).collect();
+        let mut next = vec![NEVER; refs.len()];
+        let mut last_seen: HashMap<u64, u64> = HashMap::new();
+        for (i, &b) in blocks.iter().enumerate().rev() {
+            if let Some(&later) = last_seen.get(&b) {
+                next[i] = later;
+            }
+            last_seen.insert(b, i as u64);
+        }
+        Self {
+            next,
+            blocks,
+            block_size,
+        }
+    }
+
+    /// The block granularity this index was built at.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Number of references indexed.
+    pub fn len(&self) -> usize {
+        self.next.len()
+    }
+
+    /// `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.next.is_empty()
+    }
+
+    /// Position of the next reference to the block accessed at `i`
+    /// ([`NEVER`] if none).
+    pub fn next_use(&self, i: usize) -> u64 {
+        self.next[i]
+    }
+
+    /// Block index accessed at position `i`.
+    pub fn block(&self, i: usize) -> u64 {
+        self.blocks[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reads(words: &[u64]) -> Vec<MemRef> {
+        words.iter().map(|&w| MemRef::read(w * 4, 4)).collect()
+    }
+
+    #[test]
+    fn chains_point_forward() {
+        // words: a b a b a
+        let refs = reads(&[0, 1, 0, 1, 0]);
+        let idx = NextUseIndex::build(&refs, 4);
+        assert_eq!(idx.next_use(0), 2);
+        assert_eq!(idx.next_use(1), 3);
+        assert_eq!(idx.next_use(2), 4);
+        assert_eq!(idx.next_use(3), NEVER);
+        assert_eq!(idx.next_use(4), NEVER);
+    }
+
+    #[test]
+    fn block_granularity_groups_words() {
+        // Addresses 0 and 4 share a 32-byte block.
+        let refs = vec![MemRef::read(0, 4), MemRef::read(4, 4)];
+        let idx = NextUseIndex::build(&refs, 32);
+        assert_eq!(idx.next_use(0), 1);
+        assert_eq!(idx.block(0), idx.block(1));
+        let idx4 = NextUseIndex::build(&refs, 4);
+        assert_eq!(idx4.next_use(0), NEVER);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let idx = NextUseIndex::build(&[], 4);
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn writes_count_as_uses() {
+        let refs = vec![MemRef::read(0, 4), MemRef::write(0, 4)];
+        let idx = NextUseIndex::build(&refs, 4);
+        assert_eq!(idx.next_use(0), 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Inter-level bus timing: width, clock ratio, occupancy, contention.
+
+/// A bus between two levels of the memory hierarchy.
+///
+/// Transfers occupy the bus for `ceil(bytes / width)` bus cycles, each
+/// `ratio` CPU cycles long; a transfer that arrives while the bus is busy
+/// queues behind it. In *infinite* mode (the paper's `T_I` run: an
+/// "infinitely-wide path"), a transfer still pays one bus cycle of
+/// latency for the critical word but occupies nothing, so contention
+/// never arises.
+///
+/// # Example
+///
+/// ```
+/// use membw_sim::bus::Bus;
+///
+/// // 128-bit bus at one third of the CPU clock.
+/// let mut bus = Bus::new(16, 3);
+/// let t1 = bus.acquire(0, 32);   // 2 bus cycles = 6 CPU cycles
+/// assert_eq!(t1.start, 0);
+/// assert_eq!(t1.first_beat, 3);
+/// assert_eq!(t1.done, 6);
+/// let t2 = bus.acquire(1, 32);   // queues behind the first transfer
+/// assert_eq!(t2.start, 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bus {
+    width_bytes: u64,
+    ratio: u64,
+    infinite: bool,
+    busy_until: u64,
+    transfers: u64,
+    bytes: u64,
+    queued_cycles: u64,
+}
+
+/// Timing of one granted bus transfer (CPU cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusGrant {
+    /// Cycle the transfer began (after any queueing).
+    pub start: u64,
+    /// Cycle the first beat (critical word) is delivered.
+    pub first_beat: u64,
+    /// Cycle the full transfer completes.
+    pub done: u64,
+}
+
+impl Bus {
+    /// A bus `width_bytes` wide whose cycle is `ratio` CPU cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bytes` or `ratio` is zero.
+    pub fn new(width_bytes: u64, ratio: u64) -> Self {
+        assert!(width_bytes > 0, "bus width must be positive");
+        assert!(ratio > 0, "clock ratio must be positive");
+        Self {
+            width_bytes,
+            ratio,
+            infinite: false,
+            busy_until: 0,
+            transfers: 0,
+            bytes: 0,
+            queued_cycles: 0,
+        }
+    }
+
+    /// An infinitely-wide, contention-free path (the `T_I` run).
+    pub fn infinite() -> Self {
+        Self {
+            width_bytes: u64::MAX,
+            ratio: 1,
+            infinite: true,
+            busy_until: 0,
+            transfers: 0,
+            bytes: 0,
+            queued_cycles: 0,
+        }
+    }
+
+    /// `true` if this is the infinite-bandwidth model.
+    pub fn is_infinite(&self) -> bool {
+        self.infinite
+    }
+
+    /// Request a transfer of `bytes` at CPU cycle `now`.
+    pub fn acquire(&mut self, now: u64, bytes: u64) -> BusGrant {
+        self.transfers += 1;
+        self.bytes += bytes;
+        if self.infinite {
+            // One beat of latency, no occupancy.
+            return BusGrant {
+                start: now,
+                first_beat: now + 1,
+                done: now + 1,
+            };
+        }
+        let start = now.max(self.busy_until);
+        self.queued_cycles += start - now;
+        let beats = bytes.div_ceil(self.width_bytes).max(1);
+        let done = start + beats * self.ratio;
+        self.busy_until = done;
+        BusGrant {
+            start,
+            first_beat: start + self.ratio,
+            done,
+        }
+    }
+
+    /// Total transfers granted.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Cumulative CPU cycles transfers spent waiting for the bus.
+    pub fn queued_cycles(&self) -> u64 {
+        self.queued_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_duration_scales_with_size_and_ratio() {
+        let mut bus = Bus::new(8, 4); // 64-bit bus, quarter clock
+        let g = bus.acquire(10, 64); // 8 beats × 4 = 32 cycles
+        assert_eq!(g.start, 10);
+        assert_eq!(g.first_beat, 14);
+        assert_eq!(g.done, 42);
+    }
+
+    #[test]
+    fn contention_queues_back_to_back() {
+        let mut bus = Bus::new(16, 3);
+        let a = bus.acquire(0, 16); // done at 3
+        let b = bus.acquire(0, 16); // queues: starts at 3
+        let c = bus.acquire(100, 16); // idle bus: starts immediately
+        assert_eq!(a.done, 3);
+        assert_eq!(b.start, 3);
+        assert_eq!(b.done, 6);
+        assert_eq!(c.start, 100);
+        assert_eq!(bus.queued_cycles(), 3);
+    }
+
+    #[test]
+    fn infinite_bus_never_queues() {
+        let mut bus = Bus::infinite();
+        for i in 0..100 {
+            let g = bus.acquire(i, 1 << 20);
+            assert_eq!(g.start, i);
+            assert_eq!(g.done, i + 1);
+        }
+        assert_eq!(bus.queued_cycles(), 0);
+        assert!(bus.is_infinite());
+    }
+
+    #[test]
+    fn tiny_transfer_takes_one_beat() {
+        let mut bus = Bus::new(16, 2);
+        let g = bus.acquire(0, 4);
+        assert_eq!(g.done, 2);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut bus = Bus::new(8, 1);
+        bus.acquire(0, 24);
+        bus.acquire(0, 8);
+        assert_eq!(bus.transfers(), 2);
+        assert_eq!(bus.bytes(), 32);
+    }
+}

@@ -1,0 +1,255 @@
+//! Binary trace files (`.mwtr`): persist and replay reference streams.
+//!
+//! The paper's methodology is trace-driven (QPT-generated traces fed to
+//! DineroIII and the MTC simulator); this module gives the workspace the
+//! same workflow: dump any [`Workload`]'s reference stream to a compact
+//! binary file, reload it later (or on another machine) as a
+//! [`VecWorkload`], and feed it to any simulator.
+//!
+//! # Format
+//!
+//! Little-endian, fixed-width records:
+//!
+//! ```text
+//! magic   8 bytes  "MWTRACE1"
+//! count   8 bytes  u64 number of records
+//! record 11 bytes  kind (1: 0=read, 1=write) | size u16 | addr u64
+//! ```
+
+use crate::record::{AccessKind, MemRef};
+use crate::{VecWorkload, Workload};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// File magic for the trace format.
+pub const MAGIC: &[u8; 8] = b"MWTRACE1";
+
+/// Errors from trace (de)serialization.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with [`MAGIC`].
+    BadMagic([u8; 8]),
+    /// The stream ended before `count` records were read.
+    Truncated {
+        /// Records promised by the header.
+        expected: u64,
+        /// Records actually read.
+        got: u64,
+    },
+    /// A record carried an invalid access-kind byte.
+    BadKind(u8),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::BadMagic(m) => write!(f, "not a trace file (magic {m:02x?})"),
+            TraceIoError::Truncated { expected, got } => {
+                write!(f, "trace truncated: header promised {expected}, read {got}")
+            }
+            TraceIoError::BadKind(k) => write!(f, "invalid access kind byte {k}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Write `refs` to `w` in `.mwtr` format.
+///
+/// A `&mut` reference may be passed for `w`.
+///
+/// # Errors
+///
+/// Propagates any I/O failure.
+pub fn write_refs<W: Write>(mut w: W, refs: &[MemRef]) -> Result<(), TraceIoError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(refs.len() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(refs.len().min(1 << 16) * 11);
+    for r in refs {
+        buf.push(match r.kind {
+            AccessKind::Read => 0u8,
+            AccessKind::Write => 1u8,
+        });
+        buf.extend_from_slice(&r.size.to_le_bytes());
+        buf.extend_from_slice(&r.addr.to_le_bytes());
+        if buf.len() >= 1 << 20 {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Read a `.mwtr` stream from `r`.
+///
+/// A `&mut` reference may be passed for `r`.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on bad magic, truncation, invalid record
+/// kinds, or I/O failure.
+pub fn read_refs<R: Read>(mut r: R) -> Result<Vec<MemRef>, TraceIoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceIoError::BadMagic(magic));
+    }
+    let mut count_bytes = [0u8; 8];
+    r.read_exact(&mut count_bytes)?;
+    let count = u64::from_le_bytes(count_bytes);
+    let mut refs = Vec::with_capacity(count.min(1 << 24) as usize);
+    let mut rec = [0u8; 11];
+    for i in 0..count {
+        if let Err(e) = r.read_exact(&mut rec) {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                return Err(TraceIoError::Truncated {
+                    expected: count,
+                    got: i,
+                });
+            }
+            return Err(e.into());
+        }
+        let kind = match rec[0] {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            k => return Err(TraceIoError::BadKind(k)),
+        };
+        let size = u16::from_le_bytes([rec[1], rec[2]]);
+        let addr = u64::from_le_bytes(rec[3..11].try_into().expect("fixed slice"));
+        refs.push(MemRef { addr, size, kind });
+    }
+    Ok(refs)
+}
+
+/// Dump a workload's reference stream to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save_workload<W: Workload + ?Sized>(w: &W, path: &Path) -> Result<u64, TraceIoError> {
+    let refs = w.collect_mem_refs();
+    let file = std::fs::File::create(path)?;
+    write_refs(io::BufWriter::new(file), &refs)?;
+    Ok(refs.len() as u64)
+}
+
+/// Load a trace file as a replayable workload named after the file stem.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on malformed files.
+pub fn load_workload(path: &Path) -> Result<VecWorkload, TraceIoError> {
+    let file = std::fs::File::open(path)?;
+    let refs = read_refs(io::BufReader::new(file))?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("trace")
+        .to_string();
+    Ok(VecWorkload::new(name, refs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Strided;
+
+    fn sample() -> Vec<MemRef> {
+        vec![
+            MemRef::read(0x1000, 4),
+            MemRef::write(0xdead_beef_cafe, 8),
+            MemRef::read(u64::MAX - 7, 2),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let mut buf = Vec::new();
+        write_refs(&mut buf, &sample()).unwrap();
+        assert_eq!(buf.len(), 16 + 3 * 11);
+        let back = read_refs(buf.as_slice()).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_refs(&mut buf, &[]).unwrap();
+        assert_eq!(read_refs(buf.as_slice()).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOTTRACE\0\0\0\0\0\0\0\0".to_vec();
+        assert!(matches!(
+            read_refs(buf.as_slice()),
+            Err(TraceIoError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected_with_counts() {
+        let mut buf = Vec::new();
+        write_refs(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 5);
+        match read_refs(buf.as_slice()) {
+            Err(TraceIoError::Truncated {
+                expected: 3,
+                got: 2,
+            }) => {}
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut buf = Vec::new();
+        write_refs(&mut buf, &sample()).unwrap();
+        buf[16] = 7; // first record's kind byte
+        assert!(matches!(
+            read_refs(buf.as_slice()),
+            Err(TraceIoError::BadKind(7))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_via_workload() {
+        let dir = std::env::temp_dir().join("membw_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.mwtr");
+        let w = Strided::reads(0, 4, 500).with_write_every(3);
+        let n = save_workload(&w, &path).unwrap();
+        assert_eq!(n, 500);
+        let loaded = load_workload(&path).unwrap();
+        assert_eq!(loaded.name(), "sweep");
+        assert_eq!(loaded.collect_mem_refs(), w.collect_mem_refs());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = TraceIoError::Truncated {
+            expected: 9,
+            got: 1,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(TraceIoError::BadKind(3).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,210 @@
+//! Trace sinks: consumers of a generated uop stream.
+
+use crate::record::MemRef;
+use crate::uop::Uop;
+
+/// A consumer of micro-ops, fed by [`Workload::generate`].
+///
+/// [`Workload::generate`]: crate::Workload::generate
+pub trait TraceSink {
+    /// Consume one uop, in program order.
+    fn uop(&mut self, uop: Uop);
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn uop(&mut self, uop: Uop) {
+        (**self).uop(uop)
+    }
+}
+
+/// Collects every uop into a vector.
+#[derive(Debug, Default, Clone)]
+pub struct CollectSink {
+    uops: Vec<Uop>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the collector, returning the uops in program order.
+    pub fn into_uops(self) -> Vec<Uop> {
+        self.uops
+    }
+
+    /// The uops collected so far.
+    pub fn uops(&self) -> &[Uop] {
+        &self.uops
+    }
+}
+
+impl TraceSink for CollectSink {
+    fn uop(&mut self, uop: Uop) {
+        self.uops.push(uop);
+    }
+}
+
+/// Counts uops and memory references without storing them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountSink {
+    /// Total uops seen.
+    pub uops: u64,
+    /// Loads seen.
+    pub loads: u64,
+    /// Stores seen.
+    pub stores: u64,
+    /// Conditional branches seen.
+    pub branches: u64,
+}
+
+impl CountSink {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads plus stores.
+    pub fn mem_refs(&self) -> u64 {
+        self.loads + self.stores
+    }
+}
+
+impl TraceSink for CountSink {
+    fn uop(&mut self, uop: Uop) {
+        self.uops += 1;
+        match uop.mem {
+            Some(m) if m.kind.is_read() => self.loads += 1,
+            Some(_) => self.stores += 1,
+            None => {}
+        }
+        if uop.is_branch() {
+            self.branches += 1;
+        }
+    }
+}
+
+/// Adapts a closure into a [`TraceSink`].
+pub struct FnSink<F: FnMut(Uop)> {
+    f: F,
+}
+
+impl<F: FnMut(Uop)> FnSink<F> {
+    /// Wrap `f` as a sink.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<F: FnMut(Uop)> TraceSink for FnSink<F> {
+    fn uop(&mut self, uop: Uop) {
+        (self.f)(uop)
+    }
+}
+
+impl<F: FnMut(Uop)> std::fmt::Debug for FnSink<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnSink").finish_non_exhaustive()
+    }
+}
+
+/// Filters the uop stream down to its memory references, feeding a closure.
+pub struct MemRefFnSink<'a> {
+    f: &'a mut dyn FnMut(MemRef),
+}
+
+impl<'a> MemRefFnSink<'a> {
+    /// Wrap `f` as a memory-reference sink.
+    pub fn new(f: &'a mut dyn FnMut(MemRef)) -> Self {
+        Self { f }
+    }
+}
+
+impl TraceSink for MemRefFnSink<'_> {
+    fn uop(&mut self, uop: Uop) {
+        if let Some(m) = uop.mem {
+            (self.f)(m);
+        }
+    }
+}
+
+impl std::fmt::Debug for MemRefFnSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemRefFnSink").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::MemRef;
+    use crate::uop::OpClass;
+
+    fn sample() -> Vec<Uop> {
+        vec![
+            Uop::compute(OpClass::IntAlu, Some(1), [None, None]),
+            Uop::load(MemRef::read(0, 4), Some(2), [Some(1), None]),
+            Uop::store(MemRef::write(4, 4), [Some(2), None]),
+            Uop::branch(0x10, true, [Some(2), None]),
+        ]
+    }
+
+    #[test]
+    fn collect_sink_preserves_order() {
+        let mut s = CollectSink::new();
+        for u in sample() {
+            s.uop(u);
+        }
+        assert_eq!(s.uops().len(), 4);
+        assert_eq!(s.into_uops(), sample());
+    }
+
+    #[test]
+    fn count_sink_classifies() {
+        let mut s = CountSink::new();
+        for u in sample() {
+            s.uop(u);
+        }
+        assert_eq!(s.uops, 4);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.mem_refs(), 2);
+    }
+
+    #[test]
+    fn mem_ref_sink_filters() {
+        let mut seen = Vec::new();
+        {
+            let mut f = |m: MemRef| seen.push(m);
+            let mut s = MemRefFnSink::new(&mut f);
+            for u in sample() {
+                s.uop(u);
+            }
+        }
+        assert_eq!(seen, vec![MemRef::read(0, 4), MemRef::write(4, 4)]);
+    }
+
+    #[test]
+    fn fn_sink_forwards_everything() {
+        let mut n = 0u32;
+        {
+            let mut s = FnSink::new(|_| n += 1);
+            for u in sample() {
+                s.uop(u);
+            }
+        }
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn sink_by_mut_reference_delegates() {
+        let mut inner = CountSink::new();
+        {
+            let outer: &mut dyn TraceSink = &mut inner;
+            outer.uop(Uop::compute(OpClass::IntAlu, None, [None, None]));
+        }
+        assert_eq!(inner.uops, 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests pitting the Fenwick-tree reuse-distance implementation
+//! against a naive O(N²) oracle.
+
+use membw_trace::reuse::ReuseProfile;
+use membw_trace::{MemRef, VecWorkload};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Naive stack-distance: count distinct blocks between consecutive uses.
+fn naive_lru_misses(blocks: &[u64], capacity: u64) -> u64 {
+    let mut misses = 0u64;
+    for (i, &b) in blocks.iter().enumerate() {
+        match blocks[..i].iter().rposition(|&x| x == b) {
+            None => misses += 1,
+            Some(prev) => {
+                let distinct: HashSet<u64> = blocks[prev + 1..i].iter().copied().collect();
+                if distinct.len() as u64 >= capacity {
+                    misses += 1;
+                }
+            }
+        }
+    }
+    misses
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fenwick_matches_naive_oracle(
+        blocks in prop::collection::vec(0u64..32, 1..200),
+        capacity in 1u64..16,
+    ) {
+        let refs: Vec<MemRef> = blocks.iter().map(|&b| MemRef::read(b * 32, 4)).collect();
+        let profile = ReuseProfile::measure(&VecWorkload::new("t", refs), 32);
+        prop_assert_eq!(
+            profile.lru_misses(capacity),
+            naive_lru_misses(&blocks, capacity)
+        );
+    }
+
+    #[test]
+    fn total_accesses_conserved(blocks in prop::collection::vec(0u64..64, 0..300)) {
+        let refs: Vec<MemRef> = blocks.iter().map(|&b| MemRef::read(b * 32, 4)).collect();
+        let profile = ReuseProfile::measure(&VecWorkload::new("t", refs), 32);
+        prop_assert_eq!(profile.total(), blocks.len() as u64);
+        // Cold misses equal the number of distinct blocks.
+        let distinct: HashSet<u64> = blocks.iter().copied().collect();
+        prop_assert_eq!(profile.cold_misses(), distinct.len() as u64);
+        // An infinite cache only takes the cold misses.
+        prop_assert_eq!(profile.lru_misses(u64::MAX), profile.cold_misses());
+    }
+
+    #[test]
+    fn misses_monotone_nonincreasing_in_capacity(
+        blocks in prop::collection::vec(0u64..48, 1..250),
+    ) {
+        let refs: Vec<MemRef> = blocks.iter().map(|&b| MemRef::read(b * 32, 4)).collect();
+        let profile = ReuseProfile::measure(&VecWorkload::new("t", refs), 32);
+        let mut last = u64::MAX;
+        for c in 1..20 {
+            let m = profile.lru_misses(c);
+            prop_assert!(m <= last);
+            last = m;
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Micro-op emission helper shared by the workload kernels.
+//!
+//! Wraps a [`TraceSink`] with an instruction-mix-aware interface: loads
+//! return the register they produce, compute ops consume registers, loop
+//! branches carry stable PCs and real outcomes. Registers are allocated
+//! round-robin from a scratch pool so that dependent chains form
+//! naturally (a load's consumer names the load's destination) without the
+//! kernels doing register allocation by hand.
+
+use membw_trace::{MemRef, OpClass, Reg, TraceSink, Uop};
+
+/// First register of the rotating scratch pool (0–15 are reserved for
+/// kernel-managed long-lived values such as induction variables).
+const SCRATCH_BASE: u8 = 16;
+/// Size of the rotating scratch pool.
+const SCRATCH_COUNT: u8 = 40;
+
+/// Emission context handed to kernels.
+pub struct Emit<'a> {
+    sink: &'a mut dyn TraceSink,
+    next_scratch: u8,
+    uops: u64,
+}
+
+impl<'a> Emit<'a> {
+    /// Wrap a sink.
+    pub fn new(sink: &'a mut dyn TraceSink) -> Self {
+        Self {
+            sink,
+            next_scratch: 0,
+            uops: 0,
+        }
+    }
+
+    /// Micro-ops emitted so far.
+    pub fn uops(&self) -> u64 {
+        self.uops
+    }
+
+    fn scratch(&mut self) -> Reg {
+        let r = SCRATCH_BASE + self.next_scratch;
+        self.next_scratch = (self.next_scratch + 1) % SCRATCH_COUNT;
+        r
+    }
+
+    fn push(&mut self, uop: Uop) {
+        self.uops += 1;
+        self.sink.uop(uop);
+    }
+
+    /// A 4-byte load; returns the destination register.
+    pub fn load(&mut self, addr: u64) -> Reg {
+        let dest = self.scratch();
+        self.push(Uop::load(MemRef::read(addr, 4), Some(dest), [None, None]));
+        dest
+    }
+
+    /// A 4-byte load whose address depends on `addr_reg` (pointer chase).
+    pub fn load_dep(&mut self, addr: u64, addr_reg: Reg) -> Reg {
+        let dest = self.scratch();
+        self.push(Uop::load(
+            MemRef::read(addr, 4),
+            Some(dest),
+            [Some(addr_reg), None],
+        ));
+        dest
+    }
+
+    /// A 4-byte store of `src`.
+    pub fn store(&mut self, addr: u64, src: Reg) {
+        self.push(Uop::store(MemRef::write(addr, 4), [Some(src), None]));
+    }
+
+    /// A 4-byte store with no register dependency (constant data).
+    pub fn store_imm(&mut self, addr: u64) {
+        self.push(Uop::store(MemRef::write(addr, 4), [None, None]));
+    }
+
+    /// Integer ALU op over up to two sources; returns its destination.
+    pub fn int_op(&mut self, a: Option<Reg>, b: Option<Reg>) -> Reg {
+        let dest = self.scratch();
+        self.push(Uop::compute(OpClass::IntAlu, Some(dest), [a, b]));
+        dest
+    }
+
+    /// Integer ALU op writing a kernel-managed register (e.g. an
+    /// induction variable in 0–15).
+    pub fn int_op_into(&mut self, dest: Reg, a: Option<Reg>, b: Option<Reg>) {
+        self.push(Uop::compute(OpClass::IntAlu, Some(dest), [a, b]));
+    }
+
+    /// Floating-point add; returns its destination.
+    pub fn fp_add(&mut self, a: Option<Reg>, b: Option<Reg>) -> Reg {
+        let dest = self.scratch();
+        self.push(Uop::compute(OpClass::FpAdd, Some(dest), [a, b]));
+        dest
+    }
+
+    /// Floating-point multiply; returns its destination.
+    pub fn fp_mul(&mut self, a: Option<Reg>, b: Option<Reg>) -> Reg {
+        let dest = self.scratch();
+        self.push(Uop::compute(OpClass::FpMul, Some(dest), [a, b]));
+        dest
+    }
+
+    /// Floating-point divide; returns its destination.
+    pub fn fp_div(&mut self, a: Option<Reg>, b: Option<Reg>) -> Reg {
+        let dest = self.scratch();
+        self.push(Uop::compute(OpClass::FpDiv, Some(dest), [a, b]));
+        dest
+    }
+
+    /// Integer multiply; returns its destination.
+    pub fn int_mul(&mut self, a: Option<Reg>, b: Option<Reg>) -> Reg {
+        let dest = self.scratch();
+        self.push(Uop::compute(OpClass::IntMul, Some(dest), [a, b]));
+        dest
+    }
+
+    /// A conditional branch at `pc` with outcome `taken`, reading `cond`.
+    pub fn branch(&mut self, pc: u64, taken: bool, cond: Option<Reg>) {
+        self.push(Uop::branch(pc, taken, [cond, None]));
+    }
+
+    /// The back-edge of a counted loop: taken while the loop continues.
+    /// `pc` should be stable per loop site so the predictor can learn it.
+    pub fn loop_back(&mut self, pc: u64, continues: bool) {
+        self.push(Uop::branch(pc, continues, [Some(0), None]));
+    }
+}
+
+impl std::fmt::Debug for Emit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Emit").field("uops", &self.uops).finish()
+    }
+}
+
+/// Deterministic 64-bit mix (splitmix64 finalizer) used by kernels that
+/// need pseudo-random but replayable values without carrying an RNG.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use membw_trace::CollectSink;
+
+    #[test]
+    fn load_feeds_consumer() {
+        let mut sink = CollectSink::new();
+        let mut e = Emit::new(&mut sink);
+        let v = e.load(0x100);
+        let _ = e.fp_add(Some(v), None);
+        let uops = sink.into_uops();
+        assert_eq!(uops.len(), 2);
+        assert_eq!(uops[1].srcs[0], uops[0].dest);
+    }
+
+    #[test]
+    fn scratch_registers_rotate_and_avoid_reserved() {
+        let mut sink = CollectSink::new();
+        let mut e = Emit::new(&mut sink);
+        let regs: Vec<Reg> = (0..100).map(|i| e.load(i * 4)).collect();
+        assert!(regs.iter().all(|&r| (16..56).contains(&r)));
+        assert_eq!(regs[0], regs[40], "pool wraps after 40 allocations");
+        assert_ne!(regs[0], regs[1]);
+    }
+
+    #[test]
+    fn uop_counter_tracks_everything() {
+        let mut sink = CollectSink::new();
+        let mut e = Emit::new(&mut sink);
+        e.store_imm(0);
+        e.loop_back(0x40, true);
+        let r = e.int_op(None, None);
+        e.store(4, r);
+        assert_eq!(e.uops(), 4);
+        assert_eq!(sink.uops().len(), 4);
+    }
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads() {
+        assert_eq!(mix64(1), mix64(1));
+        assert_ne!(mix64(1), mix64(2));
+        // Low bits vary across consecutive inputs.
+        let low: std::collections::HashSet<u64> = (0..64).map(|i| mix64(i) % 64).collect();
+        assert!(low.len() > 32);
+    }
+}

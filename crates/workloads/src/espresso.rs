@@ -1,0 +1,144 @@
+//! `espresso`: two-level logic minimization over cube lists.
+//!
+//! SPEC92's 008.espresso manipulates covers — lists of cubes (bit
+//! vectors) — with pairwise containment/consensus checks. The working
+//! set is tiny (the paper's input is 0.04 MB) and intensely reused, so
+//! the benchmark runs out of even small caches: Table 7 marks espresso
+//! `<<<` from 64 KiB up.
+
+use crate::emit::{mix64, Emit};
+use membw_trace::{TraceSink, Workload};
+
+const CUBES_BASE: u64 = 0x5000_0000;
+
+/// The cube-list kernel. See the module-level documentation.
+#[derive(Debug, Clone)]
+pub struct Espresso {
+    cubes: u64,
+    words_per_cube: u64,
+    passes: u64,
+    seed: u64,
+}
+
+impl Espresso {
+    /// Minimize a cover of `cubes` cubes of `words_per_cube` 4-byte words
+    /// for `passes` reduction passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(cubes: u64, words_per_cube: u64, passes: u64, seed: u64) -> Self {
+        assert!(cubes > 0 && words_per_cube > 0 && passes > 0);
+        Self {
+            cubes,
+            words_per_cube,
+            passes,
+            seed,
+        }
+    }
+
+    /// Footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.cubes * self.words_per_cube * 4
+    }
+
+    fn addr(&self, cube: u64, word: u64) -> u64 {
+        CUBES_BASE + (cube * self.words_per_cube + word) * 4
+    }
+}
+
+impl Workload for Espresso {
+    fn name(&self) -> &str {
+        "espresso"
+    }
+
+    fn generate(&self, sink: &mut dyn TraceSink) {
+        let mut e = Emit::new(sink);
+        // Cover setup.
+        for c in 0..self.cubes {
+            for w in 0..self.words_per_cube {
+                e.store_imm(self.addr(c, w));
+            }
+        }
+        // Reduction passes: each cube is checked against partners drawn
+        // from the *entire* cover (real espresso's sharp/consensus loops
+        // scan whole covers), with distance-based early exit. Reuse
+        // distances therefore span the full cube list.
+        for p in 0..self.passes {
+            for c in 0..self.cubes {
+                for k in 0..8u64 {
+                    let other = mix64(self.seed ^ (p << 40) ^ (c << 8) ^ k) % self.cubes;
+                    if other == c {
+                        continue;
+                    }
+                    // Early exit once the cubes' distance exceeds 2 —
+                    // usually within a few words.
+                    let depth = 1 + mix64(self.seed ^ c ^ (other << 16)) % self.words_per_cube;
+                    let mut acc = None;
+                    for w in 0..depth {
+                        let a = e.load(self.addr(c, w));
+                        let b = e.load(self.addr(other, w));
+                        acc = Some(e.int_op(Some(a), Some(b)));
+                        e.branch(0x400, w + 1 < depth, acc);
+                    }
+                    let covered = mix64(self.seed ^ c ^ other ^ p).is_multiple_of(24);
+                    e.branch(0x420, covered, acc);
+                    if covered {
+                        // Raise: rewrite the covering cube.
+                        for w in 0..self.words_per_cube {
+                            let v = e.load(self.addr(other, w));
+                            e.store(self.addr(c, w), v);
+                        }
+                    }
+                }
+                e.loop_back(0x440, c + 1 < self.cubes);
+            }
+            e.loop_back(0x480, p + 1 < self.passes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use membw_trace::reuse::ReuseProfile;
+    use membw_trace::stats::TraceStats;
+
+    fn small() -> Espresso {
+        Espresso::new(128, 8, 4, 11)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(small().collect_mem_refs(), small().collect_mem_refs());
+    }
+
+    #[test]
+    fn footprint_is_small_and_exact() {
+        let w = small();
+        let s = TraceStats::of(&w);
+        assert_eq!(s.footprint_bytes(4), w.footprint_bytes());
+        assert_eq!(w.footprint_bytes(), 128 * 8 * 4);
+    }
+
+    #[test]
+    fn working_set_fits_small_caches() {
+        // An LRU cache of the footprint's size has a tiny miss ratio —
+        // espresso's signature.
+        let w = small();
+        let p = ReuseProfile::measure(&w, 32);
+        let blocks = w.footprint_bytes() / 32;
+        assert!(
+            p.lru_miss_ratio(blocks) < 0.02,
+            "miss ratio = {}",
+            p.lru_miss_ratio(blocks)
+        );
+    }
+
+    #[test]
+    fn reuse_dominates_cold_misses() {
+        let w = small();
+        let p = ReuseProfile::measure(&w, 32);
+        assert!(p.cold_misses() * 20 < p.total(), "heavy temporal reuse");
+    }
+}

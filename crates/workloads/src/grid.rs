@@ -1,0 +1,576 @@
+//! Grid and kernel codes: `swm`, `tomcatv`, `applu`, `hydro2d`, `dnasa2`.
+//!
+//! The floating-point SPEC codes the paper traces are stencil sweeps and
+//! dense kernels over arrays that dwarf the caches: streaming access with
+//! spatial but little cross-iteration temporal locality (the paper: "Swm
+//! iterates over large arrays, with a reference pattern that contains
+//! little locality and no small working sets"). Each type here executes
+//! the real loop nest of its namesake's dominant phase.
+
+use crate::emit::Emit;
+use membw_trace::{Reg, TraceSink, Workload};
+
+/// A named 2-D array of 4-byte elements at a fixed base.
+#[derive(Debug, Clone, Copy)]
+struct Grid2 {
+    base: u64,
+    nx: u64,
+}
+
+impl Grid2 {
+    fn at(&self, i: u64, j: u64) -> u64 {
+        self.base + (i * self.nx + j) * 4
+    }
+}
+
+fn grids(base: u64, count: u64, nx: u64, ny: u64) -> Vec<Grid2> {
+    // Pad each array to a non-power-of-two pitch so the layout does not
+    // produce su2cor-style pathological conflicts.
+    let bytes = (nx * ny * 4 + 4096) / 4096 * 4096 + 4096;
+    (0..count)
+        .map(|k| Grid2 {
+            base: base + k * bytes,
+            nx,
+        })
+        .collect()
+}
+
+/// `swm` / `swim`: shallow-water model, 13 arrays, 9-point updates.
+///
+/// The SPEC92 (`swm`, 180×180) and SPEC95 (`swim`, bigger grid) versions
+/// differ only in size; use [`Swm::spec95`] for the latter's name.
+#[derive(Debug, Clone)]
+pub struct Swm {
+    nx: u64,
+    ny: u64,
+    timesteps: u64,
+    name: &'static str,
+}
+
+impl Swm {
+    /// A `nx × ny` grid run for `timesteps` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is smaller than 3×3 or `timesteps` is zero.
+    pub fn new(nx: u64, ny: u64, timesteps: u64) -> Self {
+        assert!(nx >= 3 && ny >= 3 && timesteps > 0);
+        Self {
+            nx,
+            ny,
+            timesteps,
+            name: "swm",
+        }
+    }
+
+    /// The SPEC95 variant (`swim`).
+    pub fn spec95(nx: u64, ny: u64, timesteps: u64) -> Self {
+        let mut s = Self::new(nx, ny, timesteps);
+        s.name = "swim";
+        s
+    }
+
+    /// Footprint in bytes (13 arrays).
+    pub fn footprint_bytes(&self) -> u64 {
+        13 * self.nx * self.ny * 4
+    }
+}
+
+impl Workload for Swm {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn generate(&self, sink: &mut dyn TraceSink) {
+        let mut e = Emit::new(sink);
+        let a = grids(0x10_0000_0000, 13, self.nx, self.ny);
+        let (u, v, p, unew, vnew, pnew, cu, cv, z, h) =
+            (a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7], a[8], a[9]);
+        for t in 0..self.timesteps {
+            // calc1: cu, cv, z, h from u, v, p — the real loop reads
+            // nine neighbouring values per point and writes four.
+            for i in 1..self.ny - 1 {
+                for j in 1..self.nx - 1 {
+                    let u0 = e.load(u.at(i, j));
+                    let u1 = e.load(u.at(i, j - 1));
+                    let u2 = e.load(u.at(i + 1, j));
+                    let v0 = e.load(v.at(i, j));
+                    let v1 = e.load(v.at(i - 1, j));
+                    let v2 = e.load(v.at(i, j + 1));
+                    let p0 = e.load(p.at(i, j));
+                    let p1 = e.load(p.at(i, j - 1));
+                    let p2 = e.load(p.at(i - 1, j));
+                    let m1 = e.fp_mul(Some(u0), Some(p0));
+                    let m2 = e.fp_mul(Some(v0), Some(p1));
+                    let m3 = e.fp_mul(Some(u2), Some(p2));
+                    let s1 = e.fp_add(Some(m1), Some(u1));
+                    let s2 = e.fp_add(Some(m2), Some(v1));
+                    let s3 = e.fp_add(Some(m3), Some(v2));
+                    e.store(cu.at(i, j), s1);
+                    e.store(cv.at(i, j), s2);
+                    let zz = e.fp_add(Some(s1), Some(s2));
+                    e.store(z.at(i, j), zz);
+                    let hh = e.fp_add(Some(zz), Some(s3));
+                    e.store(h.at(i, j), hh);
+                    e.loop_back(0x600, j + 2 < self.nx);
+                }
+                e.loop_back(0x640, i + 2 < self.ny);
+            }
+            // calc2: unew, vnew, pnew from cu, cv, z, h — nine reads,
+            // three writes.
+            for i in 1..self.ny - 1 {
+                for j in 1..self.nx - 1 {
+                    let c0 = e.load(cu.at(i, j));
+                    let c1 = e.load(cu.at(i, j - 1));
+                    let c2 = e.load(cv.at(i, j));
+                    let c3 = e.load(cv.at(i - 1, j));
+                    let z0 = e.load(z.at(i, j));
+                    let z1 = e.load(z.at(i + 1, j));
+                    let h0 = e.load(h.at(i, j));
+                    let h1 = e.load(h.at(i, j - 1));
+                    let h2 = e.load(h.at(i - 1, j));
+                    let m = e.fp_mul(Some(z0), Some(c0));
+                    let m2 = e.fp_mul(Some(z1), Some(c1));
+                    let s = e.fp_add(Some(m), Some(c2));
+                    let s2 = e.fp_add(Some(m2), Some(c3));
+                    let w1 = e.fp_add(Some(s), Some(h0));
+                    let w2 = e.fp_add(Some(s2), Some(h1));
+                    let w3 = e.fp_add(Some(w1), Some(h2));
+                    e.store(unew.at(i, j), w1);
+                    e.store(vnew.at(i, j), w2);
+                    e.store(pnew.at(i, j), w3);
+                    e.loop_back(0x680, j + 2 < self.nx);
+                }
+                e.loop_back(0x6c0, i + 2 < self.ny);
+            }
+            e.loop_back(0x700, t + 1 < self.timesteps);
+        }
+    }
+}
+
+/// `tomcatv`: vectorized mesh generation, 7 arrays, row sweeps with
+/// neighbour reads and a residual reduction.
+#[derive(Debug, Clone)]
+pub struct Tomcatv {
+    n: u64,
+    iterations: u64,
+}
+
+impl Tomcatv {
+    /// An `n × n` mesh for `iterations` relaxation steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` or `iterations` is zero.
+    pub fn new(n: u64, iterations: u64) -> Self {
+        assert!(n >= 3 && iterations > 0);
+        Self { n, iterations }
+    }
+
+    /// Footprint in bytes (7 arrays).
+    pub fn footprint_bytes(&self) -> u64 {
+        7 * self.n * self.n * 4
+    }
+}
+
+impl Workload for Tomcatv {
+    fn name(&self) -> &str {
+        "tomcatv"
+    }
+
+    fn generate(&self, sink: &mut dyn TraceSink) {
+        let mut e = Emit::new(sink);
+        let a = grids(0x20_0000_0000, 7, self.n, self.n);
+        let (x, y, rx, ry, aa, dd, d) = (a[0], a[1], a[2], a[3], a[4], a[5], a[6]);
+        for it in 0..self.iterations {
+            // Residual computation: the real loop reads both the x and y
+            // meshes' full 5-point neighbourhoods (ten loads per point).
+            for i in 1..self.n - 1 {
+                for j in 1..self.n - 1 {
+                    let x0 = e.load(x.at(i, j - 1));
+                    let x1 = e.load(x.at(i, j + 1));
+                    let x2 = e.load(x.at(i - 1, j));
+                    let x3 = e.load(x.at(i + 1, j));
+                    let x4 = e.load(x.at(i, j));
+                    let y0 = e.load(y.at(i, j - 1));
+                    let y1 = e.load(y.at(i, j + 1));
+                    let y2 = e.load(y.at(i - 1, j));
+                    let y3 = e.load(y.at(i + 1, j));
+                    let y4 = e.load(y.at(i, j));
+                    let s1 = e.fp_add(Some(x0), Some(x1));
+                    let s2 = e.fp_add(Some(x2), Some(x3));
+                    let s3 = e.fp_add(Some(y0), Some(y1));
+                    let s4 = e.fp_add(Some(y2), Some(y3));
+                    let m = e.fp_mul(Some(s1), Some(y4));
+                    let m2 = e.fp_mul(Some(s3), Some(x4));
+                    let r = e.fp_add(Some(m), Some(s2));
+                    let r2 = e.fp_add(Some(m2), Some(s4));
+                    e.store(rx.at(i, j), r);
+                    e.store(ry.at(i, j), r2);
+                    e.store(aa.at(i, j), s1);
+                    e.store(dd.at(i, j), s2);
+                    e.loop_back(0x740, j + 2 < self.n);
+                }
+                e.loop_back(0x780, i + 2 < self.n);
+            }
+            // Tridiagonal solve along rows (forward + back substitution).
+            for i in 1..self.n - 1 {
+                for j in 1..self.n - 1 {
+                    let a0 = e.load(aa.at(i, j));
+                    let d0 = e.load(dd.at(i, j - 1));
+                    let q = e.fp_div(Some(a0), Some(d0));
+                    e.store(d.at(i, j), q);
+                    e.loop_back(0x7c0, j + 2 < self.n);
+                }
+                for j in (1..self.n - 1).rev() {
+                    let d0 = e.load(d.at(i, j));
+                    let r0 = e.load(rx.at(i, j));
+                    let upd = e.fp_add(Some(d0), Some(r0));
+                    e.store(x.at(i, j), upd);
+                    e.loop_back(0x800, j > 1);
+                }
+                e.loop_back(0x840, i + 2 < self.n);
+            }
+            e.loop_back(0x880, it + 1 < self.iterations);
+        }
+    }
+}
+
+/// `applu`: SSOR sweeps over a 3-D grid with 5 variables per point.
+#[derive(Debug, Clone)]
+pub struct Applu {
+    n: u64,
+    iterations: u64,
+}
+
+impl Applu {
+    /// An `n × n × n` grid (5 variables per point) for `iterations`
+    /// SSOR iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` or `iterations` is zero.
+    pub fn new(n: u64, iterations: u64) -> Self {
+        assert!(n >= 3 && iterations > 0);
+        Self { n, iterations }
+    }
+
+    /// Footprint in bytes (5 variables + RHS per point).
+    pub fn footprint_bytes(&self) -> u64 {
+        6 * 5 * self.n * self.n * self.n * 4
+    }
+
+    fn at(&self, field: u64, k: u64, j: u64, i: u64, v: u64) -> u64 {
+        let pitch = self.n * self.n * self.n * 5 * 4 + 8192;
+        0x30_0000_0000 + field * pitch + (((k * self.n + j) * self.n + i) * 5 + v) * 4
+    }
+}
+
+impl Workload for Applu {
+    fn name(&self) -> &str {
+        "applu"
+    }
+
+    fn generate(&self, sink: &mut dyn TraceSink) {
+        let mut e = Emit::new(sink);
+        for it in 0..self.iterations {
+            // Lower-triangular sweep (jacl/blts flavour): each point reads
+            // its own 5 variables plus the k-1/j-1/i-1 neighbours' first
+            // variable, writes its 5.
+            for k in 1..self.n - 1 {
+                for j in 1..self.n - 1 {
+                    for i in 1..self.n - 1 {
+                        let mut acc: Option<Reg> = None;
+                        for v in 0..5 {
+                            let x = e.load(self.at(0, k, j, i, v));
+                            let m = e.fp_mul(Some(x), acc);
+                            acc = Some(m);
+                        }
+                        let nk = e.load(self.at(1, k - 1, j, i, 0));
+                        let nj = e.load(self.at(1, k, j - 1, i, 0));
+                        let ni = e.load(self.at(1, k, j, i - 1, 0));
+                        let s1 = e.fp_add(Some(nk), Some(nj));
+                        let s2 = e.fp_add(Some(ni), acc);
+                        let r = e.fp_add(Some(s1), Some(s2));
+                        for v in 0..5 {
+                            e.store(self.at(1, k, j, i, v), r);
+                        }
+                        e.loop_back(0x900, i + 2 < self.n);
+                    }
+                    e.loop_back(0x940, j + 2 < self.n);
+                }
+                e.loop_back(0x980, k + 2 < self.n);
+            }
+            e.loop_back(0x9c0, it + 1 < self.iterations);
+        }
+    }
+}
+
+/// `hydro2d`: Navier–Stokes hydrodynamics, row-wise passes over many
+/// arrays.
+#[derive(Debug, Clone)]
+pub struct Hydro2d {
+    nx: u64,
+    ny: u64,
+    timesteps: u64,
+}
+
+impl Hydro2d {
+    /// A `nx × ny` grid for `timesteps` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is smaller than 3×3 or `timesteps` is zero.
+    pub fn new(nx: u64, ny: u64, timesteps: u64) -> Self {
+        assert!(nx >= 3 && ny >= 3 && timesteps > 0);
+        Self { nx, ny, timesteps }
+    }
+
+    /// Footprint in bytes (9 arrays).
+    pub fn footprint_bytes(&self) -> u64 {
+        9 * self.nx * self.ny * 4
+    }
+}
+
+impl Workload for Hydro2d {
+    fn name(&self) -> &str {
+        "hydro2d"
+    }
+
+    fn generate(&self, sink: &mut dyn TraceSink) {
+        let mut e = Emit::new(sink);
+        let a = grids(0x40_0000_0000, 9, self.nx, self.ny);
+        for t in 0..self.timesteps {
+            // Pass 1: advection in x — reads 3 arrays at j-1/j/j+1.
+            for i in 0..self.ny {
+                for j in 1..self.nx - 1 {
+                    let r0 = e.load(a[0].at(i, j - 1));
+                    let r1 = e.load(a[0].at(i, j + 1));
+                    let u0 = e.load(a[1].at(i, j));
+                    let m = e.fp_mul(Some(r1), Some(u0));
+                    let s = e.fp_add(Some(m), Some(r0));
+                    e.store(a[2].at(i, j), s);
+                    e.loop_back(0xa00, j + 2 < self.nx);
+                }
+                e.loop_back(0xa40, i + 1 < self.ny);
+            }
+            // Pass 2: advection in y — column-neighbour reads.
+            for i in 1..self.ny - 1 {
+                for j in 0..self.nx {
+                    let r0 = e.load(a[2].at(i - 1, j));
+                    let r1 = e.load(a[2].at(i + 1, j));
+                    let v0 = e.load(a[3].at(i, j));
+                    let m = e.fp_mul(Some(r1), Some(v0));
+                    let s = e.fp_add(Some(m), Some(r0));
+                    e.store(a[4].at(i, j), s);
+                    e.loop_back(0xa80, j + 1 < self.nx);
+                }
+                e.loop_back(0xac0, i + 2 < self.ny);
+            }
+            // Pass 3: pressure/energy update over 4 more arrays.
+            for i in 0..self.ny {
+                for j in 0..self.nx {
+                    let p = e.load(a[5].at(i, j));
+                    let q = e.load(a[6].at(i, j));
+                    let d = e.fp_div(Some(p), Some(q));
+                    e.store(a[7].at(i, j), d);
+                    e.store(a[8].at(i, j), d);
+                    e.loop_back(0xb00, j + 1 < self.nx);
+                }
+                e.loop_back(0xb40, i + 1 < self.ny);
+            }
+            e.loop_back(0xb80, t + 1 < self.timesteps);
+        }
+    }
+}
+
+/// `dnasa2`: the two NASA7 kernels the paper uses — a 2-D complex FFT
+/// and a 4-way-unrolled matrix multiply.
+#[derive(Debug, Clone)]
+pub struct Dnasa2 {
+    fft_log2: u32,
+    mm_n: u64,
+    mm_k: u64,
+}
+
+impl Dnasa2 {
+    /// A `2^fft_log2`-point FFT (run over `2^(fft_log2/2)` rows) plus an
+    /// `mm_n × mm_k` by `mm_k × mm_n` matrix multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fft_log2 < 4` or the matrix dimensions are zero.
+    pub fn new(fft_log2: u32, mm_n: u64, mm_k: u64) -> Self {
+        assert!(fft_log2 >= 4, "FFT needs at least 16 points");
+        assert!(mm_n > 0 && mm_k > 0);
+        Self {
+            fft_log2,
+            mm_n,
+            mm_k,
+        }
+    }
+
+    /// Footprint in bytes (complex FFT array + three matrices).
+    pub fn footprint_bytes(&self) -> u64 {
+        (2u64 << self.fft_log2) * 4 + (2 * self.mm_n * self.mm_k + self.mm_n * self.mm_n) * 4
+    }
+}
+
+const FFT_BASE: u64 = 0x50_0000_0000;
+const MM_BASE: u64 = 0x51_0000_0000;
+
+impl Workload for Dnasa2 {
+    fn name(&self) -> &str {
+        "dnasa2"
+    }
+
+    fn generate(&self, sink: &mut dyn TraceSink) {
+        let mut e = Emit::new(sink);
+        let n = 1u64 << self.fft_log2;
+        // --- FFT: radix-2 DIT stages over interleaved re/im words.
+        let at = |idx: u64, im: u64| FFT_BASE + (idx * 2 + im) * 4;
+        for s in 0..self.fft_log2 {
+            let half = 1u64 << s;
+            let step = half * 2;
+            let mut base = 0;
+            while base < n {
+                for k in 0..half {
+                    let i0 = base + k;
+                    let i1 = base + k + half;
+                    let ar = e.load(at(i0, 0));
+                    let ai = e.load(at(i0, 1));
+                    let br = e.load(at(i1, 0));
+                    let bi = e.load(at(i1, 1));
+                    let tr = e.fp_mul(Some(br), Some(ai));
+                    let ti = e.fp_mul(Some(bi), Some(ar));
+                    let s0 = e.fp_add(Some(ar), Some(tr));
+                    let s1 = e.fp_add(Some(ai), Some(ti));
+                    e.store(at(i0, 0), s0);
+                    e.store(at(i0, 1), s1);
+                    let d0 = e.fp_add(Some(ar), Some(tr));
+                    let d1 = e.fp_add(Some(ai), Some(ti));
+                    e.store(at(i1, 0), d0);
+                    e.store(at(i1, 1), d1);
+                    e.loop_back(0xc00, k + 1 < half);
+                }
+                base += step;
+                e.loop_back(0xc40, base < n);
+            }
+            e.loop_back(0xc80, s + 1 < self.fft_log2);
+        }
+        // --- Matrix multiply, 4-way unrolled over j: C[n×n] = A[n×k] B[k×n].
+        let a_at = |i: u64, kk: u64| MM_BASE + (i * self.mm_k + kk) * 4;
+        let b_at = |kk: u64, j: u64| MM_BASE + 0x100_0000 + (kk * self.mm_n + j) * 4;
+        let c_at = |i: u64, j: u64| MM_BASE + 0x200_0000 + (i * self.mm_n + j) * 4;
+        for i in 0..self.mm_n {
+            let mut j = 0;
+            while j < self.mm_n {
+                let lanes = (self.mm_n - j).min(4);
+                let mut accs: Vec<Reg> = Vec::new();
+                for _ in 0..lanes {
+                    accs.push(e.fp_add(None, None));
+                }
+                for kk in 0..self.mm_k {
+                    let av = e.load(a_at(i, kk));
+                    for (l, acc) in accs.iter_mut().enumerate() {
+                        let bv = e.load(b_at(kk, j + l as u64));
+                        let m = e.fp_mul(Some(av), Some(bv));
+                        *acc = e.fp_add(Some(m), Some(*acc));
+                    }
+                    e.loop_back(0xd00, kk + 1 < self.mm_k);
+                }
+                for (l, acc) in accs.iter().enumerate() {
+                    e.store(c_at(i, j + l as u64), *acc);
+                }
+                j += lanes;
+                e.loop_back(0xd40, j < self.mm_n);
+            }
+            e.loop_back(0xd80, i + 1 < self.mm_n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use membw_trace::reuse::ReuseProfile;
+    use membw_trace::stats::TraceStats;
+
+    #[test]
+    fn all_grid_kernels_are_deterministic() {
+        let swm = Swm::new(20, 20, 2);
+        assert_eq!(swm.collect_mem_refs(), swm.collect_mem_refs());
+        let tom = Tomcatv::new(16, 2);
+        assert_eq!(tom.collect_mem_refs(), tom.collect_mem_refs());
+        let ap = Applu::new(8, 1);
+        assert_eq!(ap.collect_mem_refs(), ap.collect_mem_refs());
+        let hy = Hydro2d::new(16, 16, 1);
+        assert_eq!(hy.collect_mem_refs(), hy.collect_mem_refs());
+        let dn = Dnasa2::new(6, 8, 8);
+        assert_eq!(dn.collect_mem_refs(), dn.collect_mem_refs());
+    }
+
+    #[test]
+    fn swm_footprint_tracks_grid() {
+        let w = Swm::new(32, 32, 1);
+        let s = TraceStats::of(&w);
+        // Boundary rows are never touched, so measured < declared.
+        assert!(s.footprint_bytes(4) <= w.footprint_bytes());
+        assert!(s.footprint_bytes(4) > w.footprint_bytes() / 3);
+    }
+
+    #[test]
+    fn swm_has_spatial_but_little_cross_iteration_temporal_locality() {
+        let w = Swm::new(48, 48, 2);
+        let p = ReuseProfile::measure(&w, 32);
+        // Small cache (64 blocks = 2 KiB): high miss ratio (streams).
+        // Cache holding the full footprint: low miss ratio.
+        let small = p.lru_miss_ratio(64);
+        let big = p.lru_miss_ratio(1 << 14);
+        assert!(small > 0.05, "small = {small}");
+        // The big-cache ratio is dominated by compulsory misses.
+        assert!(big < 0.06, "big = {big}");
+        assert!(big * 2.0 < small, "capacity must matter: {big} vs {small}");
+    }
+
+    #[test]
+    fn applu_scales_cubically() {
+        let small = Applu::new(6, 1).collect_mem_refs().len() as f64;
+        let big = Applu::new(12, 1).collect_mem_refs().len() as f64;
+        // Interior scales as (n-2)^3: (10/4)^3 ≈ 15.6.
+        let ratio = big / small;
+        assert!(ratio > 10.0 && ratio < 20.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn dnasa2_fft_work_is_n_log_n() {
+        let small = Dnasa2::new(8, 1, 1).collect_mem_refs().len() as f64;
+        let big = Dnasa2::new(10, 1, 1).collect_mem_refs().len() as f64;
+        // n log n: (1024*10)/(256*8) = 5.0.
+        let ratio = big / small;
+        assert!(ratio > 4.0 && ratio < 6.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn dnasa2_mm_reuses_b_columns() {
+        // The MM phase re-reads B heavily: a cache holding B turns those
+        // into hits, so the reuse profile must show strong temporal reuse.
+        let w = Dnasa2::new(4, 16, 16);
+        let p = ReuseProfile::measure(&w, 32);
+        assert!(p.cold_misses() * 4 < p.total());
+    }
+
+    #[test]
+    fn tomcatv_write_fraction_is_moderate() {
+        let s = TraceStats::of(&Tomcatv::new(20, 2));
+        let f = s.write_fraction();
+        assert!(f > 0.2 && f < 0.5, "write fraction = {f}");
+    }
+
+    #[test]
+    fn hydro2d_streams_many_arrays() {
+        let w = Hydro2d::new(24, 24, 1);
+        let s = TraceStats::of(&w);
+        assert!(s.footprint_bytes(4) > 9 * 20 * 20 * 4 / 2);
+    }
+}

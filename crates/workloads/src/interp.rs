@@ -1,0 +1,236 @@
+//! Interpreter-style integer codes: `li` and `perl`.
+//!
+//! SPEC's 130.li is a Lisp interpreter whose data is a small cons-cell
+//! heap walked by pointer chasing with heavy reuse (0.12 MB data set in
+//! Table 3); 134.perl (the `jumble.pl` input) scans a large dictionary
+//! and probes associative arrays — a big-footprint mix of sequential
+//! string reads and scattered hash probes.
+
+use crate::emit::{mix64, Emit};
+use membw_trace::{TraceSink, Workload};
+
+const HEAP_BASE: u64 = 0x60_0000_0000;
+/// Cons cell: car word + cdr word.
+const CELL_BYTES: u64 = 8;
+
+/// The Lisp-interpreter kernel (`li`). See the module-level documentation.
+#[derive(Debug, Clone)]
+pub struct Li {
+    cells: u64,
+    evals: u64,
+    seed: u64,
+}
+
+impl Li {
+    /// A heap of `cells` cons cells evaluated for `evals` list walks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells < 16` or `evals` is zero.
+    pub fn new(cells: u64, evals: u64, seed: u64) -> Self {
+        assert!(cells >= 16 && evals > 0);
+        Self { cells, evals, seed }
+    }
+
+    /// Footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.cells * CELL_BYTES
+    }
+
+    fn cell_addr(cell: u64) -> u64 {
+        HEAP_BASE + cell * CELL_BYTES
+    }
+}
+
+impl Workload for Li {
+    fn name(&self) -> &str {
+        "li"
+    }
+
+    fn generate(&self, sink: &mut dyn TraceSink) {
+        let mut e = Emit::new(sink);
+        // Build a heap of lists: cell i's cdr points to a nearby cell
+        // (allocation locality), cars point at atoms/subexpressions.
+        let cdr: Vec<u64> = (0..self.cells)
+            .map(|i| {
+                let jump = mix64(self.seed ^ i) % 8;
+                (i + 1 + jump) % self.cells
+            })
+            .collect();
+        for i in 0..self.cells {
+            e.store_imm(Li::cell_addr(i)); // car
+            e.store_imm(Li::cell_addr(i) + 4); // cdr
+        }
+        // Eval loop: walk lists, apply, occasionally allocate; a sweep
+        // "GC" pass runs every 64 evals (xlisp's mark-and-sweep).
+        let mut free = 0u64;
+        for ev in 0..self.evals {
+            let mut cur = mix64(self.seed ^ 0x1111 ^ ev) % self.cells;
+            let len = 4 + mix64(ev) % 24;
+            let mut val = None;
+            for step in 0..len {
+                let car = e.load(Li::cell_addr(cur));
+                let nxt = e.load_dep(Li::cell_addr(cur) + 4, car);
+                val = Some(e.int_op(Some(car), val));
+                e.branch(0xe00, step + 1 < len, Some(nxt));
+                cur = cdr[cur as usize];
+            }
+            // cons the result.
+            e.store(Li::cell_addr(free), val.expect("walked at least one cell"));
+            e.store_imm(Li::cell_addr(free) + 4);
+            free = (free + 1) % self.cells;
+            if ev % 64 == 63 {
+                // Sweep: sequential pass over the whole heap.
+                for i in 0..self.cells {
+                    let m = e.load(Li::cell_addr(i));
+                    e.branch(0xe40, mix64(i).is_multiple_of(4), Some(m));
+                    e.loop_back(0xe80, i + 1 < self.cells);
+                }
+            }
+            e.loop_back(0xec0, ev + 1 < self.evals);
+        }
+    }
+}
+
+const DICT_BASE: u64 = 0x70_0000_0000;
+const HASH_BASE: u64 = 0x71_0000_0000;
+/// Hash-table entry: key pointer + value (2 words).
+const HENTRY_BYTES: u64 = 8;
+
+/// The Perl/associative-array kernel (`perl`). See the
+/// module-level documentation.
+#[derive(Debug, Clone)]
+pub struct Perl {
+    dict_words: u64,
+    table_entries: u64,
+    lookups: u64,
+    seed: u64,
+}
+
+impl Perl {
+    /// Scan a dictionary of `dict_words` 16-byte words, probing a hash
+    /// table of `table_entries` slots, `lookups` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_entries` is not a power of two or anything is
+    /// zero.
+    pub fn new(dict_words: u64, table_entries: u64, lookups: u64, seed: u64) -> Self {
+        assert!(table_entries.is_power_of_two());
+        assert!(dict_words > 0 && lookups > 0);
+        Self {
+            dict_words,
+            table_entries,
+            lookups,
+            seed,
+        }
+    }
+
+    /// Footprint in bytes: the dictionary plus the table slots the
+    /// probe pattern can reach (each dictionary word probes at most
+    /// three slots, so a sparse run touches far less than the whole
+    /// table).
+    pub fn footprint_bytes(&self) -> u64 {
+        let reachable_slots = self.table_entries.min(self.dict_words * 3);
+        self.dict_words * 16 + reachable_slots * HENTRY_BYTES
+    }
+}
+
+impl Workload for Perl {
+    fn name(&self) -> &str {
+        "perl"
+    }
+
+    fn generate(&self, sink: &mut dyn TraceSink) {
+        let mut e = Emit::new(sink);
+        let mask = self.table_entries - 1;
+        for l in 0..self.lookups {
+            // Pick the next dictionary word (sequential scan with restarts,
+            // like jumble's per-anagram pass).
+            let word = l % self.dict_words;
+            let waddr = DICT_BASE + word * 16;
+            // Read the word: 4 sequential word loads + hash arithmetic.
+            let mut h = None;
+            for w in 0..4 {
+                let c = e.load(waddr + w * 4);
+                let m = e.int_mul(Some(c), h);
+                h = Some(e.int_op(Some(m), None));
+            }
+            // Probe the table: 1–3 scattered probes.
+            let probes = 1 + mix64(self.seed ^ l) % 3;
+            for p in 0..probes {
+                let slot = mix64(self.seed ^ word << 8 ^ p) & mask;
+                let entry = HASH_BASE + slot * HENTRY_BYTES;
+                let k = e.load(entry);
+                e.branch(0xf00, p + 1 == probes, Some(k));
+            }
+            // Hit: update the value; miss on ~1/4: insert.
+            let final_slot = mix64(self.seed ^ word << 8 ^ (probes - 1)) & mask;
+            let entry = HASH_BASE + final_slot * HENTRY_BYTES;
+            if mix64(l ^ 0x2222).is_multiple_of(4) {
+                e.store(entry, h.expect("hash computed"));
+            }
+            let v = e.load(entry + 4);
+            let upd = e.int_op(Some(v), h);
+            e.store(entry + 4, upd);
+            e.loop_back(0xf40, l + 1 < self.lookups);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use membw_trace::reuse::ReuseProfile;
+    use membw_trace::stats::TraceStats;
+
+    #[test]
+    fn li_deterministic_small_footprint() {
+        let w = Li::new(2048, 200, 5);
+        assert_eq!(w.collect_mem_refs(), w.collect_mem_refs());
+        let s = TraceStats::of(&w);
+        assert_eq!(s.footprint_bytes(4), w.footprint_bytes());
+        assert!(w.footprint_bytes() < 32 * 1024, "li's heap is small");
+    }
+
+    #[test]
+    fn li_reuses_the_heap_heavily() {
+        let w = Li::new(2048, 400, 5);
+        let p = ReuseProfile::measure(&w, 32);
+        let blocks = w.footprint_bytes() / 32;
+        assert!(p.lru_miss_ratio(blocks) < 0.05);
+    }
+
+    #[test]
+    fn perl_touches_a_large_table() {
+        let w = Perl::new(4096, 1 << 16, 20_000, 9);
+        let s = TraceStats::of(&w);
+        assert!(
+            s.footprint_bytes(4) > 100 * 1024,
+            "fp = {}",
+            s.footprint_bytes(4)
+        );
+        assert!(s.writes > 0);
+    }
+
+    #[test]
+    fn perl_deterministic() {
+        let a = Perl::new(512, 1 << 12, 2000, 3).collect_mem_refs();
+        let b = Perl::new(512, 1 << 12, 2000, 3).collect_mem_refs();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn perl_dictionary_scan_has_spatial_locality() {
+        // Dictionary reads are 4 consecutive words: 32-byte blocks halve
+        // (at least) the distinct-block count relative to 4-byte blocks
+        // for the dictionary region.
+        let w = Perl::new(1024, 1 << 12, 4096, 3);
+        let refs = w.collect_mem_refs();
+        let dict_refs: Vec<_> = refs.iter().filter(|r| r.addr < HASH_BASE).collect();
+        let words: std::collections::HashSet<u64> = dict_refs.iter().map(|r| r.addr / 4).collect();
+        let blocks: std::collections::HashSet<u64> =
+            dict_refs.iter().map(|r| r.addr / 32).collect();
+        assert!(words.len() >= blocks.len() * 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Synthetic SPEC-like workload kernels for the `membw` simulators.
+//!
+//! The paper traces seven SPEC92 and seven SPEC95 programs (Table 3). We
+//! cannot ship SPEC binaries or QPT traces, so this crate implements, for
+//! each benchmark, a kernel that *executes the same algorithm class over
+//! simulated data structures* and emits a deterministic micro-op trace:
+//!
+//! | name | algorithm class | reference-pattern signature |
+//! |------|-----------------|------------------------------|
+//! | `compress` | LZW with open-addressed hash table | scattered table probes, almost no spatial locality |
+//! | `eqntott` | quicksort over PTERM-like records | record-pair compares, mixed locality |
+//! | `espresso` | cube-list logic minimization | small working set, heavy reuse |
+//! | `su2cor` | lattice sweeps over conflicting arrays | same-index reads of power-of-two-spaced arrays |
+//! | `swm` | shallow-water stencils | streaming multi-array sweeps, little temporal reuse |
+//! | `tomcatv` | mesh-generation stencils | row sweeps with neighbour reads |
+//! | `dnasa2` | 2-D FFT + unrolled matrix multiply | butterfly strides + tiled reuse |
+//! | `applu` / `hydro2d` / `swim` / `su2cor95` | larger 2-D/3-D grid solvers | streaming, larger footprints |
+//! | `li` | cons-cell interpreter | pointer chasing in a small heap |
+//! | `perl` | string hashing / associative arrays | dictionary scan + scattered probes |
+//! | `vortex` | object database | index-tree descent + object-field bursts |
+//!
+//! Data-set sizes are scaled (see [`Scale`]) so that the cache-size
+//! crossovers of the paper's tables land at the same *relative* positions
+//! (cache ≪ footprint, cache ≈ footprint, cache ≫ footprint).
+//!
+//! # Example
+//!
+//! ```
+//! use membw_workloads::{suite92, Scale};
+//! use membw_trace::stats::TraceStats;
+//!
+//! let suite = suite92(Scale::Test);
+//! let compress = suite.iter().find(|b| b.name() == "compress").unwrap();
+//! let stats = TraceStats::of(&compress.workload());
+//! assert!(stats.refs > 1_000);
+//! ```
+
+pub mod emit;
+pub mod kernels;
+pub mod suite;
+
+mod compress;
+mod eqntott;
+mod espresso;
+mod grid;
+mod interp;
+mod su2cor;
+mod vortex;
+
+pub use compress::Compress;
+pub use eqntott::Eqntott;
+pub use espresso::Espresso;
+pub use grid::{Applu, Dnasa2, Hydro2d, Swm, Tomcatv};
+pub use interp::{Li, Perl};
+pub use su2cor::Su2cor;
+pub use suite::{suite92, suite95, Benchmark, Scale, Suite};
+pub use vortex::Vortex;

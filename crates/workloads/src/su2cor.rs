@@ -1,0 +1,173 @@
+//! `su2cor`: lattice-QCD-style sweeps over conflicting large arrays.
+//!
+//! SPEC92/95's su2cor iterates over several large arrays whose base
+//! addresses conflict heavily in its main routine — the paper notes the
+//! conflicts persist "until the cache size reaches 64KB" (§4.2). This
+//! kernel sweeps `num_arrays` arrays at the *same index* each iteration,
+//! with bases spaced a large power of two apart so that direct-mapped
+//! caches of any smaller size see all arrays land in the same sets.
+
+use crate::emit::Emit;
+use membw_trace::{TraceSink, Workload};
+
+const BASE: u64 = 0x8000_0000;
+/// Offset quantum for the congruence schedule below.
+const SPACING_QUANTUM: u64 = 16 * 1024;
+/// Per-array offsets in quanta. Chosen so conflicts *taper* with cache
+/// size the way the paper describes for su2cor (§4.2, Table 9): all
+/// four arrays congruent at ≤ 16 KiB (full thrash), three at 32 KiB,
+/// one pair still colliding at 64 KiB (the paper's Table 9 measures an
+/// 8.4 associativity factor there), fully resolved at 128 KiB.
+const OFFSET_QUANTA: [u64; 8] = [0, 1, 2, 4, 3, 5, 6, 7];
+
+/// The conflicting-array sweep kernel. See the module-level documentation.
+#[derive(Debug, Clone)]
+pub struct Su2cor {
+    words_per_array: u64,
+    num_arrays: u64,
+    iterations: u64,
+    name: &'static str,
+}
+
+impl Su2cor {
+    /// SPEC92-flavoured instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or more than 8 arrays are asked
+    /// for.
+    pub fn new(words_per_array: u64, num_arrays: u64, iterations: u64) -> Self {
+        Self::with_name("su2cor", words_per_array, num_arrays, iterations)
+    }
+
+    /// SPEC95-flavoured instance (same kernel, bigger data; listed
+    /// separately in Table 3).
+    pub fn spec95(words_per_array: u64, num_arrays: u64, iterations: u64) -> Self {
+        Self::with_name("su2cor95", words_per_array, num_arrays, iterations)
+    }
+
+    fn with_name(
+        name: &'static str,
+        words_per_array: u64,
+        num_arrays: u64,
+        iterations: u64,
+    ) -> Self {
+        assert!(words_per_array > 0 && num_arrays > 1 && iterations > 0);
+        assert!(num_arrays <= 8, "at most 8 lattice arrays");
+        Self {
+            words_per_array,
+            num_arrays,
+            iterations,
+            name,
+        }
+    }
+
+    /// Footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.num_arrays * self.words_per_array * 4
+    }
+
+    /// Per-array region stride: a multiple of 128 KiB holding one array
+    /// plus the largest offset, so [`OFFSET_QUANTA`] alone controls the
+    /// congruence classes at every cache size up to 128 KiB.
+    fn region(&self) -> u64 {
+        (self.words_per_array * 4 + 8 * SPACING_QUANTUM).div_ceil(128 * 1024) * 128 * 1024
+    }
+
+    fn addr(&self, array: u64, word: u64) -> u64 {
+        BASE + array * self.region() + OFFSET_QUANTA[array as usize] * SPACING_QUANTUM + word * 4
+    }
+}
+
+impl Workload for Su2cor {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn generate(&self, sink: &mut dyn TraceSink) {
+        let mut e = Emit::new(sink);
+        // Gauge-field update: out[i] = f(in_k[i] ...) — all arrays read
+        // at the same index, last array written.
+        let out = self.num_arrays - 1;
+        for it in 0..self.iterations {
+            for i in 0..self.words_per_array {
+                let mut acc = None;
+                for a in 0..self.num_arrays - 1 {
+                    let v = e.load(self.addr(a, i));
+                    let m = e.fp_mul(Some(v), acc);
+                    acc = Some(e.fp_add(Some(m), acc));
+                }
+                let r = e.fp_add(acc, None);
+                e.store(self.addr(out, i), r);
+                e.int_op_into(0, Some(0), None); // induction update
+                e.loop_back(0x500, i + 1 < self.words_per_array);
+            }
+            e.loop_back(0x540, it + 1 < self.iterations);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use membw_cache::{Associativity, Cache, CacheConfig};
+    use membw_trace::stats::TraceStats;
+
+    fn small() -> Su2cor {
+        Su2cor::new(2048, 4, 2)
+    }
+
+    #[test]
+    fn deterministic_and_exact_footprint() {
+        let w = small();
+        assert_eq!(w.collect_mem_refs(), w.collect_mem_refs());
+        let s = TraceStats::of(&w);
+        assert_eq!(s.footprint_bytes(4), w.footprint_bytes());
+    }
+
+    #[test]
+    fn conflicts_punish_small_direct_mapped_caches() {
+        // At 16 KiB the four arrays' same-index words collide every
+        // access in a direct-mapped cache; 4-way absorbs them.
+        let w = small();
+        let run = |size, assoc| {
+            let cfg = CacheConfig::builder(size, 32)
+                .associativity(assoc)
+                .build()
+                .unwrap();
+            let mut c = Cache::new(cfg);
+            w.for_each_mem_ref(&mut |r| {
+                c.access(r);
+            });
+            c.flush().demand_misses()
+        };
+        let dm = run(16 * 1024, Associativity::Ways(1));
+        let ways4 = run(16 * 1024, Associativity::Ways(4));
+        assert!(dm > ways4 * 3, "direct-mapped must thrash: {dm} vs {ways4}");
+        // Conflicts taper: at 64 KiB only one pair still collides, and
+        // 128 KiB resolves everything (the paper's §4.2 progression).
+        let dm64 = run(64 * 1024, Associativity::Ways(1));
+        assert!(
+            dm64 * 3 < dm * 2,
+            "64 KiB keeps only one colliding pair: {dm64} vs {dm}"
+        );
+        let dm128 = run(128 * 1024, Associativity::Ways(1));
+        assert!(
+            dm128 * 5 < dm,
+            "128 KiB resolves all conflicts: {dm128} vs {dm}"
+        );
+    }
+
+    #[test]
+    fn spec95_variant_has_its_own_name() {
+        assert_eq!(Su2cor::spec95(1024, 4, 1).name(), "su2cor95");
+        assert_eq!(small().name(), "su2cor");
+    }
+
+    #[test]
+    fn writes_are_one_array_of_n() {
+        let s = TraceStats::of(&small());
+        let frac = s.writes as f64 / s.refs as f64;
+        assert!(frac > 0.15 && frac < 0.40, "write fraction = {frac}");
+    }
+}

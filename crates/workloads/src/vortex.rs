@@ -1,0 +1,185 @@
+//! `vortex`: an object-oriented database.
+//!
+//! SPEC95's 147.vortex builds and queries an in-memory OO database:
+//! lookups descend index trees (pointer chases over a medium working
+//! set), then read the target object's fields (a short sequential
+//! burst); a fraction of transactions update objects. Footprint ~20 MB
+//! in the paper, scaled here.
+
+use crate::emit::{mix64, Emit};
+use membw_trace::{TraceSink, Workload};
+
+const INDEX_BASE: u64 = 0x80_0000_0000;
+const OBJ_BASE: u64 = 0x81_0000_0000;
+/// Index node: 8 words (keys + children).
+const NODE_BYTES: u64 = 32;
+/// Object: 16 words of fields.
+const OBJ_BYTES: u64 = 64;
+const TREE_FANOUT: u64 = 8;
+
+/// The object-database kernel. See the module-level documentation.
+#[derive(Debug, Clone)]
+pub struct Vortex {
+    objects: u64,
+    transactions: u64,
+    seed: u64,
+}
+
+impl Vortex {
+    /// A database of `objects` objects queried by `transactions`
+    /// transactions (10 % updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objects < TREE_FANOUT` or `transactions` is zero.
+    pub fn new(objects: u64, transactions: u64, seed: u64) -> Self {
+        assert!(objects >= TREE_FANOUT && transactions > 0);
+        Self {
+            objects,
+            transactions,
+            seed,
+        }
+    }
+
+    /// Number of index levels for the object count.
+    fn levels(&self) -> u32 {
+        let mut lv = 1;
+        let mut span = TREE_FANOUT;
+        while span < self.objects {
+            span *= TREE_FANOUT;
+            lv += 1;
+        }
+        lv
+    }
+
+    /// Total index nodes (a full `TREE_FANOUT`-ary tree above the
+    /// objects).
+    fn index_nodes(&self) -> u64 {
+        let mut total = 0;
+        let mut level_nodes = 1u64;
+        for _ in 0..self.levels() {
+            total += level_nodes;
+            level_nodes *= TREE_FANOUT;
+        }
+        total
+    }
+
+    /// Footprint in bytes (index + objects).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.index_nodes() * NODE_BYTES + self.objects * OBJ_BYTES
+    }
+}
+
+impl Workload for Vortex {
+    fn name(&self) -> &str {
+        "vortex"
+    }
+
+    fn generate(&self, sink: &mut dyn TraceSink) {
+        let mut e = Emit::new(sink);
+        let levels = self.levels();
+        // Populate: write every object sequentially (db load phase).
+        for o in 0..self.objects {
+            for w in 0..OBJ_BYTES / 4 {
+                e.store_imm(OBJ_BASE + o * OBJ_BYTES + w * 4);
+            }
+            e.loop_back(0x1000, o + 1 < self.objects);
+        }
+        // Transactions.
+        for t in 0..self.transactions {
+            let key = mix64(self.seed ^ t) % self.objects;
+            // Descend the index: one node per level; each visit reads a
+            // couple of key words and the child pointer.
+            let mut node_index = 0u64; // breadth-first numbering
+            let mut level_base = 0u64;
+            let mut level_nodes = 1u64;
+            let mut ptr = None;
+            for lv in 0..levels {
+                let addr = INDEX_BASE + (level_base + node_index) * NODE_BYTES;
+                let k0 = e.load(addr);
+                let k1 = e.load(addr + 4);
+                let cmp = e.int_op(Some(k0), Some(k1));
+                e.branch(0x1040, lv + 1 < levels, Some(cmp));
+                ptr = Some(e.load_dep(addr + 8, cmp));
+                // Child selection follows the key digits.
+                let digit = (key / TREE_FANOUT.pow(levels - 1 - lv)) % TREE_FANOUT;
+                level_base += level_nodes;
+                level_nodes *= TREE_FANOUT;
+                node_index = node_index * TREE_FANOUT + digit;
+            }
+            // Object access: read all fields.
+            let oaddr = OBJ_BASE + key * OBJ_BYTES;
+            let mut acc = ptr;
+            for w in 0..OBJ_BYTES / 4 {
+                let f = e.load(oaddr + w * 4);
+                acc = Some(e.int_op(Some(f), acc));
+            }
+            // 10% of transactions update a few fields.
+            if mix64(t ^ 0x3333).is_multiple_of(10) {
+                for w in 0..4 {
+                    e.store(oaddr + w * 4, acc.expect("fields read"));
+                }
+            }
+            e.loop_back(0x1080, t + 1 < self.transactions);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use membw_trace::reuse::ReuseProfile;
+    use membw_trace::stats::TraceStats;
+
+    fn small() -> Vortex {
+        Vortex::new(4096, 8000, 13)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(small().collect_mem_refs(), small().collect_mem_refs());
+    }
+
+    #[test]
+    fn footprint_includes_index_and_objects() {
+        let w = small();
+        let s = TraceStats::of(&w);
+        assert!(s.footprint_bytes(4) > 4096 * 64 / 2);
+        assert!(s.footprint_bytes(4) <= w.footprint_bytes());
+    }
+
+    #[test]
+    fn upper_index_levels_are_hot() {
+        // The root and level-1 nodes are touched by every transaction, so
+        // a small cache still gets a meaningful hit rate (vortex's mixed
+        // locality).
+        let w = small();
+        let p = ReuseProfile::measure(&w, 32);
+        let small_cache = p.lru_miss_ratio(256); // 8 KiB
+        let big_cache = p.lru_miss_ratio(1 << 14); // 512 KiB
+        assert!(small_cache < 0.9, "index hits exist: {small_cache}");
+        assert!(big_cache < small_cache);
+    }
+
+    #[test]
+    fn object_reads_are_sequential_bursts() {
+        let w = Vortex::new(512, 400, 3);
+        let refs = w.collect_mem_refs();
+        let obj_reads: Vec<_> = refs
+            .iter()
+            .filter(|r| r.addr >= OBJ_BASE && r.kind.is_read())
+            .collect();
+        // Consecutive object reads are mostly 4 bytes apart.
+        let sequential = obj_reads
+            .windows(2)
+            .filter(|w| w[1].addr == w[0].addr + 4)
+            .count();
+        assert!(sequential * 2 > obj_reads.len(), "bursty field reads");
+    }
+
+    #[test]
+    fn writes_are_minority() {
+        let s = TraceStats::of(&small());
+        assert!(s.write_fraction() < 0.5);
+    }
+}

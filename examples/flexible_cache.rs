@@ -1,0 +1,58 @@
+//! Flexible caches (§5.3): no single block size is right for every
+//! program, so let software pick. This example sweeps the transfer size
+//! per workload and shows the per-application optimum — the paper's
+//! argument for programmable cache parameters.
+//!
+//! Run with: `cargo run --release --example flexible_cache`
+
+use membw::cache::{Associativity, Cache, CacheConfig};
+use membw::workloads::{suite92, Scale};
+
+fn traffic(refs: &[membw::trace::MemRef], size: u64, block: u64) -> u64 {
+    let cfg = CacheConfig::builder(size, block)
+        .associativity(Associativity::Ways(4))
+        .build()
+        .expect("valid geometry");
+    let mut c = Cache::new(cfg);
+    for &r in refs {
+        c.access(r);
+    }
+    c.flush().traffic_below()
+}
+
+fn main() {
+    const BLOCKS: [u64; 6] = [4, 8, 16, 32, 64, 128];
+    const CACHE: u64 = 16 * 1024;
+
+    println!("16KB 4-way cache: total below-cache traffic (KB) per block size\n");
+    print!("{:<10}", "workload");
+    for b in BLOCKS {
+        print!("{:>9}", format!("{b}B"));
+    }
+    println!("{:>10}", "best");
+    println!("{}", "-".repeat(10 + 9 * BLOCKS.len() + 10));
+
+    let mut best_blocks = Vec::new();
+    for bench in suite92(Scale::Test) {
+        let refs = bench.workload().collect_mem_refs();
+        print!("{:<10}", bench.name());
+        let mut best = (u64::MAX, 0u64);
+        for b in BLOCKS {
+            let t = traffic(&refs, CACHE, b);
+            if t < best.0 {
+                best = (t, b);
+            }
+            print!("{:>9}", t / 1024);
+        }
+        println!("{:>9}B", best.1);
+        best_blocks.push((bench.name().to_string(), best.1));
+    }
+
+    let distinct: std::collections::HashSet<u64> = best_blocks.iter().map(|(_, b)| *b).collect();
+    println!(
+        "\n{} distinct optima across {} workloads — the case for\n\
+         software-controlled transfer sizes (§5.3).",
+        distinct.len(),
+        best_blocks.len()
+    );
+}

@@ -1,0 +1,46 @@
+//! The paper's endgame (§6, Figure 5): when off-chip accesses cost like
+//! page faults, all system memory moves onto processor/memory modules.
+//! This example locates the break-even locality for a unified module
+//! against a conventional system as pin pressure grows.
+//!
+//! Run with: `cargo run --release --example future_system`
+
+use membw::analytic::onchip::{ConventionalSystem, UnifiedModule};
+
+fn main() {
+    let conventional = ConventionalSystem {
+        hit_ns: 2.0,
+        offchip_ns: 90.0,
+        pin_bw: 0.8, // 800 MB/s ≈ a 1996 package
+        line_bytes: 32.0,
+    };
+    let module = UnifiedModule {
+        hit_ns: 2.0,
+        onchip_dram_ns: 25.0,
+        remote_ns: 400.0,
+        local_fraction: 0.9,
+    };
+
+    println!("conventional: 90ns off-chip, 800 MB/s pins, 32B lines");
+    println!("unified module: 25ns on-chip DRAM, 400ns remote modules\n");
+
+    println!("miss   pin     conventional   unified(90% local)   break-even");
+    println!("ratio  load    avg ns         avg ns               locality");
+    println!("{}", "-".repeat(66));
+    for miss in [0.02, 0.05, 0.10] {
+        for load in [0.0, 0.5, 0.9] {
+            let c = conventional.avg_access_ns_at_load(miss, load);
+            let u = module.avg_access_ns(miss);
+            let be = module
+                .break_even_locality(&conventional, miss, load)
+                .map(|f| format!("{:.0}%", f * 100.0))
+                .unwrap_or_else(|| "unreachable".to_string());
+            println!("{miss:>5.2}  {load:>4.1}   {c:>10.1}      {u:>10.1}          {be:>10}");
+        }
+    }
+    println!(
+        "\nReading: as pin utilization rises, the locality a unified module\n\
+         needs to win falls — the §6 argument that growing bandwidth\n\
+         pressure eventually moves all memory on-die."
+    );
+}

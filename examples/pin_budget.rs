@@ -1,0 +1,62 @@
+//! Pin-budget planning with effective pin bandwidth (Eqs. 5 & 7) and
+//! the §4.3 trend projection: given a package, how much usable memory
+//! bandwidth does the processor actually see, how much could better
+//! on-chip management buy, and how long do the trends give you?
+//!
+//! Run with: `cargo run --release --example pin_budget`
+
+use membw::analytic::extrapolate::project;
+use membw::analytic::{effective_pin_bandwidth, upper_bound_epin};
+use membw::cache::{Cache, CacheConfig};
+use membw::mtc::{MinCache, MinConfig};
+use membw::trace::Workload;
+use membw::workloads::{Perl, Vortex};
+
+fn measure(w: &dyn Workload, cache_bytes: u64) -> (f64, f64) {
+    let refs = w.collect_mem_refs();
+    let cfg = CacheConfig::builder(cache_bytes, 32)
+        .build()
+        .expect("valid geometry");
+    let mut cache = Cache::new(cfg);
+    for &r in &refs {
+        cache.access(r);
+    }
+    let stats = cache.flush();
+    let ratio = stats.traffic_ratio().expect("non-empty trace");
+    let mtc = MinCache::simulate(&MinConfig::mtc(cache_bytes), &refs);
+    let g = (stats.traffic_below() as f64 / mtc.traffic_below() as f64).max(1.0);
+    (ratio, g)
+}
+
+fn main() {
+    // A 1996-class package: ~600 pins, 800 MB/s peak.
+    let b_pin = 800.0;
+    println!("package: 800 MB/s peak pin bandwidth, 64KB on-chip cache\n");
+    println!(
+        "{:<10}{:>8}{:>8}{:>14}{:>14}",
+        "workload", "R", "G", "E_pin MB/s", "OE_pin MB/s"
+    );
+    println!("{}", "-".repeat(54));
+    let perl = Perl::new(4096, 1 << 15, 30_000, 1);
+    let vortex = Vortex::new(4096, 8000, 1);
+    for w in [&perl as &dyn Workload, &vortex] {
+        let (r, g) = measure(w, 64 * 1024);
+        let e = effective_pin_bandwidth(b_pin, &[r]);
+        let oe = upper_bound_epin(b_pin, &[r], &[g]);
+        println!("{:<10}{r:>8.2}{g:>8.1}{e:>14.0}{oe:>14.0}", w.name());
+    }
+
+    println!("\nTrend budget (16%/yr pins, 60%/yr performance):");
+    for years in [2u32, 5, 10] {
+        let p = project(600.0, 0.16, 0.60, years);
+        println!(
+            "  +{years:>2} years: {:>5.0} pins, {:>5.1}x performance -> {:>4.1}x more bandwidth needed per pin",
+            p.pins, p.performance_multiple, p.per_pin_bandwidth_multiple
+        );
+    }
+    println!(
+        "\nThe gap must come from effective-bandwidth engineering (better\n\
+         on-chip management, the OE_pin column) or from moving memory onto\n\
+         the processor die (§6)."
+    );
+}

@@ -1,0 +1,27 @@
+//! `membw` — a from-scratch Rust reproduction of Burger, Goodman and
+//! Kägi, *Memory Bandwidth Limitations of Future Microprocessors*
+//! (ISCA 1996).
+//!
+//! This facade crate re-exports the whole workspace; see the README for
+//! the architecture and [`core`] (`membw-core`) for the per-table
+//! experiment runners.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use membw::cache::{Cache, CacheConfig};
+//! use membw::trace::{pattern::Strided, Workload};
+//!
+//! // How much traffic does a 64 KiB cache generate for a streaming
+//! // workload with no spatial locality? (Table 7's question.)
+//! let cfg = CacheConfig::builder(64 * 1024, 32).build()?;
+//! let mut cache = Cache::new(cfg);
+//! Strided::reads(0, 32, 100_000).for_each_mem_ref(&mut |r| {
+//!     cache.access(r);
+//! });
+//! let stats = cache.flush();
+//! assert!(stats.traffic_ratio().unwrap() > 1.0); // worse than no cache!
+//! # Ok::<(), membw::cache::ConfigError>(())
+//! ```
+
+pub use membw_core::*;

@@ -1,0 +1,116 @@
+//! Integration tests for the §3 execution-time decomposition across
+//! cores, experiments, and workload shapes.
+
+use membw::sim::{decompose, Experiment, MachineSpec};
+use membw::trace::pattern::{PointerChase, Strided, Zipf};
+use membw::trace::Workload;
+use membw::workloads::{Compress, Espresso, Swm};
+
+fn check_invariants(w: &dyn Workload, spec: &MachineSpec) -> membw::sim::Decomposition {
+    let d = decompose(w, spec);
+    assert!(
+        (d.f_p + d.f_l + d.f_b - 1.0).abs() < 1e-9,
+        "fractions must sum to 1"
+    );
+    assert!(d.f_p > 0.0 && d.f_l >= 0.0 && d.f_b >= 0.0);
+    assert!(d.t >= d.t_i && d.t_i >= d.t_p, "T >= T_I >= T_P");
+    assert!(d.ipc() > 0.0 && d.ipc() <= f64::from(spec.issue_width));
+    d
+}
+
+#[test]
+fn invariants_hold_for_every_experiment_and_suite_config() {
+    let w = Zipf::new(0, 16384, 16, 30_000, 0.8, 5).with_write_fraction(0.25);
+    for e in Experiment::ALL {
+        check_invariants(&w, &MachineSpec::spec92(e));
+        check_invariants(&w, &MachineSpec::spec95(e));
+    }
+}
+
+#[test]
+fn perfect_fit_workload_is_compute_bound_everywhere() {
+    let w = Espresso::new(96, 8, 6, 3); // ~3 KiB working set
+    for e in Experiment::ALL {
+        let d = check_invariants(&w, &MachineSpec::spec92(e));
+        assert!(
+            d.f_p > 0.8,
+            "espresso must be compute-bound on {e:?}: f_p = {}",
+            d.f_p
+        );
+    }
+}
+
+#[test]
+fn streaming_is_memory_bound_and_ooo_shifts_stalls_to_bandwidth() {
+    // A long unit-stride streaming read with writes: classic swm shape.
+    let w = Strided::reads(0, 4, 400_000).with_write_every(4);
+    let a = check_invariants(&w, &MachineSpec::spec92(Experiment::A));
+    let f = check_invariants(&w, &MachineSpec::spec92(Experiment::F));
+    assert!(a.f_p < 0.9, "streaming must stall the in-order machine");
+    assert!(
+        f.f_b >= a.f_b,
+        "aggressive machine shifts stalls toward bandwidth: {} vs {}",
+        f.f_b,
+        a.f_b
+    );
+}
+
+#[test]
+fn pointer_chasing_is_latency_bound_not_bandwidth_bound() {
+    // Dependent loads with a working set beyond L2: nothing overlaps, so
+    // latency dominates even on experiment F.
+    let chase = PointerChase::new(0, 1 << 16, 64, 200_000, 9); // 4 MiB
+    let f = check_invariants(&chase, &MachineSpec::spec92(Experiment::F));
+    assert!(
+        f.f_l + f.f_b > 0.2,
+        "a 4 MiB chase must stall: f_l={} f_b={}",
+        f.f_l,
+        f.f_b
+    );
+}
+
+#[test]
+fn block_doubling_changes_the_latency_bandwidth_split() {
+    // Experiment B doubles both block sizes relative to A. For a
+    // unit-stride streaming code, larger blocks reduce miss count
+    // (latency) but haul more bytes per miss.
+    let w = Swm::new(64, 64, 2);
+    let a = decompose(&w, &MachineSpec::spec92(Experiment::A));
+    let b = decompose(&w, &MachineSpec::spec92(Experiment::B));
+    assert!(
+        b.f_l <= a.f_l + 0.05,
+        "spatial workload: bigger blocks shouldn't raise latency stalls much ({} vs {})",
+        b.f_l,
+        a.f_l
+    );
+}
+
+#[test]
+fn compress_f_has_substantial_bandwidth_stalls() {
+    // The paper's flagship case: compress on the aggressive machine.
+    let w = Compress::new(120_000, 1 << 16, 2); // 512 KiB table > L1
+    let a = decompose(&w, &MachineSpec::spec92(Experiment::A));
+    let f = decompose(&w, &MachineSpec::spec92(Experiment::F));
+    assert!(
+        f.f_b > 0.01,
+        "experiment F must show bandwidth stalls, got {}",
+        f.f_b
+    );
+    assert!(
+        f.f_b >= a.f_b,
+        "bandwidth share must not shrink from A to F: {} vs {}",
+        f.f_b,
+        a.f_b
+    );
+}
+
+#[test]
+fn uops_identical_across_memory_models() {
+    // The same trace drives all three runs — uop counts must agree.
+    let w = Zipf::new(0, 1024, 8, 5_000, 0.5, 1);
+    let d = decompose(&w, &MachineSpec::spec92(Experiment::D));
+    let d2 = decompose(&w, &MachineSpec::spec92(Experiment::D));
+    assert_eq!(d.uops, d2.uops, "decomposition must be deterministic");
+    assert_eq!(d.t, d2.t);
+    assert_eq!(d.t_i, d2.t_i);
+}

@@ -1,0 +1,98 @@
+//! Cross-crate consistency: the functional hierarchy, the timing memory
+//! system, and the suite registry must agree with one another.
+
+use membw::cache::{CacheConfig, Hierarchy};
+use membw::sim::{Experiment, MachineSpec, MemSystem, MemoryMode};
+use membw::trace::stats::TraceStats;
+use membw::workloads::{suite92, suite95, Scale};
+
+#[test]
+fn hierarchy_traffic_chains_between_levels() {
+    for b in suite92(Scale::Test) {
+        let mut h = Hierarchy::new(vec![
+            CacheConfig::builder(8 * 1024, 32).build().expect("valid"),
+            CacheConfig::builder(128 * 1024, 64).build().expect("valid"),
+        ]);
+        b.workload().for_each_mem_ref(&mut |r| {
+            h.access(r);
+        });
+        h.flush();
+        let stats = h.stats();
+        assert_eq!(
+            stats[0].traffic_below(),
+            stats[1].request_bytes,
+            "{}: L1 below-traffic must equal L2 request bytes",
+            b.name()
+        );
+        assert_eq!(
+            h.memory_traffic(),
+            stats[1].traffic_below(),
+            "{}: memory traffic is the last level's below-traffic",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn timing_memsys_functional_counts_match_pure_functional_hierarchy() {
+    // The timed memory system embeds the same functional caches; its
+    // hit/miss counts must be independent of the memory mode.
+    let spec = MachineSpec::spec92(Experiment::C);
+    for b in suite92(Scale::Test).iter().take(3) {
+        let mut full = MemSystem::new(&spec.mem, MemoryMode::Full);
+        let mut lat = MemSystem::new(&spec.mem, MemoryMode::LatencyOnly);
+        let mut t = 0u64;
+        b.workload().for_each_mem_ref(&mut |r| {
+            if r.kind.is_read() {
+                t = full.load(t, r.addr);
+                lat.load(t, r.addr);
+            } else {
+                full.store(t, r.addr);
+                lat.store(t, r.addr);
+            }
+        });
+        assert_eq!(
+            full.l1_stats().demand_misses(),
+            lat.l1_stats().demand_misses(),
+            "{}: functional behaviour must not depend on timing mode",
+            b.name()
+        );
+        assert_eq!(full.stats().memory_traffic, lat.stats().memory_traffic);
+    }
+}
+
+#[test]
+fn declared_footprints_bound_measured_footprints() {
+    for b in suite92(Scale::Test)
+        .iter()
+        .chain(suite95(Scale::Test).iter())
+    {
+        let measured = TraceStats::of(&b.workload()).footprint_bytes(4);
+        assert!(
+            measured <= b.footprint_bytes,
+            "{}: measured {} > declared {}",
+            b.name(),
+            measured,
+            b.footprint_bytes
+        );
+        assert!(
+            measured * 8 >= b.footprint_bytes,
+            "{}: declared footprint is wildly above what the trace touches ({measured} vs {})",
+            b.name(),
+            b.footprint_bytes
+        );
+    }
+}
+
+#[test]
+fn all_benchmarks_replay_identically() {
+    for b in suite92(Scale::Test)
+        .iter()
+        .chain(suite95(Scale::Test).iter())
+    {
+        let a = b.workload().collect_mem_refs();
+        let c = b.workload().collect_mem_refs();
+        assert_eq!(a, c, "{} must be deterministic", b.name());
+        assert!(!a.is_empty());
+    }
+}

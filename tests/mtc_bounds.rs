@@ -1,0 +1,115 @@
+//! Property tests for the minimal-traffic cache: Belady optimality and
+//! the G ≥ 1 lower-bound structure of §5 hold on *arbitrary* traces.
+
+use membw::cache::{Associativity, Cache, CacheConfig};
+use membw::mtc::{MinCache, MinConfig, MinWritePolicy};
+use membw::trace::{AccessKind, MemRef};
+use proptest::prelude::*;
+
+/// Arbitrary word-granular traces over a bounded address space.
+fn trace_strategy(max_len: usize, words: u64) -> impl Strategy<Value = Vec<MemRef>> {
+    prop::collection::vec((0..words, prop::bool::ANY), 1..max_len).prop_map(|v| {
+        v.into_iter()
+            .map(|(w, is_write)| {
+                if is_write {
+                    MemRef::write(w * 4, 4)
+                } else {
+                    MemRef::read(w * 4, 4)
+                }
+            })
+            .collect()
+    })
+}
+
+fn lru_fa(refs: &[MemRef], capacity: u64, block: u64) -> membw::cache::CacheStats {
+    let cfg = CacheConfig::builder(capacity, block)
+        .associativity(Associativity::Full)
+        .build()
+        .expect("valid geometry");
+    let mut c = Cache::new(cfg);
+    for &r in refs {
+        c.access(r);
+    }
+    c.flush()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Belady's min never misses more than LRU at equal geometry
+    /// (mandatory allocation, no bypass — the classic optimality
+    /// setting).
+    #[test]
+    fn min_misses_at_most_lru(refs in trace_strategy(400, 64), cap_pow in 3u32..7) {
+        let cap = 4u64 << cap_pow; // 32..256 bytes = 8..64 word-blocks
+        let min_cfg = MinConfig::new(cap, 4, MinWritePolicy::Allocate, false);
+        let min = MinCache::simulate(&min_cfg, &refs);
+        let lru = lru_fa(&refs, cap, 4);
+        prop_assert!(
+            min.demand_misses() <= lru.demand_misses(),
+            "min {} > lru {}", min.demand_misses(), lru.demand_misses()
+        );
+    }
+
+    /// The paper's MTC (bypass + write-validate) generates no more
+    /// traffic than the fully-associative LRU cache of the same size —
+    /// the structural reason G >= 1 in Table 8.
+    #[test]
+    fn mtc_traffic_lower_bounds_lru(refs in trace_strategy(400, 96), cap_pow in 3u32..7) {
+        let cap = 4u64 << cap_pow;
+        let mtc = MinCache::simulate(&MinConfig::mtc(cap), &refs);
+        let lru = lru_fa(&refs, cap, 4);
+        prop_assert!(
+            mtc.traffic_below() <= lru.traffic_below(),
+            "mtc {} > lru {}", mtc.traffic_below(), lru.traffic_below()
+        );
+    }
+
+    /// Growing the MTC can only shrink its traffic (the monotonicity
+    /// Figure 4's thick curves display).
+    #[test]
+    fn mtc_traffic_monotone_in_capacity(refs in trace_strategy(300, 64)) {
+        let small = MinCache::simulate(&MinConfig::mtc(64), &refs);
+        let big = MinCache::simulate(&MinConfig::mtc(512), &refs);
+        prop_assert!(big.traffic_below() <= small.traffic_below());
+    }
+
+    /// Bypass never hurts: an MTC with bypass moves no more bytes than
+    /// the same min cache forced to allocate.
+    #[test]
+    fn bypass_never_increases_traffic(refs in trace_strategy(300, 64)) {
+        let with = MinCache::simulate(
+            &MinConfig::new(128, 4, MinWritePolicy::Allocate, true), &refs);
+        let without = MinCache::simulate(
+            &MinConfig::new(128, 4, MinWritePolicy::Allocate, false), &refs);
+        prop_assert!(with.traffic_below() <= without.traffic_below());
+    }
+
+    /// Write-validate vs write-allocate at one-word blocks: validate
+    /// can only remove fetch traffic.
+    #[test]
+    fn write_validate_never_increases_traffic(refs in trace_strategy(300, 64)) {
+        let wv = MinCache::simulate(
+            &MinConfig::new(128, 4, MinWritePolicy::Validate, true), &refs);
+        let wa = MinCache::simulate(
+            &MinConfig::new(128, 4, MinWritePolicy::Allocate, true), &refs);
+        prop_assert!(wv.traffic_below() <= wa.traffic_below());
+    }
+
+    /// Traffic conservation: every byte the MTC counts is a fetch, a
+    /// write-back, a write-through, or a flush write-back, and read
+    /// fetches equal read misses times the word size.
+    #[test]
+    fn mtc_accounting_identity(refs in trace_strategy(300, 64)) {
+        let stats = MinCache::simulate(&MinConfig::mtc(128), &refs);
+        prop_assert_eq!(
+            stats.traffic_below(),
+            stats.bytes_fetched + stats.bytes_written_back
+                + stats.bytes_written_through + stats.bytes_flushed
+        );
+        prop_assert_eq!(stats.bytes_fetched, stats.read_misses * 4);
+        let reads = refs.iter().filter(|r| r.kind == AccessKind::Read).count() as u64;
+        prop_assert_eq!(stats.reads, reads);
+        prop_assert_eq!(stats.read_hits + stats.read_misses, reads);
+    }
+}
