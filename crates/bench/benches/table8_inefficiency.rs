@@ -1,8 +1,12 @@
 //! Table 8 bench: the two-pass Belady MTC simulation behind the traffic
 //! -inefficiency numbers.
+//!
+//! Benchmarks the production heap-based [`MinCache`] against the
+//! retained `BTreeSet` [`ReferenceMinCache`] on the same traces, so the
+//! hot-loop overhaul's speedup is measured, not assumed.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use membw_core::mtc::{MinCache, MinConfig};
+use membw_core::mtc::{MinCache, MinConfig, ReferenceMinCache};
 use membw_core::trace::Workload;
 use membw_core::workloads::{Compress, Eqntott};
 use std::hint::black_box;
@@ -17,6 +21,14 @@ fn bench(c: &mut Criterion) {
         g.bench_function(format!("mtc_simulate_{name}"), |b| {
             b.iter(|| {
                 black_box(MinCache::simulate(
+                    &MinConfig::mtc(16 * 1024),
+                    black_box(refs),
+                ))
+            })
+        });
+        g.bench_function(format!("mtc_simulate_{name}_btreeset_reference"), |b| {
+            b.iter(|| {
+                black_box(ReferenceMinCache::simulate(
                     &MinConfig::mtc(16 * 1024),
                     black_box(refs),
                 ))

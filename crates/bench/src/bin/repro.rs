@@ -2,14 +2,21 @@
 //! (ISCA 1996).
 //!
 //! ```text
-//! repro [--scale test|small|full] [--json DIR] <target>...
+//! repro [--scale test|small|full] [--jobs N] [--json DIR] <target>...
 //!
 //! targets: fig1 table1 table2 table3 params fig3 table6 table7 table8
 //!          fig4 table9 extrapolate all
 //! ```
+//!
+//! `--jobs N` (or the `MEMBW_JOBS` environment variable) sets the run
+//! engine's thread count. Experiment output on stdout is byte-identical
+//! at every setting; wall-clock and throughput accounting goes to
+//! stderr after the targets finish.
 
 use membw_bench::parse_scale;
 use membw_core::analytic::pins::{dataset, Series};
+use membw_core::report::{self, TargetTiming};
+use membw_core::runner;
 use membw_core::sim::{Experiment, MachineSpec};
 use membw_core::workloads::{Scale, Suite};
 use membw_core::{
@@ -18,6 +25,7 @@ use membw_core::{
     run_table7, run_table8, run_table9, AsciiPlot, Table,
 };
 use std::path::PathBuf;
+use std::time::Instant;
 
 struct Options {
     scale: Scale,
@@ -36,15 +44,27 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--scale needs a value")?;
                 scale = parse_scale(&v)?;
             }
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs needs a positive integer, got '{v}'"))?;
+                if n == 0 {
+                    return Err("--jobs needs a positive integer".to_string());
+                }
+                runner::set_jobs(n);
+            }
             "--json" => {
                 let v = args.next().ok_or("--json needs a directory")?;
                 json_dir = Some(PathBuf::from(v));
             }
             "--help" | "-h" => {
-                println!("usage: repro [--scale test|small|full] [--json DIR] <target>...");
+                println!("usage: repro [--scale test|small|full] [--jobs N] [--json DIR] <target>...");
                 println!("targets: fig1 table1 table2 table3 params fig3 table6 table7");
                 println!("         table8 fig4 table9 epin extrapolate ablation interference");
                 println!("         dram speculation swprefetch dump all");
+                println!("--jobs N (default: MEMBW_JOBS or all cores) sets run-engine threads;");
+                println!("stdout is byte-identical at every setting.");
                 std::process::exit(0);
             }
             t if !t.starts_with('-') => targets.push(t.to_string()),
@@ -106,7 +126,50 @@ fn params_table(suite: &str, spec_for: impl Fn(Experiment) -> MachineSpec) -> Ta
     t
 }
 
-fn run_target(opts: &Options, target: &str) -> Result<(), String> {
+/// Run `target`, recording one [`TargetTiming`] per leaf target (the
+/// `all` meta-target records its members individually).
+fn run_target(opts: &Options, target: &str, timings: &mut Vec<TargetTiming>) -> Result<(), String> {
+    if target == "all" {
+        for t in [
+            "fig1",
+            "table1",
+            "fig2",
+            "table2",
+            "table3",
+            "params",
+            "table7",
+            "table8",
+            "fig4",
+            "table9",
+            "epin",
+            "extrapolate",
+            "ablation",
+            "interference",
+            "dram",
+            "speculation",
+            "swprefetch",
+            "fig3",
+        ] {
+            run_target(opts, t, timings)?;
+        }
+        return Ok(());
+    }
+    let wall_start = Instant::now();
+    let metrics_before = runner::metrics();
+    let uops_before = report::uops_executed();
+    run_leaf(opts, target)?;
+    let delta = runner::metrics_delta(metrics_before, runner::metrics());
+    timings.push(TargetTiming {
+        target: target.to_string(),
+        wall: wall_start.elapsed(),
+        jobs: delta.jobs,
+        busy: delta.busy(),
+        uops: report::uops_executed() - uops_before,
+    });
+    Ok(())
+}
+
+fn run_leaf(opts: &Options, target: &str) -> Result<(), String> {
     let scale = opts.scale;
     match target {
         "fig1" => {
@@ -328,30 +391,6 @@ fn run_target(opts: &Options, target: &str) -> Result<(), String> {
                 serde_json::to_string_pretty(&res).ok(),
             );
         }
-        "all" => {
-            for t in [
-                "fig1",
-                "table1",
-                "fig2",
-                "table2",
-                "table3",
-                "params",
-                "table7",
-                "table8",
-                "fig4",
-                "table9",
-                "epin",
-                "extrapolate",
-                "ablation",
-                "interference",
-                "dram",
-                "speculation",
-                "swprefetch",
-                "fig3",
-            ] {
-                run_target(opts, t)?;
-            }
-        }
         other => return Err(format!("unknown target '{other}'")),
     }
     Ok(())
@@ -365,10 +404,18 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let mut timings = Vec::new();
     for t in opts.targets.clone() {
-        if let Err(e) = run_target(&opts, &t) {
+        if let Err(e) = run_target(&opts, &t, &mut timings) {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
+    }
+    if !timings.is_empty() {
+        eprintln!();
+        eprintln!(
+            "{}",
+            report::timing_table(&timings, runner::configured_jobs()).render()
+        );
     }
 }

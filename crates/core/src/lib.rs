@@ -59,6 +59,7 @@ pub use report::Table;
 pub use membw_analytic as analytic;
 pub use membw_cache as cache;
 pub use membw_mtc as mtc;
+pub use membw_runner as runner;
 pub use membw_sim as sim;
 pub use membw_trace as trace;
 pub use membw_workloads as workloads;

@@ -1,6 +1,9 @@
-//! Paper-style aligned text tables.
+//! Paper-style aligned text tables, plus wall-clock/throughput
+//! accounting for the run engine.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// A simple column-aligned table with a title, rendered as monospace
 /// text (the shape of the paper's tables).
@@ -94,6 +97,107 @@ impl Table {
         }
         out
     }
+}
+
+/// Simulated micro-ops retired process-wide, accumulated by the run
+/// targets as their jobs finish. Feeds the uops/s column of
+/// [`timing_table`].
+static UOPS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` simulated micro-ops (called from inside run-engine jobs;
+/// the counter is atomic so any merge order yields the same total).
+pub fn count_uops(n: u64) {
+    UOPS_EXECUTED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total simulated micro-ops recorded so far.
+pub fn uops_executed() -> u64 {
+    UOPS_EXECUTED.load(Ordering::Relaxed)
+}
+
+/// Wall-clock and throughput accounting for one repro target, printed
+/// on **stderr** so experiment output on stdout stays byte-identical
+/// across `--jobs` settings.
+#[derive(Debug, Clone)]
+pub struct TargetTiming {
+    /// Target name as passed to `repro`.
+    pub target: String,
+    /// Wall time of the target, start to finish.
+    pub wall: Duration,
+    /// Jobs the run engine executed for this target.
+    pub jobs: u64,
+    /// Summed per-job wall time (exceeds `wall` when jobs overlap).
+    pub busy: Duration,
+    /// Simulated micro-ops retired during this target.
+    pub uops: u64,
+}
+
+impl TargetTiming {
+    /// Simulated micro-ops per wall-clock second.
+    pub fn uops_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.uops as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Parallel speedup realised: summed job time over wall time.
+    pub fn speedup(&self) -> f64 {
+        let w = self.wall.as_secs_f64();
+        if w > 0.0 {
+            self.busy.as_secs_f64() / w
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Render per-target timings plus a totals row as a [`Table`].
+pub fn timing_table(timings: &[TargetTiming], threads: usize) -> Table {
+    let mut t = Table::new(
+        format!("Run-engine timing ({threads} job thread(s))"),
+        ["Target", "Wall", "Jobs", "Busy", "Speedup", "Uops/s"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let fmt_d = |d: Duration| format!("{:.2}s", d.as_secs_f64());
+    let fmt_rate = |r: f64| {
+        if r >= 1e6 {
+            format!("{:.1}M", r / 1e6)
+        } else if r >= 1e3 {
+            format!("{:.1}k", r / 1e3)
+        } else {
+            format!("{r:.0}")
+        }
+    };
+    for x in timings {
+        t.row(vec![
+            x.target.clone(),
+            fmt_d(x.wall),
+            x.jobs.to_string(),
+            fmt_d(x.busy),
+            format!("{:.1}x", x.speedup()),
+            fmt_rate(x.uops_per_sec()),
+        ]);
+    }
+    let total = TargetTiming {
+        target: "TOTAL".to_string(),
+        wall: timings.iter().map(|x| x.wall).sum(),
+        jobs: timings.iter().map(|x| x.jobs).sum(),
+        busy: timings.iter().map(|x| x.busy).sum(),
+        uops: timings.iter().map(|x| x.uops).sum(),
+    };
+    t.row(vec![
+        total.target.clone(),
+        fmt_d(total.wall),
+        total.jobs.to_string(),
+        fmt_d(total.busy),
+        format!("{:.1}x", total.speedup()),
+        fmt_rate(total.uops_per_sec()),
+    ]);
+    t
 }
 
 /// Format a byte count the way the paper's column heads do (1KB … 2MB).

@@ -9,6 +9,7 @@
 
 use crate::report::Table;
 use membw_cache::{BypassCache, Cache, CacheConfig, CacheStats, StreamBuffers, VictimCache};
+use membw_runner::Runner;
 use membw_trace::MemRef;
 use membw_workloads::{suite92, Scale};
 use serde::{Deserialize, Serialize};
@@ -106,19 +107,18 @@ pub fn run(scale: Scale, cache_bytes: u64) -> (AblationResult, Table) {
     let cfg = CacheConfig::builder(cache_bytes, 32)
         .build()
         .expect("valid geometry");
-    let mut cells = Vec::new();
-    for b in &suite {
+    // One run-engine job per (benchmark, technique) cell,
+    // benchmark-major; traces regenerate inside each job.
+    let cells: Vec<AblationCell> = Runner::from_env().cross(&suite, &TECHNIQUES, |b, &t| {
         let refs = b.workload().collect_mem_refs();
-        for &t in &TECHNIQUES {
-            let (misses, traffic) = run_one(t, &refs, cfg);
-            cells.push(AblationCell {
-                workload: b.name().to_string(),
-                technique: t.to_string(),
-                misses,
-                traffic,
-            });
+        let (misses, traffic) = run_one(t, &refs, cfg);
+        AblationCell {
+            workload: b.name().to_string(),
+            technique: t.to_string(),
+            misses,
+            traffic,
         }
-    }
+    });
 
     let mut headers = vec!["Workload".to_string()];
     for t in TECHNIQUES {

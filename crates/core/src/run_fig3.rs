@@ -1,7 +1,8 @@
 //! Figure 3 + Table 6: execution-time decomposition across experiments
 //! A–F for both benchmark suites.
 
-use crate::report::Table;
+use crate::report::{count_uops, Table};
+use membw_runner::Runner;
 use membw_sim::{decompose, Decomposition, Experiment, MachineSpec};
 use membw_workloads::{suite92, suite95, Scale, Suite};
 use serde::{Deserialize, Serialize};
@@ -68,7 +69,10 @@ impl Fig3Result {
 
 /// Run the decomposition for one suite at `scale` over `experiments`.
 ///
-/// Benchmarks run on parallel threads (each owns its three simulations).
+/// Fans the full (benchmark × experiment) matrix out on the run engine
+/// — each job regenerates its own trace and owns its three simulations
+/// — then normalizes and assembles in canonical order, so the result is
+/// identical at any `--jobs` setting.
 pub fn run_suite(suite: Suite, scale: Scale, experiments: &[Experiment]) -> Fig3Result {
     let benchmarks = match suite {
         Suite::Spec92 => suite92(scale),
@@ -83,41 +87,38 @@ pub fn run_suite(suite: Suite, scale: Scale, experiments: &[Experiment]) -> Fig3
         Suite::Spec95 => MachineSpec::spec95(e),
     };
 
+    if experiments.is_empty() {
+        return Fig3Result { cells: Vec::new() };
+    }
+
+    // One job per (benchmark, experiment), benchmark-major.
+    let raw: Vec<(Decomposition, f64, f64)> =
+        Runner::from_env().cross(&benchmarks, experiments, |b, &e| {
+            let spec = spec_for(e);
+            let d = decompose(&b.workload(), &spec);
+            count_uops(d.uops);
+            let seconds = d.t as f64 / spec.cpu_mhz as f64;
+            let tp_seconds = d.t_p as f64 / spec.cpu_mhz as f64;
+            (d, seconds, tp_seconds)
+        });
+
+    // Serial normalization pass: the first experiment in the list
+    // (A, when present) supplies each benchmark's T_P baseline.
+    let n_e = experiments.len();
     let mut cells = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = benchmarks
-            .iter()
-            .map(|b| {
-                let experiments = experiments.to_vec();
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut base: Option<f64> = None; // T_P(A) in cycles/MHz
-                    for e in experiments {
-                        let spec = spec_for(e);
-                        let d = decompose(&b.workload(), &spec);
-                        let seconds = d.t as f64 / spec.cpu_mhz as f64;
-                        let base_seconds = *base.get_or_insert_with(|| {
-                            // Experiment A must come first for the
-                            // paper's normalization; otherwise fall back
-                            // to this experiment's own T_P.
-                            d.t_p as f64 / spec.cpu_mhz as f64
-                        });
-                        out.push(Fig3Cell {
-                            benchmark: b.name().to_string(),
-                            suite_label: suite_label.to_string(),
-                            experiment: e.label().to_string(),
-                            decomposition: d,
-                            normalized_time: seconds / base_seconds,
-                        });
-                    }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            cells.extend(h.join().expect("benchmark thread panicked"));
+    for (bi, b) in benchmarks.iter().enumerate() {
+        let base_seconds = raw[bi * n_e].2;
+        for (ei, e) in experiments.iter().enumerate() {
+            let (d, seconds, _) = raw[bi * n_e + ei];
+            cells.push(Fig3Cell {
+                benchmark: b.name().to_string(),
+                suite_label: suite_label.to_string(),
+                experiment: e.label().to_string(),
+                decomposition: d,
+                normalized_time: seconds / base_seconds,
+            });
         }
-    });
+    }
     cells.sort_by_key(|a| (a.benchmark.clone(), a.experiment.clone()));
     Fig3Result { cells }
 }

@@ -5,6 +5,7 @@
 use crate::report::{size_label, Table};
 use membw_cache::{Associativity, Cache, CacheConfig};
 use membw_mtc::{MinCache, MinConfig, MinWritePolicy};
+use membw_runner::Runner;
 use membw_trace::MemRef;
 use membw_workloads::{suite92, Scale};
 use serde::{Deserialize, Serialize};
@@ -48,44 +49,83 @@ fn cache_traffic(refs: &[MemRef], size: u64, block: u64) -> Option<u64> {
     Some(c.flush().traffic_below())
 }
 
+/// The curves of one Figure 4 panel: six cache block sizes, then the
+/// two MTC write policies.
+#[derive(Debug, Clone, Copy)]
+enum CurveSpec {
+    Cache { block: u64 },
+    Mtc { write: MinWritePolicy },
+}
+
+impl CurveSpec {
+    fn all() -> Vec<CurveSpec> {
+        let mut v: Vec<CurveSpec> = BLOCK_SIZES
+            .iter()
+            .map(|&block| CurveSpec::Cache { block })
+            .collect();
+        v.push(CurveSpec::Mtc {
+            write: MinWritePolicy::Allocate,
+        });
+        v.push(CurveSpec::Mtc {
+            write: MinWritePolicy::Validate,
+        });
+        v
+    }
+
+    fn label(&self) -> String {
+        match self {
+            CurveSpec::Cache { block } => format!("{block}B blocks"),
+            CurveSpec::Mtc {
+                write: MinWritePolicy::Allocate,
+            } => "MTC write-allocate".to_string(),
+            CurveSpec::Mtc {
+                write: MinWritePolicy::Validate,
+            } => "MTC write-validate".to_string(),
+        }
+    }
+}
+
 /// Regenerate Figure 4 at `scale` for the three panel benchmarks.
+///
+/// One run-engine job per (panel, curve) — 3 × 8 — each regenerating
+/// the panel's trace; curves merge back panel-major in the figure's
+/// fixed curve order.
 pub fn run(scale: Scale) -> (Vec<Fig4Panel>, Vec<Table>) {
     let suite = suite92(scale);
+    let panel_names = ["compress", "eqntott", "swm"];
+    let curve_specs = CurveSpec::all();
+    let all_curves: Vec<Curve> =
+        Runner::from_env().cross(&panel_names, &curve_specs, |name, spec| {
+            let b = suite
+                .iter()
+                .find(|b| b.name() == *name)
+                .expect("panel benchmark exists in SPEC92 suite");
+            let refs = b.workload().collect_mem_refs();
+            let points: Vec<(u64, u64)> = match *spec {
+                CurveSpec::Cache { block } => sizes()
+                    .into_iter()
+                    .filter_map(|s| cache_traffic(&refs, s, block).map(|t| (s, t)))
+                    .collect(),
+                CurveSpec::Mtc { write } => sizes()
+                    .into_iter()
+                    .map(|s| {
+                        let cfg = MinConfig::new(s, 4, write, true);
+                        (s, MinCache::simulate(&cfg, &refs).traffic_below())
+                    })
+                    .collect(),
+            };
+            Curve {
+                label: spec.label(),
+                points,
+            }
+        });
+
     let mut panels = Vec::new();
     let mut tables = Vec::new();
-    for name in ["compress", "eqntott", "swm"] {
-        let b = suite
-            .iter()
-            .find(|b| b.name() == name)
-            .expect("panel benchmark exists in SPEC92 suite");
-        let refs = b.workload().collect_mem_refs();
-        let mut curves = Vec::new();
-        for &block in &BLOCK_SIZES {
-            let points: Vec<(u64, u64)> = sizes()
-                .into_iter()
-                .filter_map(|s| cache_traffic(&refs, s, block).map(|t| (s, t)))
-                .collect();
-            curves.push(Curve {
-                label: format!("{block}B blocks"),
-                points,
-            });
-        }
-        for (label, write) in [
-            ("MTC write-allocate", MinWritePolicy::Allocate),
-            ("MTC write-validate", MinWritePolicy::Validate),
-        ] {
-            let points: Vec<(u64, u64)> = sizes()
-                .into_iter()
-                .map(|s| {
-                    let cfg = MinConfig::new(s, 4, write, true);
-                    (s, MinCache::simulate(&cfg, &refs).traffic_below())
-                })
-                .collect();
-            curves.push(Curve {
-                label: label.to_string(),
-                points,
-            });
-        }
+    for (pi, name) in panel_names.iter().enumerate() {
+        let curves: Vec<Curve> = all_curves
+            [pi * curve_specs.len()..(pi + 1) * curve_specs.len()]
+            .to_vec();
 
         let mut table = Table::new(
             format!("Figure 4 ({name}): traffic in KB vs cache/MTC size"),

@@ -5,6 +5,7 @@
 use crate::report::{size_label, Table};
 use membw_analytic::effective_pin_bandwidth;
 use membw_cache::{Cache, CacheConfig};
+use membw_runner::Runner;
 use membw_trace::MemRef;
 use membw_workloads::{suite92, Scale};
 use serde::{Deserialize, Serialize};
@@ -50,11 +51,13 @@ pub struct Table7Result {
 }
 
 /// Regenerate Table 7 at `scale`.
+///
+/// One run-engine job per benchmark; each regenerates its trace and
+/// owns the whole size sweep. Rows merge in suite order.
 pub fn run(scale: Scale) -> (Table7Result, Table) {
     let suite = suite92(scale);
-    let mut rows = Vec::new();
-    for b in &suite {
-        // Collect once, replay across the size sweep.
+    let rows: Vec<Table7Row> = Runner::from_env().map(&suite, |b| {
+        // Collect once per job, replay across the size sweep.
         let refs: Vec<MemRef> = b.workload().collect_mem_refs();
         let mut ratios = Vec::new();
         for &size in &SIZES {
@@ -76,12 +79,12 @@ pub fn run(scale: Scale) -> (Table7Result, Table) {
                 },
             ));
         }
-        rows.push(Table7Row {
+        Table7Row {
             name: b.name().to_string(),
             footprint_bytes: b.footprint_bytes,
             ratios,
-        });
-    }
+        }
+    });
 
     let reasonable: Vec<f64> = rows
         .iter()

@@ -7,6 +7,7 @@ use crate::run_table7::SIZES;
 use membw_analytic::upper_bound_epin;
 use membw_cache::{Cache, CacheConfig};
 use membw_mtc::{MinCache, MinConfig};
+use membw_runner::Runner;
 use membw_trace::MemRef;
 use membw_workloads::{suite92, Scale};
 use serde::{Deserialize, Serialize};
@@ -36,11 +37,13 @@ pub struct Table8Result {
 }
 
 /// Regenerate Table 8 at `scale`.
+///
+/// One run-engine job per benchmark (trace regenerated per job, the
+/// whole size sweep inside); `all_g` is rebuilt from the merged rows in
+/// canonical benchmark-major, size-major order.
 pub fn run(scale: Scale) -> (Table8Result, Table) {
     let suite = suite92(scale);
-    let mut rows = Vec::new();
-    let mut all_g = Vec::new();
-    for b in &suite {
+    let rows: Vec<Table8Row> = Runner::from_env().map(&suite, |b| {
         let refs: Vec<MemRef> = b.workload().collect_mem_refs();
         let mut inefficiencies = Vec::new();
         for &size in &SIZES {
@@ -60,18 +63,20 @@ pub fn run(scale: Scale) -> (Table8Result, Table) {
             let g = if mtc_traffic == 0 {
                 None
             } else {
-                let g = cache_traffic as f64 / mtc_traffic as f64;
-                all_g.push(g);
-                Some(g)
+                Some(cache_traffic as f64 / mtc_traffic as f64)
             };
             inefficiencies.push((size, g));
         }
-        rows.push(Table8Row {
+        Table8Row {
             name: b.name().to_string(),
             footprint_bytes: b.footprint_bytes,
             inefficiencies,
-        });
-    }
+        }
+    });
+    let mut all_g: Vec<f64> = rows
+        .iter()
+        .flat_map(|r| r.inefficiencies.iter().filter_map(|(_, g)| *g))
+        .collect();
     all_g.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let max_g = all_g.last().copied().unwrap_or(1.0);
     let median_g = if all_g.is_empty() {

@@ -3,6 +3,7 @@
 
 use crate::report::Table;
 use membw_mtc::factors::{factor_gap, FactorGap, TABLE10_FACTORS};
+use membw_runner::Runner;
 use membw_workloads::{suite92, Scale};
 use serde::{Deserialize, Serialize};
 
@@ -29,17 +30,19 @@ pub fn capacity_for(name: &str) -> u64 {
 /// definitions in the rendered output.
 pub fn run(scale: Scale) -> (Table9Result, Vec<Table>) {
     let suite = suite92(scale);
-    let mut gaps = Vec::new();
-    let mut capacities = Vec::new();
-    for b in &suite {
-        let cap = capacity_for(b.name());
-        capacities.push((b.name().to_string(), cap));
-        for spec in &TABLE10_FACTORS {
-            if let Some(gap) = factor_gap(spec, &b.workload(), cap) {
-                gaps.push(gap);
-            }
-        }
-    }
+    let capacities: Vec<(String, u64)> = suite
+        .iter()
+        .map(|b| (b.name().to_string(), capacity_for(b.name())))
+        .collect();
+    // One run-engine job per (benchmark, factor) cell, benchmark-major;
+    // each job regenerates its workload's trace inside factor_gap.
+    let gaps: Vec<FactorGap> = Runner::from_env()
+        .cross(&suite, &TABLE10_FACTORS, |b, spec| {
+            factor_gap(spec, &b.workload(), capacity_for(b.name()))
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
     // Table 9: rows = factors, columns = benchmarks.
     let mut headers = vec!["Factor".to_string()];

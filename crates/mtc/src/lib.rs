@@ -34,9 +34,11 @@ pub mod inefficiency;
 pub mod min;
 pub mod nextuse;
 pub mod optstack;
+pub mod reference;
 
 pub use factors::{FactorExperiment, FactorGap, FactorSpec, TABLE10_FACTORS};
 pub use inefficiency::{traffic_inefficiency, InefficiencyReport};
 pub use min::{MinCache, MinConfig, MinWritePolicy};
 pub use nextuse::NextUseIndex;
+pub use reference::ReferenceMinCache;
 pub use optstack::OptProfile;

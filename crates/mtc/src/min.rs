@@ -1,11 +1,29 @@
 //! Two-pass Belady **min** cache simulation with bypass and
 //! write-validate.
+//!
+//! # Hot-loop structure
+//!
+//! Victim selection is a *max* query over `(next_use, block)` pairs, hit
+//! upkeep is a re-key, and eviction is a delete-max. The original
+//! implementation (preserved as [`crate::reference::ReferenceMinCache`])
+//! kept every resident pair in a `BTreeSet`, paying two tree edits per
+//! hit and a tree walk per miss. [`MinCache`] instead uses a
+//! **lazy-deletion binary max-heap**: hits only *push* the re-keyed pair
+//! and leave the stale one in place; the victim query pops entries whose
+//! priority disagrees with the residency map until the top is current.
+//! Since a block's successive next-use keys strictly increase (each is a
+//! later trace position, then [`crate::nextuse::NEVER`]), a stale pair
+//! can never collide with a live one, and the lexicographic
+//! `(next_use, block)` heap order reproduces the `BTreeSet` maximum
+//! exactly — including the tie-break on block number — so both
+//! implementations produce identical counters on any trace (enforced by
+//! the `min_equivalence` property test). The residency map itself is
+//! keyed with [`membw_trace::FastHashMap`] rather than SipHash.
 
 use crate::nextuse::NextUseIndex;
 use membw_cache::CacheStats;
-use membw_trace::MemRef;
-use std::collections::BTreeSet;
-use std::collections::HashMap;
+use membw_trace::{FastHashMap, MemRef};
+use std::collections::BinaryHeap;
 
 /// Write-allocation policy of a **min** cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -87,10 +105,13 @@ impl MinConfig {
 #[derive(Debug)]
 pub struct MinCache {
     cfg: MinConfig,
-    /// block -> (next_use, dirty)
-    resident: HashMap<u64, (u64, bool)>,
-    /// (next_use, block), ordered so the maximum is the min-victim.
-    queue: BTreeSet<(u64, u64)>,
+    /// block -> (next_use, dirty). A heap entry is *live* iff its
+    /// next-use key matches this map's current value for the block.
+    resident: FastHashMap<u64, (u64, bool)>,
+    /// Max-heap of (next_use, block) with lazy deletion: hits and
+    /// evictions leave stale entries behind, discarded when they
+    /// surface at the top.
+    heap: BinaryHeap<(u64, u64)>,
     stats: CacheStats,
 }
 
@@ -99,8 +120,8 @@ impl MinCache {
     pub fn new(cfg: MinConfig) -> Self {
         Self {
             cfg,
-            resident: HashMap::new(),
-            queue: BTreeSet::new(),
+            resident: FastHashMap::default(),
+            heap: BinaryHeap::new(),
             stats: CacheStats::default(),
         }
     }
@@ -127,18 +148,32 @@ impl MinCache {
         cache.flush()
     }
 
-    /// Furthest-future resident entry, if any.
-    fn furthest(&self) -> Option<(u64, u64)> {
-        self.queue.iter().next_back().copied()
+    /// Furthest-future resident entry, if any. Pops stale heap tops
+    /// (lazy deletion) until the maximum is live, then peeks it.
+    fn furthest(&mut self) -> Option<(u64, u64)> {
+        while let Some(&(next, block)) = self.heap.peek() {
+            match self.resident.get(&block) {
+                Some(&(cur, _)) if cur == next => return Some((next, block)),
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+        None
     }
 
-    fn evict(&mut self, block: u64, next: u64) {
+    /// Evict the current min-victim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is empty.
+    fn evict_victim(&mut self) {
+        let (_, block) = self.furthest().expect("full cache has entries");
+        self.heap.pop();
         let (_, dirty) = self
             .resident
             .remove(&block)
             .expect("evicted block is resident");
-        let removed = self.queue.remove(&(next, block));
-        debug_assert!(removed, "queue entry tracks residency");
         if dirty {
             self.stats.bytes_written_back += self.cfg.block_size;
         }
@@ -146,7 +181,7 @@ impl MinCache {
 
     fn insert(&mut self, block: u64, next: u64, dirty: bool) {
         self.resident.insert(block, (next, dirty));
-        self.queue.insert((next, block));
+        self.heap.push((next, block));
     }
 
     /// Present one access. `block` and `next_use` come from a
@@ -163,9 +198,11 @@ impl MinCache {
             self.stats.writes += 1;
         }
 
-        if let Some(&(cur_next, dirty)) = self.resident.get(&block) {
-            // Hit: re-key the priority to this access's next use.
-            self.queue.remove(&(cur_next, block));
+        if let Some(&(_, dirty)) = self.resident.get(&block) {
+            // Hit: re-key the priority to this access's next use. The
+            // old heap entry goes stale in place (a block's next-use
+            // keys strictly increase, so it can never shadow the new
+            // one) and is discarded when it reaches the top.
             let dirty = dirty || !is_read;
             self.insert(block, next_use, dirty);
             if is_read {
@@ -204,8 +241,7 @@ impl MinCache {
                 self.stats.bytes_fetched += self.cfg.block_size;
                 if allocate {
                     if full {
-                        let (n, b) = self.furthest().expect("full cache has entries");
-                        self.evict(b, n);
+                        self.evict_victim();
                     }
                     self.insert(block, next_use, false);
                 }
@@ -215,8 +251,7 @@ impl MinCache {
                     // Fetch-on-write, then dirty.
                     self.stats.bytes_fetched += self.cfg.block_size;
                     if full {
-                        let (n, b) = self.furthest().expect("full cache has entries");
-                        self.evict(b, n);
+                        self.evict_victim();
                     }
                     self.insert(block, next_use, true);
                 } else {
@@ -228,8 +263,7 @@ impl MinCache {
                 if allocate {
                     // Allocate by overwriting: no fetch at all.
                     if full {
-                        let (n, b) = self.furthest().expect("full cache has entries");
-                        self.evict(b, n);
+                        self.evict_victim();
                     }
                     self.insert(block, next_use, true);
                 } else {
@@ -246,7 +280,7 @@ impl MinCache {
         let dirty_blocks = self.resident.values().filter(|(_, d)| *d).count() as u64;
         self.stats.bytes_flushed += dirty_blocks * self.cfg.block_size;
         self.resident.clear();
-        self.queue.clear();
+        self.heap.clear();
         self.stats
     }
 }

@@ -1,7 +1,6 @@
 //! Future-reference (next-use) indexing for two-pass **min** simulation.
 
-use membw_trace::MemRef;
-use std::collections::HashMap;
+use membw_trace::{FastHashMap, MemRef};
 
 /// Sentinel meaning "never referenced again".
 pub const NEVER: u64 = u64::MAX;
@@ -44,7 +43,7 @@ impl NextUseIndex {
         );
         let blocks: Vec<u64> = refs.iter().map(|r| r.block(block_size)).collect();
         let mut next = vec![NEVER; refs.len()];
-        let mut last_seen: HashMap<u64, u64> = HashMap::new();
+        let mut last_seen: FastHashMap<u64, u64> = FastHashMap::default();
         for (i, &b) in blocks.iter().enumerate().rev() {
             if let Some(&later) = last_seen.get(&b) {
                 next[i] = later;

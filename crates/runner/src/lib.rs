@@ -1,0 +1,354 @@
+//! Deterministic parallel execution of the experiment job matrix.
+//!
+//! Every experiment in this reproduction — the three-run `f_P/f_L/f_B`
+//! decomposition (§3), the Table 7/8 traffic sweeps, the Table 9/10
+//! factor studies, the Figure 4 curves — expands into a matrix of
+//! *independent* jobs: (experiment × workload × run). This crate fans
+//! that matrix out over a fixed-width pool of OS threads and merges the
+//! results **in canonical index order**, so the assembled tables, plots
+//! and JSON are byte-identical whatever the thread count.
+//!
+//! # Determinism contract
+//!
+//! [`Runner::run`] returns `out[i] == f(i)` for every `i`, with results
+//! placed by job index, never by completion order. Each job must be a
+//! pure function of its index (all the membw jobs regenerate their
+//! traces from the workload's fixed seed, so they are). Under that
+//! contract `--jobs 1` and `--jobs N` are indistinguishable from the
+//! output side; the tier-1 determinism test asserts it end-to-end.
+//!
+//! # Choosing the pool width
+//!
+//! Priority order: [`with_jobs`] (thread-local override, used by tests),
+//! then [`set_jobs`] (process-wide, set by `repro --jobs N`), then the
+//! `MEMBW_JOBS` environment variable, then
+//! [`std::thread::available_parallelism`].
+//!
+//! # Example
+//!
+//! ```
+//! use membw_runner::Runner;
+//!
+//! let squares = Runner::new(4).run(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Process-wide override set by `--jobs N` (0 = unset).
+static GLOBAL_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Thread-local override installed by [`with_jobs`] (0 = unset).
+    static TL_JOBS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Set the process-wide job count (e.g. from a `--jobs N` flag).
+///
+/// Values are clamped to at least 1.
+pub fn set_jobs(n: usize) {
+    GLOBAL_JOBS.store(n.max(1), Ordering::SeqCst);
+}
+
+/// Run `f` with the job count forced to `n` on this thread (and the
+/// runners it creates). Restores the previous override afterwards, so
+/// tests can compare `--jobs 1` and `--jobs 8` runs side by side
+/// without touching process state.
+pub fn with_jobs<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = TL_JOBS.with(|c| c.replace(n.max(1)));
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TL_JOBS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The effective job count for a runner created on this thread.
+pub fn configured_jobs() -> usize {
+    let tl = TL_JOBS.with(Cell::get);
+    if tl > 0 {
+        return tl;
+    }
+    let global = GLOBAL_JOBS.load(Ordering::SeqCst);
+    if global > 0 {
+        return global;
+    }
+    if let Ok(v) = std::env::var("MEMBW_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Aggregate accounting of the jobs a process has executed, for the
+/// report layer (wall-clock summaries stay on stderr so stdout remains
+/// byte-identical across thread counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metrics {
+    /// Job batches dispatched ([`Runner::run`] calls that ran anything).
+    pub batches: u64,
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Summed per-job wall time in nanoseconds (CPU-side cost; exceeds
+    /// real wall time when jobs overlap).
+    pub busy_nanos: u64,
+}
+
+impl Metrics {
+    /// Summed per-job wall time.
+    pub fn busy(&self) -> Duration {
+        Duration::from_nanos(self.busy_nanos)
+    }
+}
+
+static METRIC_BATCHES: AtomicU64 = AtomicU64::new(0);
+static METRIC_JOBS: AtomicU64 = AtomicU64::new(0);
+static METRIC_BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot the process-wide job metrics.
+pub fn metrics() -> Metrics {
+    Metrics {
+        batches: METRIC_BATCHES.load(Ordering::Relaxed),
+        jobs: METRIC_JOBS.load(Ordering::Relaxed),
+        busy_nanos: METRIC_BUSY_NANOS.load(Ordering::Relaxed),
+    }
+}
+
+/// Difference between two [`metrics`] snapshots (`later - earlier`),
+/// the per-target accounting `repro` prints.
+pub fn metrics_delta(earlier: Metrics, later: Metrics) -> Metrics {
+    Metrics {
+        batches: later.batches.saturating_sub(earlier.batches),
+        jobs: later.jobs.saturating_sub(earlier.jobs),
+        busy_nanos: later.busy_nanos.saturating_sub(earlier.busy_nanos),
+    }
+}
+
+/// A fixed-width deterministic job pool.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    threads: usize,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Runner {
+    /// A runner with an explicit thread count (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A runner honouring [`with_jobs`] / [`set_jobs`] / `MEMBW_JOBS` /
+    /// available parallelism, in that order.
+    pub fn from_env() -> Self {
+        Self::new(configured_jobs())
+    }
+
+    /// The pool width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute jobs `0..n` and return their results in index order.
+    ///
+    /// Work is distributed by an atomic cursor (self-balancing: a slow
+    /// job never stalls the queue behind it), but results are merged by
+    /// index, so the output is independent of scheduling. With one
+    /// thread (or one job) everything runs inline on the caller's
+    /// thread — that is the `--jobs 1` serial baseline.
+    ///
+    /// # Panics
+    ///
+    /// A panicking job aborts the batch: the scope joins its workers
+    /// and re-panics on the caller's thread (the job's own payload is
+    /// reported on stderr by the worker thread as it unwinds).
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        METRIC_BATCHES.fetch_add(1, Ordering::Relaxed);
+        METRIC_JOBS.fetch_add(n as u64, Ordering::Relaxed);
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n)
+                .map(|i| {
+                    let t0 = Instant::now();
+                    let v = f(i);
+                    METRIC_BUSY_NANOS
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    v
+                })
+                .collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let v = f(i);
+                    METRIC_BUSY_NANOS
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    *slots[i].lock().expect("job slot poisoned") = Some(v);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("job slot poisoned")
+                    .expect("every job index was executed")
+            })
+            .collect()
+    }
+
+    /// [`Runner::run`] over a slice: `out[i] == f(&items[i])`.
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        self.run(items.len(), |i| f(&items[i]))
+    }
+
+    /// Expand the cross product `a × b` (a-major, the canonical matrix
+    /// order) and run one job per pair, returning results in that
+    /// order: `out[i * b.len() + j] == f(&a[i], &b[j])`.
+    pub fn cross<A, B, T, F>(&self, a: &[A], b: &[B], f: F) -> Vec<T>
+    where
+        A: Sync,
+        B: Sync,
+        T: Send,
+        F: Fn(&A, &B) -> T + Sync,
+    {
+        if b.is_empty() {
+            return Vec::new();
+        }
+        self.run(a.len() * b.len(), |k| f(&a[k / b.len()], &b[k % b.len()]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_arrive_in_index_order() {
+        let r = Runner::new(8);
+        // Jobs finish in scrambled order (later indices sleep less);
+        // the merge must still be by index.
+        let out = r.run(32, |i| {
+            std::thread::sleep(Duration::from_micros((32 - i as u64) * 50));
+            i * 10
+        });
+        assert_eq!(out, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let r = Runner::new(1);
+        let main_thread = std::thread::current().id();
+        let out = r.run(4, |i| (i, std::thread::current().id()));
+        for (i, (idx, tid)) in out.into_iter().enumerate() {
+            assert_eq!(i, idx);
+            assert_eq!(tid, main_thread, "serial baseline must not spawn");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let r = Runner::new(3);
+        let counts: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        let _ = r.run(100, |i| counts[i].fetch_add(1, Ordering::SeqCst));
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "job {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(13);
+        assert_eq!(Runner::new(1).run(257, f), Runner::new(7).run(257, f));
+    }
+
+    #[test]
+    fn cross_is_a_major() {
+        let r = Runner::new(4);
+        let out = r.cross(&[10, 20], &[1, 2, 3], |a, b| a + b);
+        assert_eq!(out, vec![11, 12, 13, 21, 22, 23]);
+    }
+
+    #[test]
+    fn cross_with_empty_axis_is_empty() {
+        let r = Runner::new(4);
+        let out: Vec<i32> = r.cross(&[1, 2], &[] as &[i32], |a, b| a + b);
+        assert!(out.is_empty());
+        let out: Vec<i32> = r.cross(&[] as &[i32], &[1, 2], |a, b| a + b);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn with_jobs_overrides_and_restores() {
+        let before = configured_jobs();
+        let inside = with_jobs(3, configured_jobs);
+        assert_eq!(inside, 3);
+        assert_eq!(configured_jobs(), before);
+        // Nesting: innermost wins.
+        let nested = with_jobs(2, || with_jobs(5, configured_jobs));
+        assert_eq!(nested, 5);
+    }
+
+    #[test]
+    fn map_preserves_item_order() {
+        let items: Vec<String> = (0..20).map(|i| format!("w{i}")).collect();
+        let out = Runner::new(6).map(&items, |s| s.len());
+        assert_eq!(out, items.iter().map(String::len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let before = metrics();
+        let _ = Runner::new(2).run(10, |i| i);
+        let delta = metrics_delta(before, metrics());
+        assert!(delta.batches >= 1);
+        assert!(delta.jobs >= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn job_panics_propagate() {
+        let _ = Runner::new(4).run(16, |i| {
+            assert!(i != 7, "job 7 exploded");
+            i
+        });
+    }
+}

@@ -1,0 +1,220 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! Implements the benchmarking surface this workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! `sample_size`, [`Throughput`], [`criterion_group!`],
+//! [`criterion_main!`], [`black_box`] — with a simple but honest
+//! wall-clock measurement loop: a warm-up to size the batch, then
+//! `sample_size` timed batches, reporting min/median/mean per
+//! iteration and, when a [`Throughput`] is set, elements per second.
+//! No statistics engine, plots, or saved baselines.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target time per measured batch.
+const BATCH_TARGET: Duration = Duration::from_millis(40);
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.default_sample_size;
+        run_bench(&id.into(), sample_size, None, f);
+    }
+}
+
+/// Units of work per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.sample_size, self.throughput, f);
+    }
+
+    /// Finish the group (reporting is incremental, so this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    /// Iterations to run in the current timed batch.
+    iters: u64,
+    /// Wall time of the last batch.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, running it `iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up: find an iteration count that fills BATCH_TARGET.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        f(&mut b);
+        if b.elapsed >= BATCH_TARGET || b.iters >= 1 << 20 {
+            break;
+        }
+        let scale = if b.elapsed.is_zero() {
+            16
+        } else {
+            (BATCH_TARGET.as_secs_f64() / b.elapsed.as_secs_f64()).ceil() as u64
+        };
+        b.iters = (b.iters * scale.clamp(2, 16)).min(1 << 20);
+    }
+    let iters = b.iters;
+
+    let mut per_iter: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {} elem/s", si_rate(n as f64 / median)),
+        Throughput::Bytes(n) => format!("  {}B/s", si_rate(n as f64 / median)),
+    });
+    println!(
+        "bench: {name:<50} min {:>10}  median {:>10}  mean {:>10}{}",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn si_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k", rate / 1e3)
+    } else {
+        format!("{rate:.0} ")
+    }
+}
+
+/// Define a function running a list of benchmark functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running one or more [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_are_sane() {
+        assert_eq!(fmt_time(2.0), "2.000 s");
+        assert_eq!(fmt_time(2e-3), "2.000 ms");
+        assert_eq!(fmt_time(2e-6), "2.000 us");
+        assert_eq!(fmt_time(2e-9), "2.0 ns");
+        assert!(si_rate(5e6).starts_with("5.00 M"));
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

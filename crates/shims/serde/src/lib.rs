@@ -1,0 +1,209 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no network access to
+//! crates.io, so the workspace vendors the *small slice* of serde it
+//! actually uses: a [`Serialize`] trait that lowers values into an
+//! in-memory JSON tree ([`json::Value`]), plus `#[derive(Serialize,
+//! Deserialize)]` (see the sibling `serde_derive` shim). The sibling
+//! `serde_json` shim renders the tree.
+//!
+//! The data model intentionally mirrors serde's JSON mapping for the
+//! types this workspace serializes:
+//!
+//! * structs -> objects with fields in declaration order
+//! * unit enum variants -> their name as a string
+//! * tuple enum variants -> `{ "Variant": value }` / `{ "Variant": [..] }`
+//! * tuples and slices -> arrays; `Option` -> value or `null`
+//! * non-finite floats -> `null` (as `serde_json` does)
+
+/// Minimal JSON value tree.
+pub mod json {
+    /// A JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Unsigned integer.
+        UInt(u64),
+        /// Signed integer.
+        Int(i64),
+        /// Floating point number.
+        Float(f64),
+        /// String.
+        Str(String),
+        /// Array.
+        Array(Vec<Value>),
+        /// Object; insertion order is preserved (struct field order).
+        Object(Vec<(String, Value)>),
+    }
+}
+
+use json::Value;
+
+/// A type that can lower itself to a [`json::Value`].
+///
+/// This replaces serde's `Serialize`; derive it with
+/// `#[derive(Serialize)]` (the vendored derive emits a field-by-field
+/// [`Serialize::to_value`]).
+pub trait Serialize {
+    /// Lower `self` into a JSON tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Name-resolution stub for `#[derive(Deserialize)]` / `use
+/// serde::Deserialize`. Nothing in this workspace deserializes, so the
+/// trait carries no methods; the derive emits an empty impl.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(u64::from(*self)) }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(i64::from(*self)) }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )+};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_variants() {
+        assert_eq!(5u64.to_value(), Value::UInt(5));
+        assert_eq!((-3i32).to_value(), Value::Int(-3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::Str("x".into()));
+        assert_eq!(Option::<u64>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_become_arrays() {
+        assert_eq!(
+            vec![1u64, 2].to_value(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+        assert_eq!(
+            (1u64, Some(2.5f64)).to_value(),
+            Value::Array(vec![Value::UInt(1), Value::Float(2.5)])
+        );
+    }
+}

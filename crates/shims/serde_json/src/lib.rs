@@ -1,0 +1,180 @@
+//! Vendored stand-in for `serde_json`: renders the [`serde`] shim's
+//! [`serde::json::Value`] tree as JSON text.
+//!
+//! Output follows `serde_json`'s conventions so archived results stay
+//! familiar: 2-space pretty indentation, `": "` separators, floats
+//! always carrying a fractional part (`1.0`, not `1`), and non-finite
+//! floats rendered as `null`. Rendering is fully deterministic — object
+//! keys keep struct-field declaration order — which the parallel run
+//! engine relies on for byte-identical `--jobs 1` / `--jobs N` output.
+
+use serde::json::Value;
+use serde::Serialize;
+
+/// Serialization error.
+///
+/// The vendored pipeline is infallible (no I/O, no recursion limits the
+/// workspace can hit), so this exists only to keep `serde_json`'s
+/// `Result` signatures; it is never actually returned.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors `serde_json`'s signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (2-space indent).
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors `serde_json`'s signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => out.push_str(&format_float(*x)),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), items.len(), indent, depth, ('[', ']'), |out, item, ind, d| {
+            write_value(out, item, ind, d);
+        }),
+        Value::Object(entries) => write_seq(out, entries.iter(), entries.len(), indent, depth, ('{', '}'), |out, (k, val), ind, d| {
+            write_string(out, k);
+            out.push(':');
+            if ind.is_some() {
+                out.push(' ');
+            }
+            write_value(out, val, ind, d);
+        }),
+    }
+}
+
+fn write_seq<I, T>(
+    out: &mut String,
+    items: I,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: impl FnMut(&mut String, T, Option<usize>, usize),
+) where
+    I: Iterator<Item = T>,
+{
+    out.push(brackets.0);
+    if len == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, item, indent, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(brackets.1);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Shortest round-tripping decimal, always with a fractional part or
+/// exponent (`1.0`, not `1`); non-finite values become `null`.
+fn format_float(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::json::Value;
+
+    #[test]
+    fn pretty_layout_matches_serde_json_conventions() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::Str("compress".to_string())),
+            (
+                "ratios".to_string(),
+                Value::Array(vec![Value::Float(1.0), Value::Null]),
+            ),
+        ]);
+        struct W(Value);
+        impl serde::Serialize for W {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let s = to_string_pretty(&W(v)).unwrap();
+        assert_eq!(
+            s,
+            "{\n  \"name\": \"compress\",\n  \"ratios\": [\n    1.0,\n    null\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn floats_keep_a_fractional_part_and_nan_is_null() {
+        assert_eq!(format_float(1.0), "1.0");
+        assert_eq!(format_float(0.51), "0.51");
+        assert_eq!(format_float(f64::NAN), "null");
+        assert_eq!(format_float(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        write_string(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -27,6 +27,7 @@
 //! assert_eq!(stats.footprint_bytes(4), 1024);
 //! ```
 
+pub mod fasthash;
 pub mod interleave;
 pub mod io;
 pub mod pattern;
@@ -38,6 +39,7 @@ pub mod stats;
 pub mod swprefetch;
 pub mod uop;
 
+pub use fasthash::{FastBuildHasher, FastHashMap, FastHasher};
 pub use interleave::Interleave;
 pub use record::{AccessKind, MemRef};
 pub use sink::{CollectSink, CountSink, FnSink, MemRefFnSink, TraceSink};

@@ -78,7 +78,7 @@ impl<W: Workload> Workload for SoftwarePrefetch<W> {
                     let addr = if self.wrong_per_256 > 0
                         && hash(self.seed ^ i as u64) % 256 < u64::from(self.wrong_per_256)
                     {
-                        m.addr.wrapping_add(4096 + (hash(i as u64) % 4096 & !3))
+                        m.addr.wrapping_add(4096 + ((hash(i as u64) % 4096) & !3))
                     } else {
                         m.addr
                     };

@@ -1,0 +1,89 @@
+//! The run engine's determinism guarantee, end to end: every
+//! experiment produces identical results — same tables, same JSON,
+//! same traffic counters — whether its job matrix runs serially or on
+//! eight threads.
+//!
+//! This is the contract that lets `repro --jobs N` exist at all: job
+//! results merge by canonical matrix index, never by completion order,
+//! and each job regenerates its trace from the workload's fixed seed.
+
+use membw::runner::with_jobs;
+use membw::sim::Experiment;
+use membw::workloads::{Scale, Suite};
+use membw::{run_ablation, run_fig3, run_fig4, run_table7, run_table8, run_table9};
+
+#[test]
+fn fig3_decomposition_identical_across_jobs() {
+    let serial = with_jobs(1, || {
+        run_fig3::run_suite(Suite::Spec92, Scale::Test, &Experiment::ALL)
+    });
+    let parallel = with_jobs(8, || {
+        run_fig3::run_suite(Suite::Spec92, Scale::Test, &Experiment::ALL)
+    });
+    // Byte-identical rendered table and JSON: the strongest form of the
+    // guarantee (covers ordering, all counters, and float formatting).
+    assert_eq!(
+        run_fig3::render(&serial, "Figure 3").render(),
+        run_fig3::render(&parallel, "Figure 3").render()
+    );
+    assert_eq!(
+        serde_json::to_string_pretty(&serial).unwrap(),
+        serde_json::to_string_pretty(&parallel).unwrap()
+    );
+}
+
+#[test]
+fn table7_and_table8_identical_across_jobs() {
+    let (t7_serial, t7_tab_serial) = with_jobs(1, || run_table7::run(Scale::Test));
+    let (t7_parallel, t7_tab_parallel) = with_jobs(8, || run_table7::run(Scale::Test));
+    assert_eq!(t7_tab_serial.render(), t7_tab_parallel.render());
+    assert_eq!(
+        serde_json::to_string_pretty(&t7_serial).unwrap(),
+        serde_json::to_string_pretty(&t7_parallel).unwrap()
+    );
+
+    let (t8_serial, t8_tab_serial) = with_jobs(1, || run_table8::run(Scale::Test));
+    let (t8_parallel, t8_tab_parallel) = with_jobs(8, || run_table8::run(Scale::Test));
+    assert_eq!(t8_tab_serial.render(), t8_tab_parallel.render());
+    assert_eq!(
+        serde_json::to_string_pretty(&t8_serial).unwrap(),
+        serde_json::to_string_pretty(&t8_parallel).unwrap()
+    );
+}
+
+#[test]
+fn fig4_mtc_traffic_counts_identical_across_jobs() {
+    let (serial, _) = with_jobs(1, || run_fig4::run(Scale::Test));
+    let (parallel, _) = with_jobs(8, || run_fig4::run(Scale::Test));
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.name, p.name);
+        for (cs, cp) in s.curves.iter().zip(&p.curves) {
+            assert_eq!(cs.label, cp.label, "{}: curve order must be canonical", s.name);
+            // Exact u64 traffic counts, point by point — the MTC curves
+            // exercise the heap min cache inside parallel jobs.
+            assert_eq!(cs.points, cp.points, "{}/{}", s.name, cs.label);
+        }
+    }
+}
+
+#[test]
+fn table9_factor_gaps_identical_across_jobs() {
+    let (serial, _) = with_jobs(1, || run_table9::run(Scale::Test));
+    let (parallel, _) = with_jobs(8, || run_table9::run(Scale::Test));
+    assert_eq!(
+        serde_json::to_string_pretty(&serial).unwrap(),
+        serde_json::to_string_pretty(&parallel).unwrap()
+    );
+}
+
+#[test]
+fn ablation_identical_across_jobs() {
+    let (serial, tab_serial) = with_jobs(1, || run_ablation::run(Scale::Test, 8 * 1024));
+    let (parallel, tab_parallel) = with_jobs(8, || run_ablation::run(Scale::Test, 8 * 1024));
+    assert_eq!(tab_serial.render(), tab_parallel.render());
+    assert_eq!(
+        serde_json::to_string_pretty(&serial).unwrap(),
+        serde_json::to_string_pretty(&parallel).unwrap()
+    );
+}
