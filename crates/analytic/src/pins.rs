@@ -13,7 +13,10 @@
 use serde::{Deserialize, Serialize};
 
 /// One processor data point of Figure 1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// (`Serialize` only: the rows are a static compiled-in dataset with
+/// `&'static str` names, never reloaded from an archive.)
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct Processor {
     /// Marketing name as printed in the figure.
     pub name: &'static str,

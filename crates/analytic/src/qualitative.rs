@@ -37,7 +37,10 @@ pub enum Table1Section {
 }
 
 /// One row of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// (`Serialize` only: the rows are a static compiled-in dataset with
+/// `&'static str` names, never reloaded from an archive.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct Table1Row {
     /// Technique or trend name.
     pub name: &'static str,

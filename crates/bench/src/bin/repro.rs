@@ -2,7 +2,9 @@
 //! (ISCA 1996).
 //!
 //! ```text
-//! repro [--scale test|small|full] [--jobs N] [--json DIR] <target>...
+//! repro [--scale test|small|full] [--jobs N] [--json DIR]
+//!       [--retries N] [--job-timeout SECS] [--resume | --no-resume]
+//!       [--checkpoint-dir DIR] <target>...
 //!
 //! targets: fig1 table1 table2 table3 params fig3 table6 table7 table8
 //!          fig4 table9 extrapolate all
@@ -12,11 +14,21 @@
 //! engine's thread count. Experiment output on stdout is byte-identical
 //! at every setting; wall-clock and throughput accounting goes to
 //! stderr after the targets finish.
+//!
+//! The campaign is fault-tolerant: a job that panics or exceeds
+//! `--job-timeout` fails alone (after `--retries` extra attempts), its
+//! target is skipped, every other target still runs, a failure summary
+//! lands on stderr, and the exit status is nonzero. Completed jobs are
+//! checkpointed under `--checkpoint-dir` (default
+//! `results/.checkpoint`); rerun with `--resume` to pick up an
+//! interrupted campaign without recomputing finished jobs.
 
-use membw_bench::parse_scale;
+use membw_bench::{parse_scale, validate_target};
 use membw_core::analytic::pins::{dataset, Series};
 use membw_core::report::{self, TargetTiming};
 use membw_core::runner;
+use membw_core::runner::CheckpointConfig;
+use membw_core::MembwError;
 use membw_core::sim::{Experiment, MachineSpec};
 use membw_core::workloads::{Scale, Suite};
 use membw_core::{
@@ -25,18 +37,22 @@ use membw_core::{
     run_table7, run_table8, run_table9, AsciiPlot, Table,
 };
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Options {
     scale: Scale,
     json_dir: Option<PathBuf>,
     targets: Vec<String>,
+    resume: bool,
+    checkpoint_dir: PathBuf,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut scale = Scale::Small;
     let mut json_dir = None;
     let mut targets = Vec::new();
+    let mut resume = false;
+    let mut checkpoint_dir = PathBuf::from("results/.checkpoint");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -58,13 +74,42 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--json needs a directory")?;
                 json_dir = Some(PathBuf::from(v));
             }
+            "--retries" => {
+                let v = args.next().ok_or("--retries needs a count")?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| format!("--retries needs a non-negative integer, got '{v}'"))?;
+                runner::set_retries(n);
+            }
+            "--job-timeout" => {
+                let v = args.next().ok_or("--job-timeout needs seconds")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--job-timeout needs seconds, got '{v}'"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--job-timeout needs a positive number of seconds".to_string());
+                }
+                runner::set_job_timeout(Some(Duration::from_secs_f64(secs)));
+            }
+            "--resume" => resume = true,
+            "--no-resume" => resume = false,
+            "--checkpoint-dir" => {
+                let v = args.next().ok_or("--checkpoint-dir needs a directory")?;
+                checkpoint_dir = PathBuf::from(v);
+            }
             "--help" | "-h" => {
-                println!("usage: repro [--scale test|small|full] [--jobs N] [--json DIR] <target>...");
+                println!("usage: repro [--scale test|small|full] [--jobs N] [--json DIR]");
+                println!("             [--retries N] [--job-timeout SECS] [--resume|--no-resume]");
+                println!("             [--checkpoint-dir DIR] <target>...");
                 println!("targets: fig1 table1 table2 table3 params fig3 table6 table7");
                 println!("         table8 fig4 table9 epin extrapolate ablation interference");
                 println!("         dram speculation swprefetch dump all");
                 println!("--jobs N (default: MEMBW_JOBS or all cores) sets run-engine threads;");
                 println!("stdout is byte-identical at every setting.");
+                println!("--retries N retries a failed job N more times (default 0);");
+                println!("--job-timeout SECS marks jobs failed past a deadline (default: none);");
+                println!("--resume replays completed jobs archived under --checkpoint-dir");
+                println!("(default results/.checkpoint) by a previous, possibly interrupted run.");
                 std::process::exit(0);
             }
             t if !t.starts_with('-') => targets.push(t.to_string()),
@@ -74,21 +119,29 @@ fn parse_args() -> Result<Options, String> {
     if targets.is_empty() {
         targets.push("all".to_string());
     }
+    for t in &targets {
+        validate_target(t)?;
+    }
     Ok(Options {
         scale,
         json_dir,
         targets,
+        resume,
+        checkpoint_dir,
     })
 }
 
-fn emit(opts: &Options, name: &str, table: &Table, json: Option<String>) {
+fn emit(opts: &Options, name: &str, table: &Table, json: Option<String>) -> Result<(), MembwError> {
     println!("{}", table.render());
     if let (Some(dir), Some(body)) = (&opts.json_dir, json) {
-        std::fs::create_dir_all(dir).expect("create json dir");
+        std::fs::create_dir_all(dir)
+            .map_err(|e| MembwError::io("create JSON directory", dir.clone(), e))?;
         let path = dir.join(format!("{name}.json"));
-        std::fs::write(&path, body).expect("write json");
+        std::fs::write(&path, body)
+            .map_err(|e| MembwError::io("write JSON archive", path.clone(), e))?;
         eprintln!("  [wrote {}]", path.display());
     }
+    Ok(())
 }
 
 fn params_table(suite: &str, spec_for: impl Fn(Experiment) -> MachineSpec) -> Table {
@@ -126,34 +179,34 @@ fn params_table(suite: &str, spec_for: impl Fn(Experiment) -> MachineSpec) -> Ta
     t
 }
 
-/// Run `target`, recording one [`TargetTiming`] per leaf target (the
-/// `all` meta-target records its members individually).
-fn run_target(opts: &Options, target: &str, timings: &mut Vec<TargetTiming>) -> Result<(), String> {
-    if target == "all" {
-        for t in [
-            "fig1",
-            "table1",
-            "fig2",
-            "table2",
-            "table3",
-            "params",
-            "table7",
-            "table8",
-            "fig4",
-            "table9",
-            "epin",
-            "extrapolate",
-            "ablation",
-            "interference",
-            "dram",
-            "speculation",
-            "swprefetch",
-            "fig3",
-        ] {
-            run_target(opts, t, timings)?;
-        }
-        return Ok(());
-    }
+/// The leaf targets `all` expands to, in output order.
+const ALL_TARGETS: [&str; 18] = [
+    "fig1",
+    "table1",
+    "fig2",
+    "table2",
+    "table3",
+    "params",
+    "table7",
+    "table8",
+    "fig4",
+    "table9",
+    "epin",
+    "extrapolate",
+    "ablation",
+    "interference",
+    "dram",
+    "speculation",
+    "swprefetch",
+    "fig3",
+];
+
+/// Run one leaf target, recording one [`TargetTiming`] on success.
+fn run_target(
+    opts: &Options,
+    target: &str,
+    timings: &mut Vec<TargetTiming>,
+) -> Result<(), MembwError> {
     let wall_start = Instant::now();
     let metrics_before = runner::metrics();
     let uops_before = report::uops_executed();
@@ -169,7 +222,7 @@ fn run_target(opts: &Options, target: &str, timings: &mut Vec<TargetTiming>) -> 
     Ok(())
 }
 
-fn run_leaf(opts: &Options, target: &str) -> Result<(), String> {
+fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
     let scale = opts.scale;
     match target {
         "fig1" => {
@@ -179,7 +232,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), String> {
                 "fig1",
                 &table,
                 serde_json::to_string_pretty(&res).ok(),
-            );
+            )?;
             for (label, series) in [
                 ("Figure 1a: pins vs year (log y)", Series::Pins),
                 ("Figure 1b: MIPS/pin vs year (log y)", Series::MipsPerPin),
@@ -200,7 +253,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), String> {
         }
         "table1" => {
             let (_, table) = run_table1::run();
-            emit(opts, "table1", &table, None);
+            emit(opts, "table1", &table, None)?;
         }
         "table2" => {
             let (res, table) = run_table2::run(1024);
@@ -209,7 +262,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), String> {
                 "table2",
                 &table,
                 serde_json::to_string_pretty(&res).ok(),
-            );
+            )?;
         }
         "table3" => {
             let (res, table) = run_table3::run(scale);
@@ -218,7 +271,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), String> {
                 "table3",
                 &table,
                 serde_json::to_string_pretty(&res).ok(),
-            );
+            )?;
         }
         "params" => {
             println!("{}", params_table("SPEC92", MachineSpec::spec92).render());
@@ -231,14 +284,14 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), String> {
                 "fig2",
                 &table,
                 serde_json::to_string_pretty(&res).ok(),
-            );
+            )?;
             for p in plots {
                 println!("{}", p.render());
             }
         }
         "fig3" | "table6" => {
             for (suite, label) in [(Suite::Spec92, "SPEC92"), (Suite::Spec95, "SPEC95")] {
-                let res = run_fig3::run_suite(suite, scale, &Experiment::ALL);
+                let res = run_fig3::run_suite(suite, scale, &Experiment::ALL)?;
                 if target == "fig3" {
                     let t = run_fig3::render(&res, &format!("Figure 3 ({label} benchmarks)"));
                     emit(
@@ -246,32 +299,32 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), String> {
                         &format!("fig3_{}", label.to_lowercase()),
                         &t,
                         serde_json::to_string_pretty(&res).ok(),
-                    );
+                    )?;
                 }
                 let t6 = run_fig3::render_table6(&res);
-                emit(opts, &format!("table6_{}", label.to_lowercase()), &t6, None);
+                emit(opts, &format!("table6_{}", label.to_lowercase()), &t6, None)?;
             }
         }
         "table7" => {
-            let (res, table) = run_table7::run(scale);
+            let (res, table) = run_table7::run(scale)?;
             emit(
                 opts,
                 "table7",
                 &table,
                 serde_json::to_string_pretty(&res).ok(),
-            );
+            )?;
         }
         "table8" => {
-            let (res, table) = run_table8::run(scale);
+            let (res, table) = run_table8::run(scale)?;
             emit(
                 opts,
                 "table8",
                 &table,
                 serde_json::to_string_pretty(&res).ok(),
-            );
+            )?;
         }
         "fig4" => {
-            let (panels, tables) = run_fig4::run(scale);
+            let (panels, tables) = run_fig4::run(scale)?;
             for t in &tables {
                 println!("{}", t.render());
             }
@@ -297,30 +350,36 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), String> {
                 println!("{}", plot.render());
             }
             if let Some(dir) = &opts.json_dir {
-                std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-                let body = serde_json::to_string_pretty(&panels).map_err(|e| e.to_string())?;
-                std::fs::write(dir.join("fig4.json"), body).map_err(|e| e.to_string())?;
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| MembwError::io("create JSON directory", dir.clone(), e))?;
+                let path = dir.join("fig4.json");
+                let body = serde_json::to_string_pretty(&panels).expect("fig4 serializes");
+                std::fs::write(&path, body)
+                    .map_err(|e| MembwError::io("write JSON archive", path, e))?;
             }
         }
         "table9" => {
-            let (res, tables) = run_table9::run(scale);
+            let (res, tables) = run_table9::run(scale)?;
             for t in &tables {
                 println!("{}", t.render());
             }
             if let Some(dir) = &opts.json_dir {
-                std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-                let body = serde_json::to_string_pretty(&res).map_err(|e| e.to_string())?;
-                std::fs::write(dir.join("table9.json"), body).map_err(|e| e.to_string())?;
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| MembwError::io("create JSON directory", dir.clone(), e))?;
+                let path = dir.join("table9.json");
+                let body = serde_json::to_string_pretty(&res).expect("table9 serializes");
+                std::fs::write(&path, body)
+                    .map_err(|e| MembwError::io("write JSON archive", path, e))?;
             }
         }
         "ablation" => {
-            let (res, table) = run_ablation::run(scale, 16 * 1024);
+            let (res, table) = run_ablation::run(scale, 16 * 1024)?;
             emit(
                 opts,
                 "ablation",
                 &table,
                 serde_json::to_string_pretty(&res).ok(),
-            );
+            )?;
         }
         "dump" => {
             // Dump every benchmark's reference stream as .mwtr files.
@@ -328,12 +387,16 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), String> {
                 .json_dir
                 .clone()
                 .unwrap_or_else(|| PathBuf::from("traces"));
-            std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| MembwError::io("create trace directory", dir.clone(), e))?;
             use membw_core::trace::io::save_workload;
             use membw_core::workloads::{suite92, suite95};
             for b in suite92(scale).iter().chain(suite95(scale).iter()) {
                 let path = dir.join(format!("{}.mwtr", b.name()));
-                let n = save_workload(&b.workload(), &path).map_err(|e| e.to_string())?;
+                let n = save_workload(&b.workload(), &path).map_err(|e| MembwError::Trace {
+                    path: path.clone(),
+                    source: e,
+                })?;
                 println!("wrote {} ({n} refs)", path.display());
             }
         }
@@ -344,7 +407,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), String> {
                 "epin",
                 &table,
                 serde_json::to_string_pretty(&res).ok(),
-            );
+            )?;
         }
         "swprefetch" => {
             let (res, table) = run_swprefetch::run();
@@ -353,7 +416,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), String> {
                 "swprefetch",
                 &table,
                 serde_json::to_string_pretty(&res).ok(),
-            );
+            )?;
         }
         "speculation" => {
             let (res, table) = run_speculation::run();
@@ -362,7 +425,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), String> {
                 "speculation",
                 &table,
                 serde_json::to_string_pretty(&res).ok(),
-            );
+            )?;
         }
         "dram" => {
             let (res, table) = run_dram::run();
@@ -371,7 +434,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), String> {
                 "dram",
                 &table,
                 serde_json::to_string_pretty(&res).ok(),
-            );
+            )?;
         }
         "interference" => {
             let (res, table) = run_interference::run(16 * 1024, 200);
@@ -380,7 +443,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), String> {
                 "interference",
                 &table,
                 serde_json::to_string_pretty(&res).ok(),
-            );
+            )?;
         }
         "extrapolate" => {
             let (res, table) = run_extrapolation::run();
@@ -389,9 +452,9 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), String> {
                 "extrapolate",
                 &table,
                 serde_json::to_string_pretty(&res).ok(),
-            );
+            )?;
         }
-        other => return Err(format!("unknown target '{other}'")),
+        other => unreachable!("target '{other}' was validated up front"),
     }
     Ok(())
 }
@@ -404,11 +467,34 @@ fn main() {
             std::process::exit(2);
         }
     };
+    runner::set_checkpoint(Some(CheckpointConfig {
+        root: opts.checkpoint_dir.clone(),
+        resume: opts.resume,
+    }));
+    let leaves: Vec<&str> = opts
+        .targets
+        .iter()
+        .flat_map(|t| {
+            if t == "all" {
+                ALL_TARGETS.to_vec()
+            } else {
+                vec![t.as_str()]
+            }
+        })
+        .collect();
     let mut timings = Vec::new();
-    for t in opts.targets.clone() {
-        if let Err(e) = run_target(&opts, &t, &mut timings) {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+    let mut failed_targets: Vec<String> = Vec::new();
+    for t in leaves {
+        // A failed target never aborts the campaign: report it on
+        // stderr (stdout stays byte-identical for healthy targets) and
+        // keep going.
+        if let Err(e) = run_target(&opts, t, &mut timings) {
+            failed_targets.push(t.to_string());
+            eprintln!("error: target '{t}': {e}");
+            let jobs = e.failed_jobs();
+            if !jobs.is_empty() {
+                eprintln!("{}", report::failure_table(t, jobs).render());
+            }
         }
     }
     if !timings.is_empty() {
@@ -417,5 +503,14 @@ fn main() {
             "{}",
             report::timing_table(&timings, runner::configured_jobs()).render()
         );
+    }
+    if !failed_targets.is_empty() {
+        eprintln!(
+            "repro: {} target(s) failed: {}; completed jobs are checkpointed under {} — rerun with --resume to reuse them",
+            failed_targets.len(),
+            failed_targets.join(", "),
+            opts.checkpoint_dir.display()
+        );
+        std::process::exit(1);
     }
 }

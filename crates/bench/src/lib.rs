@@ -28,6 +28,74 @@ pub fn parse_scale(s: &str) -> Result<Scale, String> {
     }
 }
 
+/// All targets `repro` understands, including the `all` meta-target.
+pub const TARGETS: [&str; 20] = [
+    "fig1",
+    "table1",
+    "fig2",
+    "table2",
+    "table3",
+    "params",
+    "fig3",
+    "table6",
+    "table7",
+    "table8",
+    "fig4",
+    "table9",
+    "epin",
+    "extrapolate",
+    "ablation",
+    "interference",
+    "dram",
+    "speculation",
+    "swprefetch",
+    "dump",
+];
+
+/// Levenshtein edit distance (iterative two-row form) — small inputs
+/// only, used for the "did you mean" hint.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Validate a CLI target name up front.
+///
+/// # Errors
+///
+/// For an unknown target, returns an error message that includes a
+/// "did you mean" suggestion when some known target is within edit
+/// distance 3.
+pub fn validate_target(target: &str) -> Result<(), String> {
+    if target == "all" || TARGETS.contains(&target) {
+        return Ok(());
+    }
+    let best = TARGETS
+        .iter()
+        .map(|t| (edit_distance(target, t), *t))
+        .min()
+        .filter(|(d, _)| *d <= 3);
+    match best {
+        Some((_, suggestion)) => Err(format!(
+            "unknown target '{target}' (did you mean '{suggestion}'?)"
+        )),
+        None => Err(format!(
+            "unknown target '{target}' (run with --help for the list)"
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -38,5 +106,35 @@ mod tests {
         assert_eq!(parse_scale("small").unwrap(), Scale::Small);
         assert_eq!(parse_scale("full").unwrap(), Scale::Full);
         assert!(parse_scale("huge").is_err());
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("table8", "tabel8"), 2);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn unknown_targets_get_suggestions() {
+        assert!(validate_target("table8").is_ok());
+        assert!(validate_target("all").is_ok());
+        let e = validate_target("tabel8").unwrap_err();
+        assert!(e.contains("did you mean 'table8'"), "{e}");
+        let e = validate_target("figg4").unwrap_err();
+        assert!(e.contains("did you mean 'fig4'"), "{e}");
+        // Nothing close: no misleading suggestion.
+        let e = validate_target("zzzzzzzzzzzz").unwrap_err();
+        assert!(!e.contains("did you mean"), "{e}");
+    }
+
+    #[test]
+    fn target_list_covers_the_all_expansion() {
+        // `all` must only expand to known leaf targets.
+        for t in TARGETS {
+            assert!(validate_target(t).is_ok(), "{t}");
+        }
     }
 }

@@ -1,0 +1,200 @@
+//! `MembwError`: the workspace-wide structured error type.
+//!
+//! Every `run_*` entry point that can fail — because a run-engine job
+//! panicked or timed out, or because archiving results hit the
+//! filesystem — returns `Result<_, MembwError>` instead of panicking,
+//! so a campaign driver (`repro`) can finish the healthy targets,
+//! summarize what failed, and exit nonzero.
+
+use membw_runner::JobFailure;
+use std::path::PathBuf;
+
+/// One job that ultimately failed (after the retry budget), resolved
+/// from its canonical index to the human name of its matrix cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedJob {
+    /// Batch label (`"table8"`, `"fig3/SPEC92"`).
+    pub label: String,
+    /// The matrix cell: `"compress"`, `"swm/F"`, `"eqntott/32B blocks"`.
+    pub job: String,
+    /// Canonical index within the batch.
+    pub index: usize,
+    /// Attempts made (1 + retries).
+    pub attempts: u32,
+    /// Why the final attempt failed.
+    pub error: String,
+}
+
+/// Why a `run_*` entry point (or the `repro` driver) failed.
+#[derive(Debug)]
+pub enum MembwError {
+    /// A filesystem operation failed; `context` says what was being
+    /// attempted ("create JSON directory", "write JSON archive").
+    Io {
+        /// What the operation was for.
+        context: String,
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Loading or saving a binary trace failed.
+    Trace {
+        /// The trace file.
+        path: PathBuf,
+        /// The underlying trace error.
+        source: membw_trace::io::TraceIoError,
+    },
+    /// One or more run-engine jobs in a batch ultimately failed.
+    Jobs {
+        /// The failures, in canonical index order.
+        failures: Vec<FailedJob>,
+    },
+}
+
+impl std::fmt::Display for MembwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MembwError::Io {
+                context,
+                path,
+                source,
+            } => write!(f, "cannot {context} at {}: {source}", path.display()),
+            MembwError::Trace { path, source } => {
+                write!(f, "trace file {}: {source}", path.display())
+            }
+            MembwError::Jobs { failures } => {
+                write!(
+                    f,
+                    "{} job(s) failed",
+                    failures.len(),
+                )?;
+                if let Some(first) = failures.first() {
+                    write!(
+                        f,
+                        " (first: {} job {} [{}], {} after {} attempt(s))",
+                        first.label, first.index, first.job, first.error, first.attempts
+                    )?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for MembwError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MembwError::Io { source, .. } => Some(source),
+            MembwError::Trace { source, .. } => Some(source),
+            MembwError::Jobs { .. } => None,
+        }
+    }
+}
+
+impl MembwError {
+    /// An [`MembwError::Io`] with its context and path filled in.
+    pub fn io(context: impl Into<String>, path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        MembwError::Io {
+            context: context.into(),
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// The failed jobs, if this is a job-batch failure.
+    pub fn failed_jobs(&self) -> &[FailedJob] {
+        match self {
+            MembwError::Jobs { failures } => failures,
+            _ => &[],
+        }
+    }
+}
+
+/// Split a fault-isolated batch ([`membw_runner::Runner::try_run`] /
+/// `checkpointed`) into its successes, or a [`MembwError::Jobs`]
+/// carrying every failure. `name` resolves a job index to the human
+/// name of its matrix cell.
+///
+/// # Errors
+///
+/// Returns [`MembwError::Jobs`] if any job failed; healthy siblings'
+/// results are dropped (the caller reruns with `--resume` to pick them
+/// up from the checkpoint instead of recomputing).
+pub fn collect_jobs<T>(
+    label: &str,
+    results: Vec<Result<T, JobFailure>>,
+    name: impl Fn(usize) -> String,
+) -> Result<Vec<T>, MembwError> {
+    let mut ok = Vec::with_capacity(results.len());
+    let mut failures = Vec::new();
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(v) => ok.push(v),
+            Err(e) => failures.push(FailedJob {
+                label: label.to_string(),
+                job: name(i),
+                index: e.index,
+                attempts: e.attempts,
+                error: e.error.to_string(),
+            }),
+        }
+    }
+    if failures.is_empty() {
+        Ok(ok)
+    } else {
+        Err(MembwError::Jobs { failures })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use membw_runner::JobError;
+
+    #[test]
+    fn collect_passes_clean_batches_through() {
+        let results: Vec<Result<u32, JobFailure>> = vec![Ok(1), Ok(2), Ok(3)];
+        let out = collect_jobs("t", results, |i| format!("job{i}")).expect("clean");
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn collect_gathers_every_failure_with_names() {
+        let results: Vec<Result<u32, JobFailure>> = vec![
+            Ok(1),
+            Err(JobFailure {
+                index: 1,
+                attempts: 2,
+                error: JobError::Panicked("boom".into()),
+            }),
+            Err(JobFailure {
+                index: 2,
+                attempts: 1,
+                error: JobError::TimedOut(std::time::Duration::from_secs(3)),
+            }),
+        ];
+        let err = collect_jobs("table8", results, |i| format!("bench{i}")).unwrap_err();
+        let jobs = err.failed_jobs();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].job, "bench1");
+        assert_eq!(jobs[0].attempts, 2);
+        assert!(jobs[0].error.contains("boom"));
+        assert_eq!(jobs[1].job, "bench2");
+        let msg = err.to_string();
+        assert!(msg.contains("2 job(s) failed"), "{msg}");
+        assert!(msg.contains("bench1"), "{msg}");
+    }
+
+    #[test]
+    fn io_errors_name_the_path_and_context() {
+        let e = MembwError::io(
+            "create JSON directory",
+            "/no/such/dir",
+            std::io::Error::from(std::io::ErrorKind::PermissionDenied),
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("create JSON directory"), "{msg}");
+        assert!(msg.contains("/no/such/dir"), "{msg}");
+    }
+}

@@ -32,6 +32,7 @@
 //! assert!(table.render().contains("2006"));
 //! ```
 
+pub mod error;
 pub mod plot;
 pub mod report;
 pub mod run_ablation;
@@ -52,6 +53,7 @@ pub mod run_table7;
 pub mod run_table8;
 pub mod run_table9;
 
+pub use error::{FailedJob, MembwError};
 pub use plot::AsciiPlot;
 pub use report::Table;
 

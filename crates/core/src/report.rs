@@ -200,6 +200,27 @@ pub fn timing_table(timings: &[TargetTiming], threads: usize) -> Table {
     t
 }
 
+/// Render the failed jobs of a campaign as a [`Table`] (printed on
+/// **stderr** by `repro`, so healthy stdout stays byte-identical).
+pub fn failure_table(target: &str, failures: &[crate::error::FailedJob]) -> Table {
+    let mut t = Table::new(
+        format!("FAILED jobs in target '{target}'"),
+        ["Job", "Experiment", "Workload/cell", "Attempts", "Error"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for f in failures {
+        t.row(vec![
+            format!("{}:{}", f.label, f.index),
+            f.label.clone(),
+            f.job.clone(),
+            f.attempts.to_string(),
+            f.error.clone(),
+        ]);
+    }
+    t
+}
+
 /// Format a byte count the way the paper's column heads do (1KB … 2MB).
 pub fn size_label(bytes: u64) -> String {
     if bytes >= 1024 * 1024 {

@@ -7,6 +7,7 @@
 //! (Gindele \[17\]), stream buffers (Jouppi \[24\]), a victim cache
 //! (Jouppi \[24\]), and reuse-predicted bypassing (Tyson et al. \[45\]).
 
+use crate::error::{collect_jobs, MembwError};
 use crate::report::Table;
 use membw_cache::{BypassCache, Cache, CacheConfig, CacheStats, StreamBuffers, VictimCache};
 use membw_runner::Runner;
@@ -102,14 +103,26 @@ fn run_one(technique: &str, refs: &[MemRef], cfg: CacheConfig) -> (u64, u64) {
 
 /// Run the ablation over the SPEC92 suite at `scale` with
 /// `cache_bytes` caches (32-byte blocks, direct-mapped).
-pub fn run(scale: Scale, cache_bytes: u64) -> (AblationResult, Table) {
+///
+/// Jobs are fault-isolated and checkpointed under the batch label
+/// `ablation`.
+///
+/// # Errors
+///
+/// Returns [`MembwError::Jobs`] if any (benchmark, technique) cell
+/// ultimately failed (after the configured retry budget).
+pub fn run(scale: Scale, cache_bytes: u64) -> Result<(AblationResult, Table), MembwError> {
     let suite = suite92(scale);
     let cfg = CacheConfig::builder(cache_bytes, 32)
         .build()
         .expect("valid geometry");
     // One run-engine job per (benchmark, technique) cell,
     // benchmark-major; traces regenerate inside each job.
-    let cells: Vec<AblationCell> = Runner::from_env().cross(&suite, &TECHNIQUES, |b, &t| {
+    let n_t = TECHNIQUES.len();
+    let key = format!("v1/ablation/{scale:?}/{cache_bytes}/{}x{}", suite.len(), n_t);
+    let raw = Runner::from_env().checkpointed("ablation", &key, suite.len() * n_t, |k| {
+        let b = &suite[k / n_t];
+        let t = TECHNIQUES[k % n_t];
         let refs = b.workload().collect_mem_refs();
         let (misses, traffic) = run_one(t, &refs, cfg);
         AblationCell {
@@ -119,6 +132,9 @@ pub fn run(scale: Scale, cache_bytes: u64) -> (AblationResult, Table) {
             traffic,
         }
     });
+    let cells: Vec<AblationCell> = collect_jobs("ablation", raw, |k| {
+        format!("{}/{}", suite[k / n_t].name(), TECHNIQUES[k % n_t])
+    })?;
 
     let mut headers = vec!["Workload".to_string()];
     for t in TECHNIQUES {
@@ -141,7 +157,7 @@ pub fn run(scale: Scale, cache_bytes: u64) -> (AblationResult, Table) {
         }
         table.row(row);
     }
-    (AblationResult { cells, cache_bytes }, table)
+    Ok((AblationResult { cells, cache_bytes }, table))
 }
 
 #[cfg(test)]
@@ -150,7 +166,7 @@ mod tests {
 
     #[test]
     fn grid_is_complete() {
-        let (res, table) = run(Scale::Test, 8 * 1024);
+        let (res, table) = run(Scale::Test, 8 * 1024).expect("no faults injected");
         assert_eq!(res.cells.len(), 7 * 5);
         assert_eq!(table.num_rows(), 7);
     }
@@ -159,7 +175,7 @@ mod tests {
     fn prefetch_trades_traffic_for_misses_on_streaming_code() {
         // Table 1's claim, quantified: on swm (streaming), tagged
         // prefetch cuts waited-on misses but does not cut traffic.
-        let (res, _) = run(Scale::Test, 8 * 1024);
+        let (res, _) = run(Scale::Test, 8 * 1024).expect("no faults injected");
         let get = |w: &str, t: &str| {
             res.cells
                 .iter()
@@ -179,7 +195,7 @@ mod tests {
 
     #[test]
     fn bypass_cuts_traffic_on_low_locality_code() {
-        let (res, _) = run(Scale::Test, 8 * 1024);
+        let (res, _) = run(Scale::Test, 8 * 1024).expect("no faults injected");
         let get = |w: &str, t: &str| {
             res.cells
                 .iter()

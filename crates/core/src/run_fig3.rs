@@ -1,6 +1,7 @@
 //! Figure 3 + Table 6: execution-time decomposition across experiments
 //! A–F for both benchmark suites.
 
+use crate::error::{collect_jobs, MembwError};
 use crate::report::{count_uops, Table};
 use membw_runner::Runner;
 use membw_sim::{decompose, Decomposition, Experiment, MachineSpec};
@@ -72,8 +73,19 @@ impl Fig3Result {
 /// Fans the full (benchmark × experiment) matrix out on the run engine
 /// — each job regenerates its own trace and owns its three simulations
 /// — then normalizes and assembles in canonical order, so the result is
-/// identical at any `--jobs` setting.
-pub fn run_suite(suite: Suite, scale: Scale, experiments: &[Experiment]) -> Fig3Result {
+/// identical at any `--jobs` setting. Jobs are fault-isolated and
+/// checkpointed under the batch label `fig3/<suite>`.
+///
+/// # Errors
+///
+/// Returns [`MembwError::Jobs`] if any matrix cell ultimately failed
+/// (after the configured retry budget); healthy cells stay archived in
+/// the checkpoint for a `--resume` rerun.
+pub fn run_suite(
+    suite: Suite,
+    scale: Scale,
+    experiments: &[Experiment],
+) -> Result<Fig3Result, MembwError> {
     let benchmarks = match suite {
         Suite::Spec92 => suite92(scale),
         Suite::Spec95 => suite95(scale),
@@ -88,23 +100,38 @@ pub fn run_suite(suite: Suite, scale: Scale, experiments: &[Experiment]) -> Fig3
     };
 
     if experiments.is_empty() {
-        return Fig3Result { cells: Vec::new() };
+        return Ok(Fig3Result { cells: Vec::new() });
     }
 
     // One job per (benchmark, experiment), benchmark-major.
-    let raw: Vec<(Decomposition, f64, f64)> =
-        Runner::from_env().cross(&benchmarks, experiments, |b, &e| {
-            let spec = spec_for(e);
-            let d = decompose(&b.workload(), &spec);
-            count_uops(d.uops);
-            let seconds = d.t as f64 / spec.cpu_mhz as f64;
-            let tp_seconds = d.t_p as f64 / spec.cpu_mhz as f64;
-            (d, seconds, tp_seconds)
-        });
+    let n_e = experiments.len();
+    let label = format!("fig3/{suite_label}");
+    let exp_labels: Vec<&str> = experiments.iter().map(Experiment::label).collect();
+    let key = format!(
+        "v1/fig3/{suite_label}/{scale:?}/{}x[{}]",
+        benchmarks.len(),
+        exp_labels.join(",")
+    );
+    let raw = Runner::from_env().checkpointed(&label, &key, benchmarks.len() * n_e, |k| {
+        let b = &benchmarks[k / n_e];
+        let e = experiments[k % n_e];
+        let spec = spec_for(e);
+        let d = decompose(&b.workload(), &spec);
+        count_uops(d.uops);
+        let seconds = d.t as f64 / spec.cpu_mhz as f64;
+        let tp_seconds = d.t_p as f64 / spec.cpu_mhz as f64;
+        (d, seconds, tp_seconds)
+    });
+    let raw: Vec<(Decomposition, f64, f64)> = collect_jobs(&label, raw, |k| {
+        format!(
+            "{}/{}",
+            benchmarks[k / n_e].name(),
+            experiments[k % n_e].label()
+        )
+    })?;
 
     // Serial normalization pass: the first experiment in the list
     // (A, when present) supplies each benchmark's T_P baseline.
-    let n_e = experiments.len();
     let mut cells = Vec::new();
     for (bi, b) in benchmarks.iter().enumerate() {
         let base_seconds = raw[bi * n_e].2;
@@ -120,7 +147,7 @@ pub fn run_suite(suite: Suite, scale: Scale, experiments: &[Experiment]) -> Fig3
         }
     }
     cells.sort_by_key(|a| (a.benchmark.clone(), a.experiment.clone()));
-    Fig3Result { cells }
+    Ok(Fig3Result { cells })
 }
 
 /// Render a Figure 3 panel as a table (one row per benchmark ×
@@ -172,7 +199,8 @@ mod tests {
 
     #[test]
     fn decomposition_fractions_are_valid_everywhere() {
-        let r = run_suite(Suite::Spec92, Scale::Test, &[Experiment::A, Experiment::F]);
+        let r = run_suite(Suite::Spec92, Scale::Test, &[Experiment::A, Experiment::F])
+            .expect("no faults injected");
         assert_eq!(r.cells.len(), 14, "7 benchmarks x 2 experiments");
         for c in &r.cells {
             let d = &c.decomposition;
@@ -189,7 +217,8 @@ mod tests {
     #[test]
     fn bandwidth_stalls_grow_from_a_to_f_on_average() {
         // The paper's thesis: latency tolerance exposes bandwidth stalls.
-        let r = run_suite(Suite::Spec92, Scale::Test, &[Experiment::A, Experiment::F]);
+        let r = run_suite(Suite::Spec92, Scale::Test, &[Experiment::A, Experiment::F])
+            .expect("no faults injected");
         let t6 = r.table6_rows();
         assert!(!t6.is_empty());
         let mean_fb_a: f64 = t6.iter().map(|r| r.2).sum::<f64>() / t6.len() as f64;
@@ -202,7 +231,7 @@ mod tests {
 
     #[test]
     fn tables_render() {
-        let r = run_suite(Suite::Spec92, Scale::Test, &[Experiment::A]);
+        let r = run_suite(Suite::Spec92, Scale::Test, &[Experiment::A]).expect("no faults injected");
         let t = render(&r, "Figure 3 (SPEC92)");
         assert_eq!(t.num_rows(), 7);
         let t6 = render_table6(&r);

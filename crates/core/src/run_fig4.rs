@@ -2,6 +2,7 @@
 //! Compress, Eqntott, and Swm — 4-way set-associative caches with block
 //! sizes 4 B – 128 B, plus the write-allocate and write-validate MTCs.
 
+use crate::error::{collect_jobs, MembwError};
 use crate::report::{size_label, Table};
 use membw_cache::{Associativity, Cache, CacheConfig};
 use membw_mtc::{MinCache, MinConfig, MinWritePolicy};
@@ -89,36 +90,48 @@ impl CurveSpec {
 ///
 /// One run-engine job per (panel, curve) — 3 × 8 — each regenerating
 /// the panel's trace; curves merge back panel-major in the figure's
-/// fixed curve order.
-pub fn run(scale: Scale) -> (Vec<Fig4Panel>, Vec<Table>) {
+/// fixed curve order. Jobs are fault-isolated and checkpointed under
+/// the batch label `fig4`.
+///
+/// # Errors
+///
+/// Returns [`MembwError::Jobs`] if any (panel, curve) job ultimately
+/// failed (after the configured retry budget).
+pub fn run(scale: Scale) -> Result<(Vec<Fig4Panel>, Vec<Table>), MembwError> {
     let suite = suite92(scale);
     let panel_names = ["compress", "eqntott", "swm"];
     let curve_specs = CurveSpec::all();
-    let all_curves: Vec<Curve> =
-        Runner::from_env().cross(&panel_names, &curve_specs, |name, spec| {
-            let b = suite
-                .iter()
-                .find(|b| b.name() == *name)
-                .expect("panel benchmark exists in SPEC92 suite");
-            let refs = b.workload().collect_mem_refs();
-            let points: Vec<(u64, u64)> = match *spec {
-                CurveSpec::Cache { block } => sizes()
-                    .into_iter()
-                    .filter_map(|s| cache_traffic(&refs, s, block).map(|t| (s, t)))
-                    .collect(),
-                CurveSpec::Mtc { write } => sizes()
-                    .into_iter()
-                    .map(|s| {
-                        let cfg = MinConfig::new(s, 4, write, true);
-                        (s, MinCache::simulate(&cfg, &refs).traffic_below())
-                    })
-                    .collect(),
-            };
-            Curve {
-                label: spec.label(),
-                points,
-            }
-        });
+    let n_c = curve_specs.len();
+    let key = format!("v1/fig4/{scale:?}/{}x{}", panel_names.len(), n_c);
+    let raw = Runner::from_env().checkpointed("fig4", &key, panel_names.len() * n_c, |k| {
+        let name = panel_names[k / n_c];
+        let spec = &curve_specs[k % n_c];
+        let b = suite
+            .iter()
+            .find(|b| b.name() == name)
+            .expect("panel benchmark exists in SPEC92 suite");
+        let refs = b.workload().collect_mem_refs();
+        let points: Vec<(u64, u64)> = match *spec {
+            CurveSpec::Cache { block } => sizes()
+                .into_iter()
+                .filter_map(|s| cache_traffic(&refs, s, block).map(|t| (s, t)))
+                .collect(),
+            CurveSpec::Mtc { write } => sizes()
+                .into_iter()
+                .map(|s| {
+                    let cfg = MinConfig::new(s, 4, write, true);
+                    (s, MinCache::simulate(&cfg, &refs).traffic_below())
+                })
+                .collect(),
+        };
+        Curve {
+            label: spec.label(),
+            points,
+        }
+    });
+    let all_curves: Vec<Curve> = collect_jobs("fig4", raw, |k| {
+        format!("{}/{}", panel_names[k / n_c], curve_specs[k % n_c].label())
+    })?;
 
     let mut panels = Vec::new();
     let mut tables = Vec::new();
@@ -154,7 +167,7 @@ pub fn run(scale: Scale) -> (Vec<Fig4Panel>, Vec<Table>) {
             curves,
         });
     }
-    (panels, tables)
+    Ok((panels, tables))
 }
 
 #[cfg(test)]
@@ -163,7 +176,7 @@ mod tests {
 
     #[test]
     fn mtc_curves_lower_bound_everything() {
-        let (panels, _) = run(Scale::Test);
+        let (panels, _) = run(Scale::Test).expect("no faults injected");
         assert_eq!(panels.len(), 3);
         for p in &panels {
             let wv = p
@@ -193,7 +206,7 @@ mod tests {
     fn compress_traffic_rises_with_block_size() {
         // The paper: "Compress has little spatial locality... any increase
         // in block size causes a corresponding increase in traffic."
-        let (panels, _) = run(Scale::Test);
+        let (panels, _) = run(Scale::Test).expect("no faults injected");
         let compress = &panels[0];
         assert_eq!(compress.name, "compress");
         let at = |label: &str, size: u64| {
@@ -212,7 +225,7 @@ mod tests {
 
     #[test]
     fn traffic_is_monotone_nonincreasing_for_mtc() {
-        let (panels, _) = run(Scale::Test);
+        let (panels, _) = run(Scale::Test).expect("no faults injected");
         for p in &panels {
             let wv = p
                 .curves

@@ -4,10 +4,13 @@
 use crate::report::Table;
 use membw_trace::sink::CountSink;
 use membw_workloads::{suite92, suite95, Scale};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// One benchmark's paper-vs-ours bookkeeping.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// (`Serialize` only: rebuilt from the compiled-in suites every run,
+/// never reloaded from an archive.)
+#[derive(Debug, Clone, Serialize)]
 pub struct Table3Row {
     /// Benchmark name.
     pub name: String,

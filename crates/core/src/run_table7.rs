@@ -2,6 +2,7 @@
 //! 1 KB – 2 MB, over the SPEC92 workloads — plus the Eq. 5 effective
 //! pin bandwidth they imply.
 
+use crate::error::{collect_jobs, MembwError};
 use crate::report::{size_label, Table};
 use membw_analytic::effective_pin_bandwidth;
 use membw_cache::{Cache, CacheConfig};
@@ -53,10 +54,18 @@ pub struct Table7Result {
 /// Regenerate Table 7 at `scale`.
 ///
 /// One run-engine job per benchmark; each regenerates its trace and
-/// owns the whole size sweep. Rows merge in suite order.
-pub fn run(scale: Scale) -> (Table7Result, Table) {
+/// owns the whole size sweep. Rows merge in suite order. Jobs are
+/// fault-isolated and checkpointed under the batch label `table7`.
+///
+/// # Errors
+///
+/// Returns [`MembwError::Jobs`] if any benchmark's job ultimately
+/// failed (after the configured retry budget).
+pub fn run(scale: Scale) -> Result<(Table7Result, Table), MembwError> {
     let suite = suite92(scale);
-    let rows: Vec<Table7Row> = Runner::from_env().map(&suite, |b| {
+    let key = format!("v1/table7/{scale:?}/{}", suite.len());
+    let rows = Runner::from_env().checkpointed("table7", &key, suite.len(), |i| {
+        let b = &suite[i];
         // Collect once per job, replay across the size sweep.
         let refs: Vec<MemRef> = b.workload().collect_mem_refs();
         let mut ratios = Vec::new();
@@ -85,6 +94,7 @@ pub fn run(scale: Scale) -> (Table7Result, Table) {
             ratios,
         }
     });
+    let rows: Vec<Table7Row> = collect_jobs("table7", rows, |i| suite[i].name().to_string())?;
 
     let reasonable: Vec<f64> = rows
         .iter()
@@ -127,7 +137,7 @@ pub fn run(scale: Scale) -> (Table7Result, Table) {
         }));
         table.row(cells);
     }
-    (result, table)
+    Ok((result, table))
 }
 
 #[cfg(test)]
@@ -136,7 +146,7 @@ mod tests {
 
     #[test]
     fn ratios_behave_like_the_paper() {
-        let (res, table) = run(Scale::Test);
+        let (res, table) = run(Scale::Test).expect("no faults injected");
         assert_eq!(table.num_rows(), 7);
         // Small caches exceed R=1 for at least one low-locality code.
         let any_over_one = res.rows.iter().any(|r| {

@@ -2,6 +2,7 @@
 //! direct-mapped caches against same-size MTCs — plus the Eq. 7 upper
 //! bound on effective pin bandwidth.
 
+use crate::error::{collect_jobs, MembwError};
 use crate::report::{size_label, Table};
 use crate::run_table7::SIZES;
 use membw_analytic::upper_bound_epin;
@@ -40,10 +41,18 @@ pub struct Table8Result {
 ///
 /// One run-engine job per benchmark (trace regenerated per job, the
 /// whole size sweep inside); `all_g` is rebuilt from the merged rows in
-/// canonical benchmark-major, size-major order.
-pub fn run(scale: Scale) -> (Table8Result, Table) {
+/// canonical benchmark-major, size-major order. Jobs are fault-isolated
+/// and checkpointed under the batch label `table8`.
+///
+/// # Errors
+///
+/// Returns [`MembwError::Jobs`] if any benchmark's job ultimately
+/// failed (after the configured retry budget).
+pub fn run(scale: Scale) -> Result<(Table8Result, Table), MembwError> {
     let suite = suite92(scale);
-    let rows: Vec<Table8Row> = Runner::from_env().map(&suite, |b| {
+    let key = format!("v1/table8/{scale:?}/{}", suite.len());
+    let rows = Runner::from_env().checkpointed("table8", &key, suite.len(), |i| {
+        let b = &suite[i];
         let refs: Vec<MemRef> = b.workload().collect_mem_refs();
         let mut inefficiencies = Vec::new();
         for &size in &SIZES {
@@ -73,6 +82,7 @@ pub fn run(scale: Scale) -> (Table8Result, Table) {
             inefficiencies,
         }
     });
+    let rows: Vec<Table8Row> = collect_jobs("table8", rows, |i| suite[i].name().to_string())?;
     let mut all_g: Vec<f64> = rows
         .iter()
         .flat_map(|r| r.inefficiencies.iter().filter_map(|(_, g)| *g))
@@ -107,7 +117,7 @@ pub fn run(scale: Scale) -> (Table8Result, Table) {
         }));
         table.row(cells);
     }
-    (result, table)
+    Ok((result, table))
 }
 
 #[cfg(test)]
@@ -116,7 +126,7 @@ mod tests {
 
     #[test]
     fn inefficiencies_are_at_least_one_and_sizable() {
-        let (res, table) = run(Scale::Test);
+        let (res, table) = run(Scale::Test).expect("no faults injected");
         assert_eq!(table.num_rows(), 7);
         for r in &res.rows {
             for (s, g) in &r.inefficiencies {

@@ -1,6 +1,7 @@
 //! Tables 9–10: isolating the factors behind the traffic-inefficiency
 //! gap (associativity, replacement, block size ×2, write-validate).
 
+use crate::error::{collect_jobs, MembwError};
 use crate::report::Table;
 use membw_mtc::factors::{factor_gap, FactorGap, TABLE10_FACTORS};
 use membw_runner::Runner;
@@ -28,7 +29,15 @@ pub fn capacity_for(name: &str) -> u64 {
 
 /// Regenerate Table 9 at `scale`, including the Table 10 experiment
 /// definitions in the rendered output.
-pub fn run(scale: Scale) -> (Table9Result, Vec<Table>) {
+///
+/// Jobs are fault-isolated and checkpointed under the batch label
+/// `table9`.
+///
+/// # Errors
+///
+/// Returns [`MembwError::Jobs`] if any (benchmark, factor) cell
+/// ultimately failed (after the configured retry budget).
+pub fn run(scale: Scale) -> Result<(Table9Result, Vec<Table>), MembwError> {
     let suite = suite92(scale);
     let capacities: Vec<(String, u64)> = suite
         .iter()
@@ -36,13 +45,19 @@ pub fn run(scale: Scale) -> (Table9Result, Vec<Table>) {
         .collect();
     // One run-engine job per (benchmark, factor) cell, benchmark-major;
     // each job regenerates its workload's trace inside factor_gap.
-    let gaps: Vec<FactorGap> = Runner::from_env()
-        .cross(&suite, &TABLE10_FACTORS, |b, spec| {
-            factor_gap(spec, &b.workload(), capacity_for(b.name()))
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+    let n_f = TABLE10_FACTORS.len();
+    let key = format!("v1/table9/{scale:?}/{}x{}", suite.len(), n_f);
+    let raw = Runner::from_env().checkpointed("table9", &key, suite.len() * n_f, |k| {
+        let b = &suite[k / n_f];
+        let spec = &TABLE10_FACTORS[k % n_f];
+        factor_gap(spec, &b.workload(), capacity_for(b.name()))
+    });
+    let gaps: Vec<FactorGap> = collect_jobs("table9", raw, |k| {
+        format!("{}/{}", suite[k / n_f].name(), TABLE10_FACTORS[k % n_f].name)
+    })?
+    .into_iter()
+    .flatten()
+    .collect();
 
     // Table 9: rows = factors, columns = benchmarks.
     let mut headers = vec!["Factor".to_string()];
@@ -76,7 +91,7 @@ pub fn run(scale: Scale) -> (Table9Result, Vec<Table>) {
         ]);
     }
 
-    (Table9Result { gaps, capacities }, vec![t9, t10])
+    Ok((Table9Result { gaps, capacities }, vec![t9, t10]))
 }
 
 #[cfg(test)]
@@ -85,7 +100,7 @@ mod tests {
 
     #[test]
     fn grid_covers_factors_by_benchmarks() {
-        let (res, tables) = run(Scale::Test);
+        let (res, tables) = run(Scale::Test).expect("no faults injected");
         assert_eq!(res.gaps.len(), 5 * 7);
         assert_eq!(tables[0].num_rows(), 5);
         assert_eq!(tables[1].num_rows(), 5);
@@ -96,7 +111,7 @@ mod tests {
         // The paper: "The factor that makes the largest consistent
         // contribution to traffic reduction... is reduction of block
         // size." Check it is the max-mean factor across benchmarks.
-        let (res, _) = run(Scale::Test);
+        let (res, _) = run(Scale::Test).expect("no faults injected");
         let mean = |name: &str| {
             let xs: Vec<f64> = res
                 .gaps
@@ -116,7 +131,7 @@ mod tests {
 
     #[test]
     fn espresso_uses_the_small_capacity() {
-        let (res, _) = run(Scale::Test);
+        let (res, _) = run(Scale::Test).expect("no faults injected");
         let esp = res
             .capacities
             .iter()

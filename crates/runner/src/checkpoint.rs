@@ -1,0 +1,224 @@
+//! Matrix checkpointing: persist completed job results so an
+//! interrupted campaign resumes instead of recomputing.
+//!
+//! # Layout
+//!
+//! ```text
+//! <root>/<label>-<fnv64(key) as hex>/
+//!     meta.json     {"key": "<full key>", "jobs": N}
+//!     <index>.json  one archived job result per completed job
+//! ```
+//!
+//! The key encodes everything the job matrix depends on (target, scale,
+//! matrix shape — workload seeds are compile-time constants covered by
+//! the key's version tag), so a config change lands in a different
+//! directory and can never replay stale results. A `meta.json` mismatch
+//! within a directory (hash collision or layout change) wipes the
+//! directory rather than trusting it.
+//!
+//! Writes go through a temp file + rename so a job killed mid-write
+//! leaves no torn `<index>.json` behind; a torn or corrupt file is
+//! treated as "not checkpointed" and recomputed. Because every job is a
+//! pure function of its index and the serialization round trip is
+//! lossless (bit-exact floats), a resumed run's merged output is
+//! byte-identical to an uninterrupted one at any thread count.
+
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Where checkpoints live and whether existing ones may be replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Root directory (`repro` uses `results/.checkpoint`).
+    pub root: PathBuf,
+    /// Replay completed results from a previous run (`--resume`).
+    /// When false, everything is recomputed and checkpoints are
+    /// overwritten in place.
+    pub resume: bool,
+}
+
+/// 64-bit FNV-1a — stable across runs and platforms (unlike
+/// `DefaultHasher`, which makes no cross-version promise).
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Keep only filesystem-safe characters from a batch label.
+fn slug(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// One batch's open checkpoint directory.
+#[derive(Debug)]
+pub(crate) struct Store {
+    dir: PathBuf,
+    resume: bool,
+    /// Set once a save fails, so the warning prints once per batch.
+    write_warned: Mutex<bool>,
+}
+
+impl Store {
+    /// Open (creating or validating) the checkpoint directory for a
+    /// batch. Returns `None` — checkpointing disabled, jobs just run —
+    /// if the directory cannot be prepared; the campaign must not fail
+    /// because its checkpoint store is unavailable.
+    pub(crate) fn open(
+        cfg: &CheckpointConfig,
+        label: &str,
+        key: &str,
+        jobs: usize,
+    ) -> Option<Store> {
+        let dir = cfg.root.join(format!("{}-{:016x}", slug(label), fnv64(key)));
+        let meta = serde_json::to_string(&Meta {
+            key: key.to_string(),
+            jobs: jobs as u64,
+        })
+        .expect("meta serializes");
+        let meta_path = dir.join("meta.json");
+        match std::fs::read_to_string(&meta_path) {
+            Ok(existing) if existing == meta => {}
+            Ok(_) => {
+                // Same directory name, different batch identity: never
+                // trust its contents.
+                let _ = std::fs::remove_dir_all(&dir);
+                write_meta(&dir, &meta_path, &meta)?;
+            }
+            Err(_) => write_meta(&dir, &meta_path, &meta)?,
+        }
+        Some(Store {
+            dir,
+            resume: cfg.resume,
+            write_warned: Mutex::new(false),
+        })
+    }
+
+    /// Load job `i`'s archived result, if resuming and present.
+    pub(crate) fn load<T: Deserialize>(&self, i: usize) -> Option<T> {
+        if !self.resume {
+            return None;
+        }
+        let text = std::fs::read_to_string(self.dir.join(format!("{i}.json"))).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Persist job `i`'s result. Failure to write degrades to "no
+    /// checkpoint" with a single stderr warning — it never fails the
+    /// job.
+    pub(crate) fn save<T: Serialize>(&self, i: usize, value: &T) {
+        let body = serde_json::to_string_pretty(value).expect("job result serializes");
+        let tmp = self.dir.join(format!("{i}.json.tmp"));
+        let fin = self.dir.join(format!("{i}.json"));
+        let result = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, &fin));
+        if let Err(e) = result {
+            let mut warned = self.write_warned.lock().expect("warn flag");
+            if !*warned {
+                *warned = true;
+                eprintln!(
+                    "warning: checkpoint write failed under {} ({e}); resume disabled for this batch",
+                    self.dir.display()
+                );
+            }
+        }
+    }
+}
+
+fn write_meta(dir: &Path, meta_path: &Path, meta: &str) -> Option<()> {
+    std::fs::create_dir_all(dir).ok()?;
+    std::fs::write(meta_path, meta).ok()
+}
+
+#[derive(Serialize)]
+struct Meta {
+    key: String,
+    jobs: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("membw_ckpt_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn round_trips_job_results() {
+        let root = tmp("round");
+        let cfg = CheckpointConfig {
+            root: root.clone(),
+            resume: true,
+        };
+        let store = Store::open(&cfg, "t8", "v1/t8/test/7", 7).expect("open");
+        assert_eq!(store.load::<u64>(3), None, "nothing archived yet");
+        store.save(3, &42u64);
+        assert_eq!(store.load::<u64>(3), Some(42));
+        // resume=false ignores existing archives but still writes.
+        let store = Store::open(
+            &CheckpointConfig {
+                root: root.clone(),
+                resume: false,
+            },
+            "t8",
+            "v1/t8/test/7",
+            7,
+        )
+        .expect("open");
+        assert_eq!(store.load::<u64>(3), None);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn key_change_invalidates_the_directory() {
+        let root = tmp("invalid");
+        let cfg = CheckpointConfig {
+            root: root.clone(),
+            resume: true,
+        };
+        let store = Store::open(&cfg, "t8", "v1/a", 4).expect("open");
+        store.save(0, &1u64);
+        let dir = store.dir.clone();
+        // Forge a different meta under the same directory name.
+        std::fs::write(dir.join("meta.json"), "{\"key\": \"other\", \"jobs\": 4}").unwrap();
+        let store = Store::open(&cfg, "t8", "v1/a", 4).expect("open");
+        assert_eq!(store.load::<u64>(0), None, "stale results wiped");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_archive_is_recomputed_not_trusted() {
+        let root = tmp("corrupt");
+        let cfg = CheckpointConfig {
+            root: root.clone(),
+            resume: true,
+        };
+        let store = Store::open(&cfg, "x", "v1/x", 2).expect("open");
+        std::fs::write(store.dir.join("0.json"), "{ not json").unwrap();
+        assert_eq!(store.load::<u64>(0), None);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned: the on-disk layout depends on this value never moving.
+        assert_eq!(fnv64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(slug("fig3/SPEC92 (test)"), "fig3_SPEC92__test_");
+    }
+}

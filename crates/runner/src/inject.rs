@@ -1,0 +1,69 @@
+//! Deterministic fault injection for tests and CI smoke runs.
+//!
+//! Two environment variables, read at job dispatch:
+//!
+//! * `MEMBW_FAULT_INJECT` — comma-separated `label:index` entries (or
+//!   `label:*` for every job of a batch); matching jobs panic with a
+//!   recognizable message on **every** attempt, exercising the
+//!   catch_unwind isolation, retry accounting, and failure summary.
+//! * `MEMBW_FAULT_SLOW` — comma-separated `label:index:millis` entries;
+//!   matching jobs sleep before running, exercising the `--job-timeout`
+//!   watchdog.
+//!
+//! The hooks key on the batch *label* (`"table8"`, `"fig3/SPEC92"`, …)
+//! plus the canonical job index, so an injected fault is a pure
+//! function of the matrix position — the healthy jobs' outputs stay
+//! byte-identical at any `--jobs` setting.
+
+/// True if `entry` (e.g. `"table8:3"` or `"table8:*"`) selects job
+/// `index` of batch `label`.
+fn selects(entry: &str, label: &str, index: usize) -> bool {
+    let Some((l, i)) = entry.rsplit_once(':') else {
+        return false;
+    };
+    l == label && (i == "*" || i.parse() == Ok(index))
+}
+
+/// Apply any configured injection for (`label`, `index`): sleep first
+/// (slow-job injection), then panic (fault injection).
+///
+/// # Panics
+///
+/// Panics deliberately when `MEMBW_FAULT_INJECT` selects this job; the
+/// engine's catch_unwind turns it into a per-job failure.
+pub(crate) fn apply(label: &str, index: usize) {
+    if let Ok(spec) = std::env::var("MEMBW_FAULT_SLOW") {
+        for entry in spec.split(',') {
+            if let Some((sel, ms)) = entry.rsplit_once(':') {
+                if selects(sel, label, index) {
+                    if let Ok(ms) = ms.trim().parse::<u64>() {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                }
+            }
+        }
+    }
+    if let Ok(spec) = std::env::var("MEMBW_FAULT_INJECT") {
+        for entry in spec.split(',') {
+            if selects(entry.trim(), label, index) {
+                panic!("injected fault at {label}:{index} (MEMBW_FAULT_INJECT)");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_grammar() {
+        assert!(selects("table8:3", "table8", 3));
+        assert!(!selects("table8:3", "table8", 4));
+        assert!(!selects("table8:3", "table7", 3));
+        assert!(selects("table8:*", "table8", 11));
+        assert!(!selects("table8", "table8", 0), "no index part");
+        // Labels may themselves contain ':'-free slashes.
+        assert!(selects("fig3/SPEC92:0", "fig3/SPEC92", 0));
+    }
+}

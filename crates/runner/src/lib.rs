@@ -1,4 +1,5 @@
-//! Deterministic parallel execution of the experiment job matrix.
+//! Deterministic, fault-tolerant parallel execution of the experiment
+//! job matrix.
 //!
 //! Every experiment in this reproduction — the three-run `f_P/f_L/f_B`
 //! decomposition (§3), the Table 7/8 traffic sweeps, the Table 9/10
@@ -17,6 +18,23 @@
 //! contract `--jobs 1` and `--jobs N` are indistinguishable from the
 //! output side; the tier-1 determinism test asserts it end-to-end.
 //!
+//! # Fault tolerance
+//!
+//! [`Runner::try_run`] adds per-job isolation on top of the same
+//! contract: a panicking job becomes an `Err(`[`JobFailure`]`)` in its
+//! slot instead of killing the pool, an overrunning job is marked
+//! failed once it exceeds the configured deadline ([`set_job_timeout`] /
+//! `--job-timeout`), and failed attempts are retried up to the
+//! configured budget ([`set_retries`] / `--retries`) — deterministically,
+//! because a retry re-evaluates the same pure `f(i)`. Healthy siblings
+//! always complete and merge in index order, so a faulted campaign's
+//! surviving output is byte-identical to the fault-free run.
+//!
+//! [`Runner::checkpointed`] additionally persists each completed job
+//! result under the configured checkpoint root ([`set_checkpoint`] /
+//! `--resume`), so an interrupted campaign resumes from completed work
+//! instead of recomputing it — see [`checkpoint`](CheckpointConfig).
+//!
 //! # Choosing the pool width
 //!
 //! Priority order: [`with_jobs`] (thread-local override, used by tests),
@@ -31,19 +49,52 @@
 //!
 //! let squares = Runner::new(4).run(8, |i| i * i);
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//!
+//! // Fault isolation: job 2 panics, siblings still deliver.
+//! let out = Runner::new(4).try_run("demo", 4, |i| {
+//!     assert!(i != 2, "boom");
+//!     i * 10
+//! });
+//! assert_eq!(out[0].as_ref().copied(), Ok(0));
+//! assert!(out[2].is_err());
+//! assert_eq!(out[3].as_ref().copied(), Ok(30));
 //! ```
 
-use std::cell::Cell;
+mod checkpoint;
+mod failure;
+mod inject;
+
+pub use checkpoint::CheckpointConfig;
+pub use failure::{JobError, JobFailure};
+
+use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Process-wide override set by `--jobs N` (0 = unset).
 static GLOBAL_JOBS: AtomicUsize = AtomicUsize::new(0);
+/// Process-wide retry budget set by `--retries N`.
+static GLOBAL_RETRIES: AtomicUsize = AtomicUsize::new(0);
+/// Process-wide per-job deadline in milliseconds set by
+/// `--job-timeout SECS` (0 = no deadline).
+static GLOBAL_TIMEOUT_MS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide checkpoint configuration set by `repro`.
+static GLOBAL_CHECKPOINT: Mutex<Option<CheckpointConfig>> = Mutex::new(None);
 
 thread_local! {
     /// Thread-local override installed by [`with_jobs`] (0 = unset).
     static TL_JOBS: Cell<usize> = const { Cell::new(0) };
+    /// Thread-local override installed by [`with_retries`].
+    static TL_RETRIES: Cell<Option<u32>> = const { Cell::new(None) };
+    /// Thread-local override installed by [`with_job_timeout`]
+    /// (`Some(None)` forces "no deadline" regardless of the global).
+    static TL_TIMEOUT: Cell<Option<Option<Duration>>> = const { Cell::new(None) };
+    /// Thread-local override installed by [`with_checkpoint`].
+    static TL_CHECKPOINT: RefCell<Option<Option<CheckpointConfig>>> =
+        const { RefCell::new(None) };
 }
 
 /// Set the process-wide job count (e.g. from a `--jobs N` flag).
@@ -91,6 +142,94 @@ pub fn configured_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Set the process-wide per-job retry budget (`--retries N`): a failed
+/// job is re-attempted up to `n` more times before it is reported.
+pub fn set_retries(n: u32) {
+    GLOBAL_RETRIES.store(n as usize, Ordering::SeqCst);
+}
+
+/// Run `f` with the retry budget forced to `n` on this thread.
+pub fn with_retries<R>(n: u32, f: impl FnOnce() -> R) -> R {
+    let prev = TL_RETRIES.with(|c| c.replace(Some(n)));
+    struct Restore(Option<u32>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TL_RETRIES.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The effective retry budget for a runner created on this thread.
+pub fn configured_retries() -> u32 {
+    TL_RETRIES
+        .with(Cell::get)
+        .unwrap_or_else(|| GLOBAL_RETRIES.load(Ordering::SeqCst) as u32)
+}
+
+/// Set the process-wide per-job deadline (`--job-timeout SECS`);
+/// `None` disables the watchdog.
+pub fn set_job_timeout(timeout: Option<Duration>) {
+    let ms = timeout.map_or(0, |d| d.as_millis().max(1) as u64);
+    GLOBAL_TIMEOUT_MS.store(ms, Ordering::SeqCst);
+}
+
+/// Run `f` with the per-job deadline forced to `timeout` on this thread.
+pub fn with_job_timeout<R>(timeout: Option<Duration>, f: impl FnOnce() -> R) -> R {
+    let prev = TL_TIMEOUT.with(|c| c.replace(Some(timeout)));
+    struct Restore(Option<Option<Duration>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TL_TIMEOUT.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The effective per-job deadline for a runner created on this thread.
+pub fn configured_job_timeout() -> Option<Duration> {
+    if let Some(tl) = TL_TIMEOUT.with(Cell::get) {
+        return tl;
+    }
+    match GLOBAL_TIMEOUT_MS.load(Ordering::SeqCst) {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    }
+}
+
+/// Set the process-wide checkpoint configuration (`repro` points this
+/// at `results/.checkpoint`); `None` disables checkpointing — the
+/// library default, so embedding tests never touch the filesystem.
+pub fn set_checkpoint(cfg: Option<CheckpointConfig>) {
+    *GLOBAL_CHECKPOINT.lock().expect("checkpoint config") = cfg;
+}
+
+/// Run `f` with the checkpoint configuration forced to `cfg` on this
+/// thread (tests use a temp dir without touching process state).
+pub fn with_checkpoint<R>(cfg: Option<CheckpointConfig>, f: impl FnOnce() -> R) -> R {
+    let prev = TL_CHECKPOINT.with(|c| c.replace(Some(cfg)));
+    struct Restore(Option<Option<CheckpointConfig>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TL_CHECKPOINT.with(|c| {
+                *c.borrow_mut() = self.0.take();
+            });
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The effective checkpoint configuration on this thread.
+pub fn configured_checkpoint() -> Option<CheckpointConfig> {
+    if let Some(tl) = TL_CHECKPOINT.with(|c| c.borrow().clone()) {
+        return tl;
+    }
+    GLOBAL_CHECKPOINT.lock().expect("checkpoint config").clone()
+}
+
 /// Aggregate accounting of the jobs a process has executed, for the
 /// report layer (wall-clock summaries stay on stderr so stdout remains
 /// byte-identical across thread counts).
@@ -103,6 +242,12 @@ pub struct Metrics {
     /// Summed per-job wall time in nanoseconds (CPU-side cost; exceeds
     /// real wall time when jobs overlap).
     pub busy_nanos: u64,
+    /// Job attempts re-run under the retry policy.
+    pub retries: u64,
+    /// Jobs that ultimately failed (after all attempts).
+    pub failures: u64,
+    /// Jobs satisfied from a checkpoint instead of executing.
+    pub resumed: u64,
 }
 
 impl Metrics {
@@ -115,6 +260,9 @@ impl Metrics {
 static METRIC_BATCHES: AtomicU64 = AtomicU64::new(0);
 static METRIC_JOBS: AtomicU64 = AtomicU64::new(0);
 static METRIC_BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+static METRIC_RETRIES: AtomicU64 = AtomicU64::new(0);
+static METRIC_FAILURES: AtomicU64 = AtomicU64::new(0);
+static METRIC_RESUMED: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot the process-wide job metrics.
 pub fn metrics() -> Metrics {
@@ -122,6 +270,9 @@ pub fn metrics() -> Metrics {
         batches: METRIC_BATCHES.load(Ordering::Relaxed),
         jobs: METRIC_JOBS.load(Ordering::Relaxed),
         busy_nanos: METRIC_BUSY_NANOS.load(Ordering::Relaxed),
+        retries: METRIC_RETRIES.load(Ordering::Relaxed),
+        failures: METRIC_FAILURES.load(Ordering::Relaxed),
+        resumed: METRIC_RESUMED.load(Ordering::Relaxed),
     }
 }
 
@@ -132,6 +283,9 @@ pub fn metrics_delta(earlier: Metrics, later: Metrics) -> Metrics {
         batches: later.batches.saturating_sub(earlier.batches),
         jobs: later.jobs.saturating_sub(earlier.jobs),
         busy_nanos: later.busy_nanos.saturating_sub(earlier.busy_nanos),
+        retries: later.retries.saturating_sub(earlier.retries),
+        failures: later.failures.saturating_sub(earlier.failures),
+        resumed: later.resumed.saturating_sub(earlier.resumed),
     }
 }
 
@@ -139,6 +293,8 @@ pub fn metrics_delta(earlier: Metrics, later: Metrics) -> Metrics {
 #[derive(Debug, Clone, Copy)]
 pub struct Runner {
     threads: usize,
+    retries: u32,
+    timeout: Option<Duration>,
 }
 
 impl Default for Runner {
@@ -148,17 +304,36 @@ impl Default for Runner {
 }
 
 impl Runner {
-    /// A runner with an explicit thread count (clamped to at least 1).
+    /// A runner with an explicit thread count (clamped to at least 1),
+    /// no retries, and no job deadline.
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            retries: 0,
+            timeout: None,
         }
     }
 
-    /// A runner honouring [`with_jobs`] / [`set_jobs`] / `MEMBW_JOBS` /
-    /// available parallelism, in that order.
+    /// A runner honouring the thread-local / process-wide / environment
+    /// configuration for thread count, retry budget, and job deadline.
     pub fn from_env() -> Self {
-        Self::new(configured_jobs())
+        Self {
+            threads: configured_jobs().max(1),
+            retries: configured_retries(),
+            timeout: configured_job_timeout(),
+        }
+    }
+
+    /// This runner with a per-job retry budget.
+    pub fn retries(mut self, n: u32) -> Self {
+        self.retries = n;
+        self
+    }
+
+    /// This runner with a per-job deadline.
+    pub fn timeout(mut self, d: Option<Duration>) -> Self {
+        self.timeout = d;
+        self
     }
 
     /// The pool width.
@@ -177,8 +352,8 @@ impl Runner {
     /// # Panics
     ///
     /// A panicking job aborts the batch: the scope joins its workers
-    /// and re-panics on the caller's thread (the job's own payload is
-    /// reported on stderr by the worker thread as it unwinds).
+    /// and re-panics on the caller's thread. Campaign code should use
+    /// [`Runner::try_run`], which isolates the failure instead.
     pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -229,6 +404,166 @@ impl Runner {
             .collect()
     }
 
+    /// Fault-isolated [`Runner::run`]: execute jobs `0..n` and return
+    /// one `Result` per job, in index order.
+    ///
+    /// A job that panics (on every allowed attempt) or overruns the
+    /// configured deadline yields `Err(`[`JobFailure`]`)` in its slot;
+    /// sibling jobs are unaffected. `label` names the batch in failure
+    /// reports and fault-injection hooks (`MEMBW_FAULT_INJECT`).
+    pub fn try_run<T, F>(&self, label: &str, n: usize, f: F) -> Vec<Result<T, JobFailure>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.exec(label, None::<&NoCkpt>, n, f)
+    }
+
+    /// [`Runner::try_run`] with matrix checkpointing: every completed
+    /// job result is archived under the configured checkpoint root
+    /// ([`set_checkpoint`] / [`with_checkpoint`]), and — when resuming —
+    /// jobs whose results are already archived are replayed instead of
+    /// recomputed.
+    ///
+    /// `key` must encode everything the batch's results depend on
+    /// (target, scale, matrix shape); a changed key lands in a fresh
+    /// directory. With no checkpoint configured this is exactly
+    /// [`Runner::try_run`].
+    pub fn checkpointed<T, F>(
+        &self,
+        label: &str,
+        key: &str,
+        n: usize,
+        f: F,
+    ) -> Vec<Result<T, JobFailure>>
+    where
+        T: Send + Serialize + Deserialize,
+        F: Fn(usize) -> T + Sync,
+    {
+        let store = configured_checkpoint()
+            .and_then(|cfg| checkpoint::Store::open(&cfg, label, key, n));
+        match store {
+            Some(store) => self.exec(label, Some(&JsonCkpt { store }), n, f),
+            None => self.exec(label, None::<&NoCkpt>, n, f),
+        }
+    }
+
+    /// The fault-isolated execution engine behind [`Runner::try_run`]
+    /// and [`Runner::checkpointed`].
+    fn exec<T, F, C>(
+        &self,
+        label: &str,
+        ckpt: Option<&C>,
+        n: usize,
+        f: F,
+    ) -> Vec<Result<T, JobFailure>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        C: CkptIo<T> + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        METRIC_BATCHES.fetch_add(1, Ordering::Relaxed);
+        let attempts_allowed = self.retries + 1;
+
+        // One attempt, panic-isolated; the caller decides about retries.
+        let attempt_inline = |i: usize| -> Result<T, JobError> {
+            METRIC_JOBS.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                inject::apply(label, i);
+                f(i)
+            }));
+            METRIC_BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            out.map_err(|p| JobError::Panicked(failure::panic_message(p.as_ref())))
+        };
+
+        // Full per-job lifecycle: resume, attempts, checkpoint, retry
+        // accounting. `attempt` abstracts over inline vs watchdog
+        // execution.
+        let run_job = |i: usize, attempt: &dyn Fn(usize) -> Result<T, JobError>| {
+            if let Some(c) = ckpt {
+                if let Some(v) = c.load(i) {
+                    METRIC_RESUMED.fetch_add(1, Ordering::Relaxed);
+                    return Ok(v);
+                }
+            }
+            let mut last = None;
+            for attempt_no in 1..=attempts_allowed {
+                if attempt_no > 1 {
+                    METRIC_RETRIES.fetch_add(1, Ordering::Relaxed);
+                }
+                match attempt(i) {
+                    Ok(v) => {
+                        if let Some(c) = ckpt {
+                            c.save(i, &v);
+                        }
+                        return Ok(v);
+                    }
+                    Err(e) => last = Some(e),
+                }
+            }
+            METRIC_FAILURES.fetch_add(1, Ordering::Relaxed);
+            Err(JobFailure {
+                index: i,
+                attempts: attempts_allowed,
+                error: last.expect("at least one attempt ran"),
+            })
+        };
+
+        let workers = self.threads.min(n);
+        if workers <= 1 && self.timeout.is_none() {
+            // Serial baseline: no threads at all (also keeps `--jobs 1`
+            // runnable on targets where spawning is undesirable).
+            return (0..n).map(|i| run_job(i, &attempt_inline)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<T, JobFailure>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            let worker = || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = match self.timeout {
+                    None => run_job(i, &attempt_inline),
+                    Some(deadline) => run_job(i, &|i| {
+                        // Watchdog: run the attempt on its own scoped
+                        // thread and stop waiting at the deadline. A
+                        // timed-out attempt keeps running (std threads
+                        // cannot be killed) but its result is dropped
+                        // with the receiver; the scope joins it before
+                        // the batch returns.
+                        let (tx, rx) = mpsc::channel();
+                        scope.spawn(move || {
+                            let _ = tx.send(attempt_inline(i));
+                        });
+                        match rx.recv_timeout(deadline) {
+                            Ok(r) => r,
+                            Err(_) => Err(JobError::TimedOut(deadline)),
+                        }
+                    }),
+                };
+                *slots[i].lock().expect("job slot poisoned") = Some(result);
+            };
+            for _ in 0..workers {
+                scope.spawn(worker);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("job slot poisoned")
+                    .expect("every job index was executed")
+            })
+            .collect()
+    }
+
     /// [`Runner::run`] over a slice: `out[i] == f(&items[i])`.
     pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
     where
@@ -253,6 +588,38 @@ impl Runner {
             return Vec::new();
         }
         self.run(a.len() * b.len(), |k| f(&a[k / b.len()], &b[k % b.len()]))
+    }
+}
+
+/// Checkpoint I/O as seen by the execution engine.
+trait CkptIo<T> {
+    fn load(&self, i: usize) -> Option<T>;
+    fn save(&self, i: usize, v: &T);
+}
+
+/// The "checkpointing disabled" codec (never instantiated).
+enum NoCkpt {}
+
+impl<T> CkptIo<T> for NoCkpt {
+    fn load(&self, _: usize) -> Option<T> {
+        match *self {}
+    }
+    fn save(&self, _: usize, _: &T) {
+        match *self {}
+    }
+}
+
+/// JSON checkpoint codec over a [`checkpoint::Store`].
+struct JsonCkpt {
+    store: checkpoint::Store,
+}
+
+impl<T: Serialize + Deserialize> CkptIo<T> for JsonCkpt {
+    fn load(&self, i: usize) -> Option<T> {
+        self.store.load(i)
+    }
+    fn save(&self, i: usize, v: &T) {
+        self.store.save(i, v);
     }
 }
 
@@ -328,6 +695,24 @@ mod tests {
     }
 
     #[test]
+    fn with_retries_and_timeout_override_and_restore() {
+        let r = with_retries(4, configured_retries);
+        assert_eq!(r, 4);
+        let t = with_job_timeout(Some(Duration::from_secs(9)), configured_job_timeout);
+        assert_eq!(t, Some(Duration::from_secs(9)));
+        let t = with_job_timeout(None, configured_job_timeout);
+        assert_eq!(t, None);
+        let c = with_checkpoint(
+            Some(CheckpointConfig {
+                root: "/tmp/x".into(),
+                resume: true,
+            }),
+            configured_checkpoint,
+        );
+        assert_eq!(c.map(|c| c.resume), Some(true));
+    }
+
+    #[test]
     fn map_preserves_item_order() {
         let items: Vec<String> = (0..20).map(|i| format!("w{i}")).collect();
         let out = Runner::new(6).map(&items, |s| s.len());
@@ -350,5 +735,211 @@ mod tests {
             assert!(i != 7, "job 7 exploded");
             i
         });
+    }
+
+    #[test]
+    fn try_run_isolates_a_panicking_job() {
+        for threads in [1, 4] {
+            let out = Runner::new(threads).try_run("iso", 16, |i| {
+                assert!(i != 7, "job 7 exploded");
+                i * 2
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i == 7 {
+                    let err = r.as_ref().unwrap_err();
+                    assert_eq!(err.index, 7);
+                    assert_eq!(err.attempts, 1);
+                    assert!(
+                        matches!(&err.error, JobError::Panicked(m) if m.contains("job 7 exploded")),
+                        "{err}"
+                    );
+                } else {
+                    assert_eq!(r.as_ref().copied(), Ok(i * 2), "sibling {i} must survive");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retries_rerun_flaky_jobs_deterministically() {
+        let calls: Vec<AtomicU32> = (0..8).map(|_| AtomicU32::new(0)).collect();
+        let out = Runner::new(3).retries(2).try_run("flaky", 8, |i| {
+            let call = calls[i].fetch_add(1, Ordering::SeqCst);
+            // Job 5 fails its first two attempts, succeeds on the third.
+            assert!(i != 5 || call >= 2, "flaking");
+            i
+        });
+        assert_eq!(out[5].as_ref().copied(), Ok(5));
+        assert_eq!(calls[5].load(Ordering::SeqCst), 3);
+        for (i, c) in calls.iter().enumerate() {
+            if i != 5 {
+                assert_eq!(c.load(Ordering::SeqCst), 1, "healthy job {i} ran once");
+            }
+        }
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_reports_attempts() {
+        let out = Runner::new(2).retries(3).try_run("doomed", 4, |i| {
+            assert!(i != 1, "always fails");
+            i
+        });
+        let err = out[1].as_ref().unwrap_err();
+        assert_eq!(err.attempts, 4, "1 + 3 retries");
+    }
+
+    #[test]
+    fn deadline_marks_slow_jobs_failed_without_poisoning_siblings() {
+        let r = Runner::new(4).timeout(Some(Duration::from_millis(50)));
+        let out = r.try_run("slowpoke", 8, |i| {
+            if i == 2 {
+                std::thread::sleep(Duration::from_millis(400));
+            }
+            i
+        });
+        let err = out[2].as_ref().unwrap_err();
+        assert!(
+            matches!(err.error, JobError::TimedOut(_)),
+            "expected timeout, got {err}"
+        );
+        for (i, r) in out.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(r.as_ref().copied(), Ok(i));
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_applies_on_a_single_thread_too() {
+        let r = Runner::new(1).timeout(Some(Duration::from_millis(50)));
+        let out = r.try_run("serial-slow", 3, |i| {
+            if i == 1 {
+                std::thread::sleep(Duration::from_millis(400));
+            }
+            i
+        });
+        assert!(out[1].is_err());
+        assert_eq!(out[0].as_ref().copied(), Ok(0));
+        assert_eq!(out[2].as_ref().copied(), Ok(2));
+    }
+
+    #[test]
+    fn checkpoint_resume_replays_archived_results() {
+        let root = std::env::temp_dir().join(format!(
+            "membw_runner_ckpt_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let cfg = Some(CheckpointConfig {
+            root: root.clone(),
+            resume: true,
+        });
+        let first = with_checkpoint(cfg.clone(), || {
+            Runner::new(4).checkpointed("ckpt-test", "v1/demo/6", 6, |i| i as u64 * 3)
+        });
+        assert!(first.iter().all(Result::is_ok));
+        // Second run: the closure must never execute — results replay.
+        let second = with_checkpoint(cfg, || {
+            Runner::new(4).checkpointed("ckpt-test", "v1/demo/6", 6, |i| -> u64 {
+                panic!("job {i} should have been resumed")
+            })
+        });
+        assert_eq!(
+            second.iter().map(|r| *r.as_ref().unwrap()).collect::<Vec<_>>(),
+            vec![0, 3, 6, 9, 12, 15]
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn checkpoint_without_resume_recomputes() {
+        let root = std::env::temp_dir().join(format!(
+            "membw_runner_ckpt_nr_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let mk = |resume| {
+            Some(CheckpointConfig {
+                root: root.clone(),
+                resume,
+            })
+        };
+        let _ = with_checkpoint(mk(true), || {
+            Runner::new(2).checkpointed("nr", "v1/nr/4", 4, |i| i as u64)
+        });
+        let ran = AtomicU32::new(0);
+        let out = with_checkpoint(mk(false), || {
+            Runner::new(2).checkpointed("nr", "v1/nr/4", 4, |i| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                i as u64
+            })
+        });
+        assert!(out.iter().all(Result::is_ok));
+        assert_eq!(ran.load(Ordering::SeqCst), 4, "--no-resume recomputes");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn failed_jobs_are_not_checkpointed_and_retry_on_resume() {
+        let root = std::env::temp_dir().join(format!(
+            "membw_runner_ckpt_fail_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let cfg = Some(CheckpointConfig {
+            root: root.clone(),
+            resume: true,
+        });
+        let first = with_checkpoint(cfg.clone(), || {
+            Runner::new(2).checkpointed("heal", "v1/heal/4", 4, |i| {
+                assert!(i != 2, "transient outage");
+                i as u64
+            })
+        });
+        assert!(first[2].is_err());
+        // Resume: healthy jobs replay, the failed one re-executes and
+        // now succeeds — exactly the interrupted-campaign story.
+        let executed = AtomicU32::new(0);
+        let second = with_checkpoint(cfg, || {
+            Runner::new(2).checkpointed("heal", "v1/heal/4", 4, |i| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                i as u64
+            })
+        });
+        assert!(second.iter().all(Result::is_ok));
+        assert_eq!(executed.load(Ordering::SeqCst), 1, "only the failed job re-ran");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn try_run_is_deterministic_across_thread_counts_with_faults() {
+        let run = |threads| {
+            Runner::new(threads).try_run("det", 40, |i| {
+                assert!(i % 13 != 5, "periodic fault");
+                (i as u64).wrapping_mul(0x9E37_79B9)
+            })
+        };
+        let a = run(1);
+        let b = run(8);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (Ok(v), Ok(w)) => assert_eq!(v, w),
+                (Err(e), Err(f)) => assert_eq!(e, f),
+                other => panic!("divergent fault placement: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn failure_metrics_accumulate() {
+        let before = metrics();
+        let _ = Runner::new(2).retries(1).try_run("metrics", 6, |i| {
+            assert!(i != 3, "fails twice");
+            i
+        });
+        let d = metrics_delta(before, metrics());
+        assert!(d.retries >= 1, "retry counted");
+        assert!(d.failures >= 1, "failure counted");
     }
 }

@@ -38,6 +38,47 @@ pub mod json {
         /// Object; insertion order is preserved (struct field order).
         Object(Vec<(String, Value)>),
     }
+
+    impl Value {
+        /// Look up a key in an object value.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(entries) => {
+                    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+                }
+                _ => None,
+            }
+        }
+
+        /// The array items, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// A one-word description of the variant, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::UInt(_) | Value::Int(_) => "integer",
+                Value::Float(_) => "float",
+                Value::Str(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            }
+        }
+    }
 }
 
 use json::Value;
@@ -52,10 +93,53 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Name-resolution stub for `#[derive(Deserialize)]` / `use
-/// serde::Deserialize`. Nothing in this workspace deserializes, so the
-/// trait carries no methods; the derive emits an empty impl.
-pub trait Deserialize {}
+/// Deserialization error: a human-readable description of the mismatch
+/// (missing field, wrong variant, out-of-range number, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A "wrong shape" error naming what was expected and what arrived.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can rebuild itself from a [`json::Value`].
+///
+/// This replaces serde's `Deserialize` (the checkpoint/resume layer of
+/// the run engine reloads archived job results); derive it with
+/// `#[derive(Deserialize)]` — the vendored derive emits a
+/// field-by-field [`Deserialize::from_value`] mirroring the
+/// [`Serialize`] mapping.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Extract and deserialize one named struct field (derive support).
+///
+/// # Errors
+///
+/// Returns [`DeError`] when the field is missing or mismatched.
+pub fn __field<T: Deserialize>(v: &Value, field: &str, ty: &str) -> Result<T, DeError> {
+    let fv = v
+        .get(field)
+        .ok_or_else(|| DeError(format!("{ty}: missing field `{field}`")))?;
+    T::from_value(fv).map_err(|e| DeError(format!("{ty}.{field}: {e}")))
+}
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
@@ -172,6 +256,22 @@ macro_rules! impl_tuple {
                 Value::Array(vec![$(self.$n.to_value()),+])
             }
         }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($n),+].len();
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("tuple array", v))?;
+                if items.len() != LEN {
+                    return Err(DeError(format!(
+                        "expected {LEN}-tuple, got {} items",
+                        items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
     )+};
 }
 impl_tuple! {
@@ -180,6 +280,135 @@ impl_tuple! {
     (0 A, 1 B, 2 C)
     (0 A, 1 B, 2 C, 3 D)
     (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Signed/unsigned cross-acceptance: the JSON parser classifies any
+/// non-negative literal as `UInt`, so signed targets must accept both.
+fn value_as_i64(v: &Value) -> Result<i64, DeError> {
+    match v {
+        Value::Int(n) => Ok(*n),
+        Value::UInt(n) => i64::try_from(*n)
+            .map_err(|_| DeError(format!("integer {n} out of i64 range"))),
+        other => Err(DeError::expected("integer", other)),
+    }
+}
+
+fn value_as_u64(v: &Value) -> Result<u64, DeError> {
+    match v {
+        Value::UInt(n) => Ok(*n),
+        Value::Int(n) => u64::try_from(*n)
+            .map_err(|_| DeError(format!("integer {n} out of unsigned range"))),
+        other => Err(DeError::expected("integer", other)),
+    }
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = value_as_u64(v)?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = value_as_i64(v)?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            // The serializer renders non-finite floats as `null`; map
+            // them back to NaN so archives round-trip byte-identically.
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("char", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected {N}-element array, got {len}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
 }
 
 #[cfg(test)]
@@ -205,5 +434,46 @@ mod tests {
             (1u64, Some(2.5f64)).to_value(),
             Value::Array(vec![Value::UInt(1), Value::Float(2.5)])
         );
+    }
+
+    #[test]
+    fn primitives_round_trip_through_from_value() {
+        assert_eq!(u64::from_value(&5u64.to_value()), Ok(5));
+        assert_eq!(i32::from_value(&(-3i32).to_value()), Ok(-3));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(String::from_value(&"x".to_value()), Ok("x".to_string()));
+        assert_eq!(Option::<u64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(
+            <(u64, Option<f64>)>::from_value(&(7u64, None::<f64>).to_value()),
+            Ok((7, None))
+        );
+    }
+
+    #[test]
+    fn signed_unsigned_cross_acceptance() {
+        // The parser yields UInt for non-negative literals; signed
+        // targets must take them (and vice versa within range).
+        assert_eq!(i64::from_value(&Value::UInt(9)), Ok(9));
+        assert_eq!(u64::from_value(&Value::Int(9)), Ok(9));
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_as_nan() {
+        let v = f64::NAN.to_value();
+        // Serializer renders non-finite as null downstream; from_value
+        // maps null back to NaN for plain f64 targets.
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+        assert!(f64::from_value(&v).unwrap().is_nan());
+    }
+
+    #[test]
+    fn shape_mismatches_name_the_problem() {
+        let e = Vec::<u64>::from_value(&Value::Bool(true)).unwrap_err();
+        assert!(e.to_string().contains("expected array"));
+        let obj = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        let e = __field::<String>(&obj, "b", "Demo").unwrap_err();
+        assert!(e.to_string().contains("missing field `b`"), "{e}");
     }
 }

@@ -11,6 +11,10 @@
 //! * enums with tuple variants -> `{ "Variant": value }` (one field) or
 //!   `{ "Variant": [..] }` (several)
 //!
+//! `#[derive(Deserialize)]` emits the exact inverse mapping
+//! (`Deserialize::from_value`), which the run engine's checkpoint layer
+//! uses to reload archived job results on `--resume`.
+//!
 //! Unsupported shapes (generics, struct variants, tuple structs) produce
 //! a `compile_error!` naming the limitation, so a future change that
 //! needs them fails loudly rather than serializing garbage.
@@ -27,10 +31,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    // Nothing in the workspace deserializes; emit an empty marker impl so
-    // `#[derive(Deserialize)]` keeps compiling.
     match parse(input) {
-        Ok(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        Ok(item) => emit_deserialize(&item)
             .parse()
             .expect("generated impl parses"),
         Err(msg) => format!("compile_error!({msg:?});").parse().expect("error parses"),
@@ -267,6 +269,95 @@ fn emit_serialize(item: &Item) -> String {
     format!(
         "impl ::serde::Serialize for {name} {{\n\
          fn to_value(&self) -> ::serde::json::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Emit a `Deserialize::from_value` that inverts [`emit_serialize`]'s
+/// mapping exactly: objects back into named-field structs, strings back
+/// into unit variants, single-key objects back into tuple variants.
+fn emit_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(v, {f:?}, {name:?})?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok(Self {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!(
+            "match v {{\n\
+             ::serde::json::Value::Null => ::std::result::Result::Ok({name}),\n\
+             other => ::std::result::Result::Err(::serde::DeError::expected({name:?}, other)),\n\
+             }}"
+        ),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| {
+                    format!("{v:?} => ::std::result::Result::Ok({name}::{v}),")
+                })
+                .collect();
+            let tuple_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| match arity {
+                    1 => format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(payload)?)),"
+                    ),
+                    n => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!("::serde::Deserialize::from_value(&items[{k}])?")
+                            })
+                            .collect();
+                        format!(
+                            "{v:?} => {{\n\
+                             let items = payload.as_array()\
+                             .ok_or_else(|| ::serde::DeError::expected(\"variant payload array\", payload))?;\n\
+                             if items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError(\
+                             ::std::format!(\"{name}::{v}: expected {n} fields, got {{}}\", items.len())));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{v}({}))\n\
+                             }}",
+                            elems.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::json::Value::Str(s) => match s.as_str() {{\n\
+                 {unit}\n\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"{name}: unknown variant {{other:?}}\"))),\n\
+                 }},\n\
+                 ::serde::json::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (variant, payload) = &entries[0];\n\
+                 let _ = payload; // unused when the enum has no tuple variants\n\
+                 match variant.as_str() {{\n\
+                 {tuple}\n\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"{name}: unknown variant {{other:?}}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::DeError::expected({name:?}, other)),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tuple = tuple_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
          }}"
     )
 }

@@ -1,5 +1,6 @@
 //! Vendored stand-in for `serde_json`: renders the [`serde`] shim's
-//! [`serde::json::Value`] tree as JSON text.
+//! [`serde::json::Value`] tree as JSON text, and parses that text back
+//! ([`from_str`]) for the run engine's checkpoint/resume layer.
 //!
 //! Output follows `serde_json`'s conventions so archived results stay
 //! familiar: 2-space pretty indentation, `": "` separators, floats
@@ -9,19 +10,25 @@
 //! engine relies on for byte-identical `--jobs 1` / `--jobs N` output.
 
 use serde::json::Value;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-/// Serialization error.
-///
-/// The vendored pipeline is infallible (no I/O, no recursion limits the
-/// workspace can hit), so this exists only to keep `serde_json`'s
-/// `Result` signatures; it is never actually returned.
+/// JSON error: serialization never fails in the vendored pipeline, so
+/// every real instance comes from [`from_str`] (malformed text or a
+/// shape mismatch against the target type).
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn parse(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("json serialization error")
+        f.write_str(&self.msg)
     }
 }
 
@@ -47,6 +54,244 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0);
     Ok(out)
+}
+
+/// Parse JSON text into a `T`.
+///
+/// The parser accepts exactly the dialect the serializer emits (plus
+/// insignificant whitespace): numbers without a sign/fraction/exponent
+/// parse as `UInt`, with a leading `-` only as `Int`, and anything with
+/// a `.`/`e` as `Float` — mirroring [`serde::json::Value`]'s split so
+/// round trips are lossless.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON (with a byte position) or when
+/// the parsed tree does not match `T`'s shape.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    T::from_value(&value).map_err(|e| Error::parse(e.to_string()))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::parse(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error::parse(format!(
+                "unexpected character at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::parse(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => {
+                    return Err(Error::parse(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::parse("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| {
+                                    Error::parse(format!(
+                                        "bad \\u escape at byte {}",
+                                        self.pos
+                                    ))
+                                })?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => {
+                            return Err(Error::parse(format!(
+                                "bad escape at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are trustworthy).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::parse("invalid utf-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii number text");
+        if float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::parse(format!("bad number {text:?} at byte {start}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::parse(format!("bad number {text:?} at byte {start}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error::parse(format!("bad number {text:?} at byte {start}")))
+        }
+    }
 }
 
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
@@ -176,5 +421,62 @@ mod tests {
         let mut out = String::new();
         write_string(&mut out, "a\"b\\c\nd");
         assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn parser_round_trips_the_serializer_output() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::Str("compress \"x\"\n".to_string())),
+            ("count".to_string(), Value::UInt(u64::MAX)),
+            ("delta".to_string(), Value::Int(-42)),
+            (
+                "ratios".to_string(),
+                Value::Array(vec![Value::Float(0.51), Value::Null, Value::Bool(true)]),
+            ),
+            ("empty".to_string(), Value::Array(vec![])),
+        ]);
+        struct W(Value);
+        impl serde::Serialize for W {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        impl serde::Deserialize for W {
+            fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+                Ok(W(v.clone()))
+            }
+        }
+        for text in [to_string(&W(v.clone())).unwrap(), to_string_pretty(&W(v.clone())).unwrap()] {
+            let back: W = from_str(&text).unwrap();
+            assert_eq!(back.0, v);
+        }
+    }
+
+    #[test]
+    fn parser_preserves_float_precision() {
+        struct F(f64);
+        impl serde::Deserialize for F {
+            fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+                serde::Deserialize::from_value(v).map(F)
+            }
+        }
+        for x in [0.1 + 0.2, 1.0 / 3.0, f64::MIN_POSITIVE, 6.02e23, -1.5e-300] {
+            let text = format_float(x);
+            let F(back) = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        struct W;
+        impl serde::Deserialize for W {
+            fn from_value(_: &Value) -> Result<Self, serde::DeError> {
+                Ok(W)
+            }
+        }
+        for bad in ["", "{", "[1,", "\"abc", "{\"a\" 1}", "nul", "1 2", "[1]]"] {
+            assert!(from_str::<W>(bad).is_err(), "{bad:?} should fail");
+        }
     }
 }

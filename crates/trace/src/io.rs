@@ -24,6 +24,12 @@ use std::path::Path;
 /// File magic for the trace format.
 pub const MAGIC: &[u8; 8] = b"MWTRACE1";
 
+/// Byte offset of the first record (magic + count header).
+pub const RECORDS_START: u64 = 16;
+
+/// Bytes per record (kind + size + addr).
+pub const RECORD_BYTES: u64 = 11;
+
 /// Errors from trace (de)serialization.
 #[derive(Debug)]
 pub enum TraceIoError {
@@ -37,9 +43,18 @@ pub enum TraceIoError {
         expected: u64,
         /// Records actually read.
         got: u64,
+        /// Byte offset where the truncated record starts.
+        offset: u64,
     },
     /// A record carried an invalid access-kind byte.
-    BadKind(u8),
+    BadKind {
+        /// The offending kind byte.
+        kind: u8,
+        /// Zero-based index of the bad record.
+        record: u64,
+        /// Byte offset of the bad record.
+        offset: u64,
+    },
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -47,10 +62,24 @@ impl std::fmt::Display for TraceIoError {
         match self {
             TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
             TraceIoError::BadMagic(m) => write!(f, "not a trace file (magic {m:02x?})"),
-            TraceIoError::Truncated { expected, got } => {
-                write!(f, "trace truncated: header promised {expected}, read {got}")
+            TraceIoError::Truncated {
+                expected,
+                got,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "trace truncated: header promised {expected} records, read {got} (stream ends inside the record at byte offset {offset})"
+                )
             }
-            TraceIoError::BadKind(k) => write!(f, "invalid access kind byte {k}"),
+            TraceIoError::BadKind {
+                kind,
+                record,
+                offset,
+            } => write!(
+                f,
+                "invalid access kind byte {kind} in record {record} (byte offset {offset})"
+            ),
         }
     }
 }
@@ -122,6 +151,7 @@ pub fn read_refs<R: Read>(mut r: R) -> Result<Vec<MemRef>, TraceIoError> {
                 return Err(TraceIoError::Truncated {
                     expected: count,
                     got: i,
+                    offset: RECORDS_START + i * RECORD_BYTES,
                 });
             }
             return Err(e.into());
@@ -129,7 +159,13 @@ pub fn read_refs<R: Read>(mut r: R) -> Result<Vec<MemRef>, TraceIoError> {
         let kind = match rec[0] {
             0 => AccessKind::Read,
             1 => AccessKind::Write,
-            k => return Err(TraceIoError::BadKind(k)),
+            k => {
+                return Err(TraceIoError::BadKind {
+                    kind: k,
+                    record: i,
+                    offset: RECORDS_START + i * RECORD_BYTES,
+                })
+            }
         };
         let size = u16::from_le_bytes([rec[1], rec[2]]);
         let addr = u64::from_le_bytes(rec[3..11].try_into().expect("fixed slice"));
@@ -213,7 +249,8 @@ mod tests {
             Err(TraceIoError::Truncated {
                 expected: 3,
                 got: 2,
-            }) => {}
+                offset,
+            }) => assert_eq!(offset, 16 + 2 * 11, "third record's start offset"),
             other => panic!("expected truncation, got {other:?}"),
         }
     }
@@ -225,8 +262,24 @@ mod tests {
         buf[16] = 7; // first record's kind byte
         assert!(matches!(
             read_refs(buf.as_slice()),
-            Err(TraceIoError::BadKind(7))
+            Err(TraceIoError::BadKind {
+                kind: 7,
+                record: 0,
+                offset: 16
+            })
         ));
+        // A bad kind mid-stream pinpoints its record and offset.
+        let mut buf = Vec::new();
+        write_refs(&mut buf, &sample()).unwrap();
+        buf[16 + 11] = 9; // second record
+        match read_refs(buf.as_slice()) {
+            Err(TraceIoError::BadKind {
+                kind: 9,
+                record: 1,
+                offset,
+            }) => assert_eq!(offset, 27),
+            other => panic!("expected bad kind, got {other:?}"),
+        }
     }
 
     #[test]
@@ -244,12 +297,44 @@ mod tests {
     }
 
     #[test]
+    fn truncated_file_on_disk_reports_offset_and_record() {
+        // Regression: a trace file cut off mid-record (disk full,
+        // killed dump) must fail with a typed error naming where the
+        // stream broke — not a panic or a silently short workload.
+        let dir = std::env::temp_dir().join("membw_trace_io_truncated_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cut.mwtr");
+        let w = Strided::reads(0, 4, 100);
+        save_workload(&w, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Cut inside record 40.
+        std::fs::write(&path, &full[..16 + 40 * 11 + 5]).unwrap();
+        match load_workload(&path) {
+            Err(TraceIoError::Truncated {
+                expected: 100,
+                got: 40,
+                offset,
+            }) => assert_eq!(offset, 16 + 40 * 11),
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn errors_display() {
         let e = TraceIoError::Truncated {
             expected: 9,
             got: 1,
+            offset: 27,
         };
         assert!(e.to_string().contains('9'));
-        assert!(TraceIoError::BadKind(3).to_string().contains('3'));
+        assert!(e.to_string().contains("27"), "{e}");
+        let e = TraceIoError::BadKind {
+            kind: 3,
+            record: 2,
+            offset: 38,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains("38"), "{e}");
     }
 }

@@ -30,7 +30,8 @@ fn table2_tmm_gains_sqrt_k_and_fft_gains_little() {
 fn fig3_aggressive_machines_flip_latency_to_bandwidth() {
     // Table 6's claim, in miniature: averaged over the SPEC92 suite,
     // f_B grows from experiment A to F while f_L shrinks or holds.
-    let r = run_fig3::run_suite(Suite::Spec92, Scale::Test, &[Experiment::A, Experiment::F]);
+    let r = run_fig3::run_suite(Suite::Spec92, Scale::Test, &[Experiment::A, Experiment::F])
+        .expect("no faults injected");
     let rows = r.table6_rows();
     assert_eq!(rows.len(), 7);
     let fb_a = rows.iter().map(|r| r.2).sum::<f64>() / rows.len() as f64;
@@ -40,7 +41,7 @@ fn fig3_aggressive_machines_flip_latency_to_bandwidth() {
 
 #[test]
 fn table7_small_caches_can_out_traffic_no_cache() {
-    let (res, _) = run_table7::run(Scale::Test);
+    let (res, _) = run_table7::run(Scale::Test).expect("no faults injected");
     let over_one = res
         .rows
         .iter()
@@ -60,7 +61,7 @@ fn table7_reasonable_caches_filter_about_half_the_traffic() {
     // the `<<<` filter over-represent the table-probing codes; accept a
     // generous band here and record the Small-scale value (much closer
     // to the paper) in EXPERIMENTS.md.
-    let (res, _) = run_table7::run(Scale::Test);
+    let (res, _) = run_table7::run(Scale::Test).expect("no faults injected");
     assert!(
         (0.2..3.0).contains(&res.mean_reasonable_ratio),
         "mean R = {}",
@@ -70,7 +71,7 @@ fn table7_reasonable_caches_filter_about_half_the_traffic() {
 
 #[test]
 fn table8_gap_spans_an_order_of_magnitude_or_more() {
-    let (res, _) = run_table8::run(Scale::Test);
+    let (res, _) = run_table8::run(Scale::Test).expect("no faults injected");
     assert!(
         res.max_g >= 10.0,
         "max G = {} (paper: up to ~100)",
@@ -88,7 +89,7 @@ fn table8_gap_spans_an_order_of_magnitude_or_more() {
 
 #[test]
 fn fig4_block_size_ordering_follows_spatial_locality() {
-    let (panels, _) = run_fig4::run(Scale::Test);
+    let (panels, _) = run_fig4::run(Scale::Test).expect("no faults injected");
     // compress: little spatial locality -> at a mid cache size, traffic
     // increases monotonically with block size.
     let compress = panels.iter().find(|p| p.name == "compress").expect("panel");
@@ -127,7 +128,7 @@ fn fig4_block_size_ordering_follows_spatial_locality() {
 
 #[test]
 fn table9_no_single_factor_dominates_everywhere() {
-    let (res, _) = run_table9::run(Scale::Test);
+    let (res, _) = run_table9::run(Scale::Test).expect("no faults injected");
     // For each factor, find a benchmark where it is NOT the largest —
     // the paper: "the lack of any one factor that dominates the others,
     // across all benchmarks".
