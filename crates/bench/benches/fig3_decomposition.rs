@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use membw_core::sim::{decompose, Experiment, MachineSpec};
+use membw_core::trace::{RecordingSink, Workload};
 use membw_core::workloads::Espresso;
 use std::hint::black_box;
 
@@ -14,6 +15,17 @@ fn bench(c: &mut Criterion) {
         g.bench_function(format!("decompose_espresso_exp{}", e.label()), |b| {
             let spec = MachineSpec::spec92(e);
             b.iter(|| black_box(decompose(black_box(&w), &spec)))
+        });
+    }
+    // Same decomposition driven from a recorded trace: the replay-many
+    // path every repro experiment takes through the trace cache.
+    let mut rec = RecordingSink::new("espresso");
+    w.generate(&mut rec);
+    let trace = rec.finish();
+    for e in [Experiment::A, Experiment::F] {
+        g.bench_function(format!("decompose_espresso_replay_exp{}", e.label()), |b| {
+            let spec = MachineSpec::spec92(e);
+            b.iter(|| black_box(decompose(black_box(&trace), &spec)))
         });
     }
     g.finish();

@@ -393,7 +393,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
             use membw_core::workloads::{suite92, suite95};
             for b in suite92(scale).iter().chain(suite95(scale).iter()) {
                 let path = dir.join(format!("{}.mwtr", b.name()));
-                let n = save_workload(&b.workload(), &path).map_err(|e| MembwError::Trace {
+                let n = save_workload(&b.replayable(), &path).map_err(|e| MembwError::Trace {
                     path: path.clone(),
                     source: e,
                 })?;

@@ -34,25 +34,83 @@ impl BelowRequest {
     pub fn is_fetch(&self) -> bool {
         matches!(self.kind, BelowKind::Fetch | BelowKind::PrefetchFetch)
     }
+
+    const EMPTY: BelowRequest = BelowRequest {
+        addr: 0,
+        bytes: 0,
+        kind: BelowKind::Fetch,
+    };
 }
 
+/// Inline capacity of [`AccessOutcome`].
+///
+/// The worst case is statically bounded: a reference straddles at most
+/// two blocks (accesses are ≤ 8 bytes, blocks ≥ 16), and each piece
+/// emits at most four transfers — a read miss with tagged prefetch
+/// produces eviction write-back + demand fetch + prefetch-eviction
+/// write-back + prefetch fetch (a write-through allocating miss produces
+/// at most three: write-back + fetch + write-through).
+pub const MAX_BELOW: usize = 8;
+
 /// Outcome of a single access: hit/miss plus the transfers it generated.
-#[derive(Debug, Clone, Default)]
+///
+/// The transfer list lives inline (no heap allocation on the access
+/// path); overflowing [`MAX_BELOW`] is a bug and asserts.
+#[derive(Debug, Clone, Copy)]
 pub struct AccessOutcome {
     /// Whether the access hit.
     pub hit: bool,
-    below: Vec<BelowRequest>,
+    below: [BelowRequest; MAX_BELOW],
+    len: u8,
+}
+
+impl Default for AccessOutcome {
+    fn default() -> Self {
+        Self {
+            hit: false,
+            below: [BelowRequest::EMPTY; MAX_BELOW],
+            len: 0,
+        }
+    }
 }
 
 impl AccessOutcome {
     /// Transfers emitted below the cache by this access, in issue order.
     pub fn below(&self) -> &[BelowRequest] {
-        &self.below
+        &self.below[..usize::from(self.len)]
     }
 
     /// Total bytes moved below by this access.
     pub fn bytes_below(&self) -> u64 {
-        self.below.iter().map(|b| b.bytes).sum()
+        self.below().iter().map(|b| b.bytes).sum()
+    }
+}
+
+/// Sink for the transfers an access (or flush) pushes below the cache.
+///
+/// Lets the eviction/prefetch helpers serve both the allocation-free
+/// access path ([`AccessOutcome`]'s inline buffer) and the cold flush
+/// path (a plain `Vec`).
+pub(crate) trait PushBelow {
+    fn push_below(&mut self, req: BelowRequest);
+}
+
+impl PushBelow for Vec<BelowRequest> {
+    fn push_below(&mut self, req: BelowRequest) {
+        self.push(req);
+    }
+}
+
+impl PushBelow for AccessOutcome {
+    fn push_below(&mut self, req: BelowRequest) {
+        debug_assert!(
+            usize::from(self.len) < MAX_BELOW,
+            "one access cannot emit more than MAX_BELOW transfers"
+        );
+        // The index panics (release builds included) on overflow rather
+        // than silently dropping traffic.
+        self.below[usize::from(self.len)] = req;
+        self.len += 1;
     }
 }
 
@@ -178,7 +236,7 @@ impl Cache {
     }
 
     /// Evict `way` of `set` if valid, emitting a write-back when dirty.
-    fn evict(&mut self, set: u64, way: usize, out: &mut Vec<BelowRequest>, flush: bool) {
+    fn evict<O: PushBelow>(&mut self, set: u64, way: usize, out: &mut O, flush: bool) {
         let idx = self.line_index(set, way);
         let line = self.lines[idx];
         if !line.valid {
@@ -193,7 +251,7 @@ impl Cache {
                 // Whole-block write-back otherwise.
                 _ => self.cfg.block_size(),
             };
-            out.push(BelowRequest {
+            out.push_below(BelowRequest {
                 addr,
                 bytes,
                 kind: BelowKind::Writeback,
@@ -321,7 +379,7 @@ impl Cache {
     }
 
     /// Issue a tagged prefetch of the block after `block_addr`.
-    fn prefetch_next(&mut self, block_addr: u64, out: &mut Vec<BelowRequest>) {
+    fn prefetch_next<O: PushBelow>(&mut self, block_addr: u64, out: &mut O) {
         let next = block_addr + self.cfg.block_size();
         let set = self.cfg.set_of(next);
         let tag = self.cfg.tag_of(next);
@@ -333,7 +391,7 @@ impl Cache {
         self.fill(set, way, tag, false);
         let idx = self.line_index(set, way);
         self.lines[idx].valid_mask = self.full_mask;
-        out.push(BelowRequest {
+        out.push_below(BelowRequest {
             addr: next,
             bytes: self.cfg.block_size(),
             kind: BelowKind::PrefetchFetch,
@@ -354,7 +412,7 @@ impl Cache {
         let block = self.cfg.block_size();
         let mut outcome = AccessOutcome {
             hit: true,
-            below: Vec::new(),
+            ..AccessOutcome::default()
         };
         let mut addr = r.addr;
         let end = r.addr + u64::from(r.size);
@@ -368,7 +426,9 @@ impl Cache {
             };
             let o = self.access_within_block(sub);
             outcome.hit &= o.hit;
-            outcome.below.extend_from_slice(&o.below);
+            for &req in o.below() {
+                outcome.push_below(req);
+            }
             addr += u64::from(piece);
         }
         outcome
@@ -395,7 +455,7 @@ impl Cache {
         let tag = self.cfg.tag_of(r.addr);
         let need = self.word_mask(r);
         let block_addr = r.addr & !(self.cfg.block_size() - 1);
-        let mut below = Vec::new();
+        let mut out = AccessOutcome::default();
 
         if let Some(way) = self.find(set, tag) {
             let idx = self.line_index(set, way);
@@ -406,16 +466,17 @@ impl Cache {
                 let first_use = !self.lines[idx].referenced;
                 self.lines[idx].referenced = true;
                 if self.cfg.tagged_prefetch() && first_use {
-                    self.prefetch_next(block_addr, &mut below);
+                    self.prefetch_next(block_addr, &mut out);
                 }
-                return AccessOutcome { hit: true, below };
+                out.hit = true;
+                return out;
             }
             // Partial-validity miss (write-validate line): fetch the
             // missing words of the block.
             self.stats.read_misses += 1;
             let missing = self.full_mask & !self.lines[idx].valid_mask;
             let bytes = u64::from(missing.count_ones()) * 4;
-            below.push(BelowRequest {
+            out.push_below(BelowRequest {
                 addr: block_addr,
                 bytes,
                 kind: BelowKind::Fetch,
@@ -425,28 +486,28 @@ impl Cache {
             self.lines[idx].referenced = true;
             self.touch(set, way);
             if self.cfg.tagged_prefetch() {
-                self.prefetch_next(block_addr, &mut below);
+                self.prefetch_next(block_addr, &mut out);
             }
-            return AccessOutcome { hit: false, below };
+            return out;
         }
 
         // Full miss: evict, fetch, fill.
         self.stats.read_misses += 1;
         let way = self.pick_victim(set);
-        self.evict(set, way, &mut below, false);
+        self.evict(set, way, &mut out, false);
         self.fill(set, way, tag, true);
         let idx = self.line_index(set, way);
         self.lines[idx].valid_mask = self.full_mask;
-        below.push(BelowRequest {
+        out.push_below(BelowRequest {
             addr: block_addr,
             bytes: self.cfg.block_size(),
             kind: BelowKind::Fetch,
         });
         self.stats.bytes_fetched += self.cfg.block_size();
         if self.cfg.tagged_prefetch() {
-            self.prefetch_next(block_addr, &mut below);
+            self.prefetch_next(block_addr, &mut out);
         }
-        AccessOutcome { hit: false, below }
+        out
     }
 
     fn write(&mut self, r: MemRef) -> AccessOutcome {
@@ -454,7 +515,7 @@ impl Cache {
         let tag = self.cfg.tag_of(r.addr);
         let need = self.word_mask(r);
         let block_addr = r.addr & !(self.cfg.block_size() - 1);
-        let mut below = Vec::new();
+        let mut out = AccessOutcome::default();
 
         if let Some(way) = self.find(set, tag) {
             // Write hit (line presence suffices; we overwrite words).
@@ -467,7 +528,7 @@ impl Cache {
                     self.lines[idx].dirty_mask |= need;
                 }
                 WritePolicy::WriteThrough => {
-                    below.push(BelowRequest {
+                    out.push_below(BelowRequest {
                         addr: r.addr,
                         bytes: u64::from(r.size),
                         kind: BelowKind::WriteThrough,
@@ -476,14 +537,15 @@ impl Cache {
                 }
             }
             self.touch(set, way);
-            return AccessOutcome { hit: true, below };
+            out.hit = true;
+            return out;
         }
 
         // Write miss.
         self.stats.write_misses += 1;
         match self.cfg.write_allocate() {
             WriteAllocate::NoAllocate => {
-                below.push(BelowRequest {
+                out.push_below(BelowRequest {
                     addr: r.addr,
                     bytes: u64::from(r.size),
                     kind: BelowKind::WriteThrough,
@@ -492,9 +554,9 @@ impl Cache {
             }
             WriteAllocate::Allocate => {
                 let way = self.pick_victim(set);
-                self.evict(set, way, &mut below, false);
+                self.evict(set, way, &mut out, false);
                 self.fill(set, way, tag, true);
-                below.push(BelowRequest {
+                out.push_below(BelowRequest {
                     addr: block_addr,
                     bytes: self.cfg.block_size(),
                     kind: BelowKind::Fetch,
@@ -505,7 +567,7 @@ impl Cache {
                 match self.cfg.write_policy() {
                     WritePolicy::WriteBack => self.lines[idx].dirty_mask |= need,
                     WritePolicy::WriteThrough => {
-                        below.push(BelowRequest {
+                        out.push_below(BelowRequest {
                             addr: r.addr,
                             bytes: u64::from(r.size),
                             kind: BelowKind::WriteThrough,
@@ -517,14 +579,14 @@ impl Cache {
             WriteAllocate::Validate => {
                 // Allocate without fetching; only written words valid.
                 let way = self.pick_victim(set);
-                self.evict(set, way, &mut below, false);
+                self.evict(set, way, &mut out, false);
                 self.fill(set, way, tag, true);
                 let idx = self.line_index(set, way);
                 self.lines[idx].valid_mask = need;
                 self.lines[idx].dirty_mask = need;
             }
         }
-        AccessOutcome { hit: false, below }
+        out
     }
 
     /// Write back all dirty data (end-of-run flush, counted separately as
@@ -732,6 +794,74 @@ mod tests {
         let (flushed, stats) = c.flush_collect();
         total += flushed.iter().map(|b| b.bytes).sum::<u64>();
         assert_eq!(total, stats.traffic_below());
+    }
+
+    #[test]
+    fn straddling_write_through_miss_fits_inline_capacity() {
+        // Worst case for the inline buffer: a write-through allocating
+        // write that straddles two blocks, with both victim lines dirty
+        // — per piece: eviction write-back + allocate fetch + write-
+        // through = 3 transfers, 6 total, within MAX_BELOW.
+        let c_cfg = CacheConfig::builder(64, 32)
+            .write_policy(WritePolicy::WriteThrough)
+            .build()
+            .unwrap();
+        let mut c = Cache::new(c_cfg); // two blocks, direct-mapped
+        // Write-through lines are never dirty, so each straddle piece
+        // caps at allocate fetch + write-through (the dirty-victim
+        // worst case is exercised by the prefetch test below).
+        c.access(MemRef::write(0, 4));
+        c.access(MemRef::write(32, 4));
+        let o = c.access(MemRef::write(94, 4)); // straddles blocks 2 and 3
+        assert!(!o.hit);
+        assert!(o.below().len() <= MAX_BELOW);
+        let throughs = o
+            .below()
+            .iter()
+            .filter(|b| b.kind == BelowKind::WriteThrough)
+            .count();
+        let fetches = o.below().iter().filter(|b| b.is_fetch()).count();
+        assert_eq!((throughs, fetches), (2, 2), "each piece allocates + writes through");
+    }
+
+    #[test]
+    fn worst_case_straddling_read_with_prefetch_fills_the_buffer() {
+        // A straddling read miss in a tagged-prefetch write-back cache
+        // where every victim is dirty: each piece emits eviction
+        // write-back + fetch + prefetch-eviction write-back + prefetch
+        // fetch = 4, so two pieces exactly fill MAX_BELOW.
+        let c_cfg = CacheConfig::builder(64, 32)
+            .tagged_prefetch(true)
+            .build()
+            .unwrap();
+        let mut c = Cache::new(c_cfg); // two blocks, direct-mapped
+        // Dirty every line the straddling read (and its prefetches)
+        // will displace.
+        for set in 0..2u64 {
+            c.access(MemRef::write(set * 32, 4));
+        }
+        // Read straddling blocks 2|3: both map onto the dirty lines.
+        let o = c.access(MemRef::read(94, 4));
+        assert!(!o.hit);
+        assert!(o.below().len() <= MAX_BELOW, "{}", o.below().len());
+        assert!(
+            o.below().iter().filter(|b| b.kind == BelowKind::Writeback).count() >= 2,
+            "dirty victims write back"
+        );
+        assert!(o.bytes_below() >= 4 * 32, "at least four block moves");
+    }
+
+    #[test]
+    #[should_panic]
+    fn inline_buffer_overflow_asserts() {
+        let mut o = AccessOutcome::default();
+        for _ in 0..=MAX_BELOW {
+            o.push_below(BelowRequest {
+                addr: 0,
+                bytes: 1,
+                kind: BelowKind::Fetch,
+            });
+        }
     }
 
     #[test]

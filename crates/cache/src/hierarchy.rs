@@ -33,6 +33,10 @@ pub struct Hierarchy {
     levels: Vec<Cache>,
     memory_traffic: u64,
     flushed: bool,
+    /// Reusable transfer buffers: the per-access cascade is heap-free
+    /// once these reach their steady-state capacity.
+    pending: Vec<BelowRequest>,
+    next: Vec<BelowRequest>,
 }
 
 impl Hierarchy {
@@ -47,6 +51,8 @@ impl Hierarchy {
             levels: configs.into_iter().map(Cache::new).collect(),
             memory_traffic: 0,
             flushed: false,
+            pending: Vec::new(),
+            next: Vec::new(),
         }
     }
 
@@ -64,16 +70,21 @@ impl Hierarchy {
     pub fn access(&mut self, r: MemRef) -> bool {
         let outcome = self.levels[0].access(r);
         let hit = outcome.hit;
-        let mut pending: Vec<BelowRequest> = outcome.below().to_vec();
+        let mut pending = std::mem::take(&mut self.pending);
+        let mut next = std::mem::take(&mut self.next);
+        pending.clear();
+        pending.extend_from_slice(outcome.below());
         for lvl in 1..self.levels.len() {
-            let mut next = Vec::new();
-            for req in pending {
+            next.clear();
+            for &req in &pending {
                 let o = self.levels[lvl].access(below_to_ref(req));
                 next.extend_from_slice(o.below());
             }
-            pending = next;
+            std::mem::swap(&mut pending, &mut next);
         }
         self.memory_traffic += pending.iter().map(|b| b.bytes).sum::<u64>();
+        self.pending = pending;
+        self.next = next;
         hit
     }
 

@@ -11,7 +11,7 @@ use crate::error::{collect_jobs, MembwError};
 use crate::report::Table;
 use membw_cache::{BypassCache, Cache, CacheConfig, CacheStats, StreamBuffers, VictimCache};
 use membw_runner::Runner;
-use membw_trace::MemRef;
+use membw_trace::{MemRef, Workload};
 use membw_workloads::{suite92, Scale};
 use serde::{Deserialize, Serialize};
 
@@ -117,13 +117,13 @@ pub fn run(scale: Scale, cache_bytes: u64) -> Result<(AblationResult, Table), Me
         .build()
         .expect("valid geometry");
     // One run-engine job per (benchmark, technique) cell,
-    // benchmark-major; traces regenerate inside each job.
+    // benchmark-major; each job replays the shared recorded trace.
     let n_t = TECHNIQUES.len();
     let key = format!("v1/ablation/{scale:?}/{cache_bytes}/{}x{}", suite.len(), n_t);
     let raw = Runner::from_env().checkpointed("ablation", &key, suite.len() * n_t, |k| {
         let b = &suite[k / n_t];
         let t = TECHNIQUES[k % n_t];
-        let refs = b.workload().collect_mem_refs();
+        let refs = b.replayable().collect_mem_refs();
         let (misses, traffic) = run_one(t, &refs, cfg);
         AblationCell {
             workload: b.name().to_string(),

@@ -71,9 +71,11 @@ impl Fig3Result {
 /// Run the decomposition for one suite at `scale` over `experiments`.
 ///
 /// Fans the full (benchmark × experiment) matrix out on the run engine
-/// — each job regenerates its own trace and owns its three simulations
-/// — then normalizes and assembles in canonical order, so the result is
-/// identical at any `--jobs` setting. Jobs are fault-isolated and
+/// — each job replays its benchmark's recorded trace (recorded once per
+/// process via the trace cache; regenerated when caching is off) and
+/// owns its three simulations — then normalizes and assembles in
+/// canonical order, so the result is identical at any `--jobs` setting
+/// and with the cache on or off. Jobs are fault-isolated and
 /// checkpointed under the batch label `fig3/<suite>`.
 ///
 /// # Errors
@@ -116,7 +118,9 @@ pub fn run_suite(
         let b = &benchmarks[k / n_e];
         let e = experiments[k % n_e];
         let spec = spec_for(e);
-        let d = decompose(&b.workload(), &spec);
+        // Record once, replay for every (experiment × memory-mode) run
+        // of this benchmark — and across runner threads.
+        let d = decompose(&b.replayable(), &spec);
         count_uops(d.uops);
         let seconds = d.t as f64 / spec.cpu_mhz as f64;
         let tp_seconds = d.t_p as f64 / spec.cpu_mhz as f64;
@@ -130,23 +134,42 @@ pub fn run_suite(
         )
     })?;
 
-    // Serial normalization pass: the first experiment in the list
-    // (A, when present) supplies each benchmark's T_P baseline.
+    // Serial normalization pass: experiment A supplies each benchmark's
+    // T_P baseline (Figure 3's y-axis is normalized to A's T_P). When A
+    // is not among the requested experiments, fall back — loudly — to
+    // the first listed one.
+    let base_index = match experiments.iter().position(|&e| e == Experiment::A) {
+        Some(ai) => ai,
+        None => {
+            eprintln!(
+                "warning: fig3/{suite_label}: experiment A absent from {exp_labels:?}; \
+                 normalizing to experiment {} T_P instead",
+                exp_labels[0]
+            );
+            0
+        }
+    };
     let mut cells = Vec::new();
     for (bi, b) in benchmarks.iter().enumerate() {
-        let base_seconds = raw[bi * n_e].2;
+        let base_seconds = raw[bi * n_e + base_index].2;
         for (ei, e) in experiments.iter().enumerate() {
             let (d, seconds, _) = raw[bi * n_e + ei];
             cells.push(Fig3Cell {
                 benchmark: b.name().to_string(),
                 suite_label: suite_label.to_string(),
+                // Experiment labels are &'static str: one allocation
+                // per cell, no intermediate formatting.
                 experiment: e.label().to_string(),
                 decomposition: d,
                 normalized_time: seconds / base_seconds,
             });
         }
     }
-    cells.sort_by_key(|a| (a.benchmark.clone(), a.experiment.clone()));
+    // Compare by borrowed keys: no per-comparison String clones.
+    cells.sort_by(|x, y| {
+        (x.benchmark.as_str(), x.experiment.as_str())
+            .cmp(&(y.benchmark.as_str(), y.experiment.as_str()))
+    });
     Ok(Fig3Result { cells })
 }
 
@@ -227,6 +250,31 @@ mod tests {
             mean_fb_f > mean_fb_a,
             "f_B should grow: A {mean_fb_a:.1}% -> F {mean_fb_f:.1}%"
         );
+    }
+
+    #[test]
+    fn baseline_is_experiment_a_regardless_of_order() {
+        // With the experiment list reordered so A is not first, every
+        // A cell must still be normalized against its own T_P — i.e.
+        // its normalized_time matches its decomposition's.
+        let r = run_suite(Suite::Spec92, Scale::Test, &[Experiment::F, Experiment::A])
+            .expect("no faults injected");
+        for c in r.cells.iter().filter(|c| c.experiment == "A") {
+            assert!(
+                (c.normalized_time - c.decomposition.normalized_time()).abs() < 1e-9,
+                "{}: baseline must come from experiment A, not the first listed",
+                c.benchmark
+            );
+        }
+        // And F is normalized against A's T_P, matching the canonical
+        // ordering's result.
+        let canonical = run_suite(Suite::Spec92, Scale::Test, &[Experiment::A, Experiment::F])
+            .expect("no faults injected");
+        for (x, y) in r.cells.iter().zip(canonical.cells.iter()) {
+            assert_eq!(x.benchmark, y.benchmark);
+            assert_eq!(x.experiment, y.experiment);
+            assert!((x.normalized_time - y.normalized_time).abs() < 1e-12);
+        }
     }
 
     #[test]

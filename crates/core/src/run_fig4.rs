@@ -7,7 +7,7 @@ use crate::report::{size_label, Table};
 use membw_cache::{Associativity, Cache, CacheConfig};
 use membw_mtc::{MinCache, MinConfig, MinWritePolicy};
 use membw_runner::Runner;
-use membw_trace::MemRef;
+use membw_trace::{MemRef, Workload};
 use membw_workloads::{suite92, Scale};
 use serde::{Deserialize, Serialize};
 
@@ -110,7 +110,7 @@ pub fn run(scale: Scale) -> Result<(Vec<Fig4Panel>, Vec<Table>), MembwError> {
             .iter()
             .find(|b| b.name() == name)
             .expect("panel benchmark exists in SPEC92 suite");
-        let refs = b.workload().collect_mem_refs();
+        let refs = b.replayable().collect_mem_refs();
         let points: Vec<(u64, u64)> = match *spec {
             CurveSpec::Cache { block } => sizes()
                 .into_iter()

@@ -3,6 +3,7 @@
 
 use crate::report::Table;
 use membw_trace::sink::CountSink;
+use membw_trace::Workload;
 use membw_workloads::{suite92, suite95, Scale};
 use serde::Serialize;
 
@@ -31,7 +32,7 @@ pub fn run(scale: Scale) -> (Vec<Table3Row>, Table) {
     let mut rows = Vec::new();
     for b in suite92(scale).iter().chain(suite95(scale).iter()) {
         let mut c = CountSink::new();
-        b.workload().generate(&mut c);
+        b.replayable().generate(&mut c);
         rows.push(Table3Row {
             name: b.name().to_string(),
             suite: match b.suite() {

@@ -7,7 +7,7 @@ use crate::report::{size_label, Table};
 use membw_analytic::effective_pin_bandwidth;
 use membw_cache::{Cache, CacheConfig};
 use membw_runner::Runner;
-use membw_trace::MemRef;
+use membw_trace::{MemRef, Workload};
 use membw_workloads::{suite92, Scale};
 use serde::{Deserialize, Serialize};
 
@@ -53,7 +53,7 @@ pub struct Table7Result {
 
 /// Regenerate Table 7 at `scale`.
 ///
-/// One run-engine job per benchmark; each regenerates its trace and
+/// One run-engine job per benchmark; each replays the shared trace and
 /// owns the whole size sweep. Rows merge in suite order. Jobs are
 /// fault-isolated and checkpointed under the batch label `table7`.
 ///
@@ -66,8 +66,8 @@ pub fn run(scale: Scale) -> Result<(Table7Result, Table), MembwError> {
     let key = format!("v1/table7/{scale:?}/{}", suite.len());
     let rows = Runner::from_env().checkpointed("table7", &key, suite.len(), |i| {
         let b = &suite[i];
-        // Collect once per job, replay across the size sweep.
-        let refs: Vec<MemRef> = b.workload().collect_mem_refs();
+        // Replay the shared recording once into a flat vector, then sweep.
+        let refs: Vec<MemRef> = b.replayable().collect_mem_refs();
         let mut ratios = Vec::new();
         for &size in &SIZES {
             let cfg = CacheConfig::builder(size, 32)

@@ -9,7 +9,7 @@ use membw_analytic::upper_bound_epin;
 use membw_cache::{Cache, CacheConfig};
 use membw_mtc::{MinCache, MinConfig};
 use membw_runner::Runner;
-use membw_trace::MemRef;
+use membw_trace::{MemRef, Workload};
 use membw_workloads::{suite92, Scale};
 use serde::{Deserialize, Serialize};
 
@@ -53,7 +53,7 @@ pub fn run(scale: Scale) -> Result<(Table8Result, Table), MembwError> {
     let key = format!("v1/table8/{scale:?}/{}", suite.len());
     let rows = Runner::from_env().checkpointed("table8", &key, suite.len(), |i| {
         let b = &suite[i];
-        let refs: Vec<MemRef> = b.workload().collect_mem_refs();
+        let refs: Vec<MemRef> = b.replayable().collect_mem_refs();
         let mut inefficiencies = Vec::new();
         for &size in &SIZES {
             if size >= b.footprint_bytes {

@@ -44,13 +44,13 @@ pub fn run(scale: Scale) -> Result<(Table9Result, Vec<Table>), MembwError> {
         .map(|b| (b.name().to_string(), capacity_for(b.name())))
         .collect();
     // One run-engine job per (benchmark, factor) cell, benchmark-major;
-    // each job regenerates its workload's trace inside factor_gap.
+    // each job replays the shared recorded trace inside factor_gap.
     let n_f = TABLE10_FACTORS.len();
     let key = format!("v1/table9/{scale:?}/{}x{}", suite.len(), n_f);
     let raw = Runner::from_env().checkpointed("table9", &key, suite.len() * n_f, |k| {
         let b = &suite[k / n_f];
         let spec = &TABLE10_FACTORS[k % n_f];
-        factor_gap(spec, &b.workload(), capacity_for(b.name()))
+        factor_gap(spec, &b.replayable(), capacity_for(b.name()))
     });
     let gaps: Vec<FactorGap> = collect_jobs("table9", raw, |k| {
         format!("{}/{}", suite[k / n_f].name(), TABLE10_FACTORS[k % n_f].name)

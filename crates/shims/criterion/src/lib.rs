@@ -8,12 +8,29 @@
 //! `sample_size` timed batches, reporting min/median/mean per
 //! iteration and, when a [`Throughput`] is set, elements per second.
 //! No statistics engine, plots, or saved baselines.
+//!
+//! Like real criterion, `--quick` (as a bench argument, i.e. after
+//! `cargo bench -- --quick`) trades precision for speed: one timed
+//! batch per bench with a much smaller batch target — CI smoke mode.
 
 pub use std::hint::black_box;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
+/// True when the bench binary was invoked with `--quick`.
+fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::args().any(|a| a == "--quick"))
+}
+
 /// Target time per measured batch.
-const BATCH_TARGET: Duration = Duration::from_millis(40);
+fn batch_target() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(2)
+    } else {
+        Duration::from_millis(40)
+    }
+}
 
 /// The benchmark driver.
 pub struct Criterion {
@@ -107,20 +124,22 @@ impl Bencher {
 }
 
 fn run_bench(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
-    // Warm-up: find an iteration count that fills BATCH_TARGET.
+    let sample_size = if quick_mode() { 1 } else { sample_size };
+    let batch_target = batch_target();
+    // Warm-up: find an iteration count that fills the batch target.
     let mut b = Bencher {
         iters: 1,
         elapsed: Duration::ZERO,
     };
     loop {
         f(&mut b);
-        if b.elapsed >= BATCH_TARGET || b.iters >= 1 << 20 {
+        if b.elapsed >= batch_target || b.iters >= 1 << 20 {
             break;
         }
         let scale = if b.elapsed.is_zero() {
             16
         } else {
-            (BATCH_TARGET.as_secs_f64() / b.elapsed.as_secs_f64()).ceil() as u64
+            (batch_target.as_secs_f64() / b.elapsed.as_secs_f64()).ceil() as u64
         };
         b.iters = (b.iters * scale.clamp(2, 16)).min(1 << 20);
     }

@@ -11,9 +11,8 @@ use crate::bus::Bus;
 use crate::dram::{Dram, DramConfig};
 use crate::machine::{MemoryMode, MemorySpec};
 use membw_cache::{BelowKind, BelowRequest, Cache, CacheStats};
-use membw_trace::MemRef;
+use membw_trace::{FastHashMap, MemRef};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Aggregate counters of a [`MemSystem`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,9 +54,9 @@ pub struct MemSystem {
     dram: Dram,
     spec: MemorySpec,
     /// L1 blocks currently being filled -> cycle the fill completes.
-    fill_ready: HashMap<u64, u64>,
+    fill_ready: FastHashMap<u64, u64>,
     /// L2 blocks currently being filled -> cycle the fill completes.
-    l2_fill_ready: HashMap<u64, u64>,
+    l2_fill_ready: FastHashMap<u64, u64>,
     /// Completion cycle of the most recent miss (blocking cache).
     last_miss_done: u64,
     /// Completion cycles of in-flight misses (lockup-free MSHRs).
@@ -90,8 +89,8 @@ impl MemSystem {
             bus2,
             dram,
             spec: *spec,
-            fill_ready: HashMap::new(),
-            l2_fill_ready: HashMap::new(),
+            fill_ready: FastHashMap::default(),
+            l2_fill_ready: FastHashMap::default(),
             last_miss_done: 0,
             outstanding: Vec::new(),
             write_buffer: Vec::new(),
@@ -137,7 +136,7 @@ impl MemSystem {
             return now;
         }
         let mut ready = now;
-        for req in outcome.below().to_vec() {
+        for &req in outcome.below() {
             if req.is_fetch() {
                 ready = self.fetch_from_l2(now, req);
             }

@@ -12,44 +12,61 @@ use crate::machine::MachineSpec;
 use crate::memsys::MemSystem;
 use membw_trace::uop::NUM_REGS;
 use membw_trace::{OpClass, TraceSink, Uop, Workload};
-use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 /// Per-cycle slot accounting that tolerates out-of-order requests.
+///
+/// A dense ring of per-cycle counters over the active scheduling window
+/// (`base` is the cycle of the ring's front). Scheduling and pruning
+/// are amortized O(1) with no steady-state allocation — the ring's
+/// capacity converges on the widest window the run ever needs. This is
+/// the hot loop of the out-of-order core: every uop books a dispatch,
+/// issue, (possibly) memory-port, and commit slot.
 #[derive(Debug)]
 struct CycleWidth {
     width: u32,
-    counts: BTreeMap<u64, u32>,
-    watermark: u64,
+    counts: VecDeque<u32>,
+    /// Cycle number of `counts[0]`; requests below it are clamped up,
+    /// exactly like the pruned watermark they replace.
+    base: u64,
 }
 
 impl CycleWidth {
     fn new(width: u32) -> Self {
         Self {
             width,
-            counts: BTreeMap::new(),
-            watermark: 0,
+            counts: VecDeque::new(),
+            base: 0,
         }
     }
 
     /// First cycle `>= earliest` with a free slot; books it.
     fn schedule(&mut self, earliest: u64) -> u64 {
-        let mut t = earliest.max(self.watermark);
+        let t = earliest.max(self.base);
+        let mut idx = (t - self.base) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
         loop {
-            let c = self.counts.entry(t).or_insert(0);
-            if *c < self.width {
-                *c += 1;
-                return t;
+            if self.counts[idx] < self.width {
+                self.counts[idx] += 1;
+                return self.base + idx as u64;
             }
-            t += 1;
+            idx += 1;
+            if idx == self.counts.len() {
+                self.counts.push_back(0);
+            }
         }
     }
 
     /// Cycles `< floor` can never be requested again; drop their entries.
     fn prune(&mut self, floor: u64) {
-        if floor > self.watermark {
-            self.watermark = floor;
-            self.counts = self.counts.split_off(&floor);
+        while self.base < floor {
+            if self.counts.pop_front().is_none() {
+                self.base = floor;
+                return;
+            }
+            self.base += 1;
         }
     }
 }

@@ -32,6 +32,7 @@ pub mod interleave;
 pub mod io;
 pub mod pattern;
 pub mod record;
+pub mod replay;
 pub mod reuse;
 pub mod sink;
 pub mod squash;
@@ -42,6 +43,7 @@ pub mod uop;
 pub use fasthash::{FastBuildHasher, FastHashMap, FastHasher};
 pub use interleave::Interleave;
 pub use record::{AccessKind, MemRef};
+pub use replay::{RecordedTrace, RecordingSink, TraceCache};
 pub use sink::{CollectSink, CountSink, FnSink, MemRefFnSink, TraceSink};
 pub use squash::Squashing;
 pub use swprefetch::SoftwarePrefetch;

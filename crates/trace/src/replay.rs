@@ -1,0 +1,612 @@
+//! Record-once / replay-many trace engine.
+//!
+//! The paper's methodology simulates the *identical* uop stream many
+//! times: three memory models per decomposition cell (§3.1), six
+//! experiments per benchmark (Figure 3), plus the trace-driven cache and
+//! MTC passes. Regenerating a synthetic workload for every run wastes
+//! most of a figure's wall clock on redundant generation work. This
+//! module captures a workload's stream once into a compact
+//! structure-of-arrays arena ([`RecordedTrace`]) and replays it as a
+//! [`Workload`] with O(1) per-uop dispatch, and provides a process-wide
+//! [`TraceCache`] so one recording is shared across the three
+//! decomposition runs, across all experiments of a benchmark, and across
+//! runner threads.
+//!
+//! Replay is *exact*: the recorded stream is bit-for-bit the stream the
+//! generator emitted, so simulation results are byte-identical whether a
+//! trace was replayed or regenerated — which is what keeps the parallel
+//! run engine's determinism and checkpoint/resume guarantees intact (see
+//! DESIGN.md §9).
+//!
+//! # Example
+//!
+//! ```
+//! use membw_trace::replay::RecordedTrace;
+//! use membw_trace::{pattern::Strided, Workload};
+//!
+//! let live = Strided::reads(0, 4, 256).repeat(2);
+//! let recorded = RecordedTrace::record(&live);
+//! assert_eq!(recorded.collect_uops(), live.collect_uops());
+//! assert_eq!(recorded.len(), 512);
+//! ```
+
+use crate::record::{AccessKind, MemRef};
+use crate::sink::TraceSink;
+use crate::uop::{BranchInfo, OpClass, Reg, Uop};
+use crate::Workload;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+// Packed per-uop metadata layout (one u32 per uop):
+//   bits 0-2   operation class (8 variants)
+//   bit  3     dest register present
+//   bit  4     src0 register present
+//   bit  5     src1 register present
+//   bit  6     branch info present
+//   bit  7     branch taken
+//   bits 8-15  dest register
+//   bits 16-23 src0 register
+//   bits 24-31 src1 register
+const CLASS_MASK: u32 = 0b111;
+const HAS_DEST: u32 = 1 << 3;
+const HAS_SRC0: u32 = 1 << 4;
+const HAS_SRC1: u32 = 1 << 5;
+const HAS_BRANCH: u32 = 1 << 6;
+const BRANCH_TAKEN: u32 = 1 << 7;
+
+fn class_code(c: OpClass) -> u32 {
+    match c {
+        OpClass::IntAlu => 0,
+        OpClass::IntMul => 1,
+        OpClass::FpAdd => 2,
+        OpClass::FpMul => 3,
+        OpClass::FpDiv => 4,
+        OpClass::Load => 5,
+        OpClass::Store => 6,
+        OpClass::Branch => 7,
+    }
+}
+
+fn code_class(code: u32) -> OpClass {
+    match code {
+        0 => OpClass::IntAlu,
+        1 => OpClass::IntMul,
+        2 => OpClass::FpAdd,
+        3 => OpClass::FpMul,
+        4 => OpClass::FpDiv,
+        5 => OpClass::Load,
+        6 => OpClass::Store,
+        _ => OpClass::Branch,
+    }
+}
+
+/// A workload's uop stream, captured once into a structure-of-arrays
+/// arena: one packed `u32` per uop plus side arrays for memory
+/// references and branch PCs, indexed by sequential cursors during
+/// replay. No per-record heap boxes; the whole trace is four flat
+/// vectors.
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    name: String,
+    /// One packed word per uop (see the layout constants above).
+    meta: Vec<u32>,
+    /// Address of the i-th memory uop (loads and stores, in order).
+    mem_addr: Vec<u64>,
+    /// Size of the i-th memory uop.
+    mem_size: Vec<u16>,
+    /// PC of the i-th branch-info-carrying uop.
+    branch_pc: Vec<u64>,
+}
+
+impl RecordedTrace {
+    /// Capture `workload`'s full stream.
+    ///
+    /// Well-formedness (memory uops carry a `mem` whose kind matches
+    /// the class, as the [`Uop`] constructors guarantee) is checked in
+    /// debug builds.
+    pub fn record<W: Workload + ?Sized>(workload: &W) -> Self {
+        let mut sink = RecordingSink::new(workload.name());
+        workload.generate(&mut sink);
+        sink.finish()
+    }
+
+    /// Number of uops recorded.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Number of data-memory references recorded.
+    pub fn num_mem_refs(&self) -> usize {
+        self.mem_addr.len()
+    }
+
+    /// Approximate resident size of the arena in bytes (used for the
+    /// [`TraceCache`] budget).
+    pub fn arena_bytes(&self) -> u64 {
+        (self.meta.capacity() * size_of::<u32>()
+            + self.mem_addr.capacity() * size_of::<u64>()
+            + self.mem_size.capacity() * size_of::<u16>()
+            + self.branch_pc.capacity() * size_of::<u64>()
+            + self.name.capacity()
+            + size_of::<Self>()) as u64
+    }
+
+    #[inline]
+    fn unpack(&self, i: usize, mem_cursor: &mut usize, branch_cursor: &mut usize) -> Uop {
+        let m = self.meta[i];
+        let class = code_class(m & CLASS_MASK);
+        let dest: Option<Reg> = (m & HAS_DEST != 0).then_some((m >> 8) as Reg);
+        let src0: Option<Reg> = (m & HAS_SRC0 != 0).then_some((m >> 16) as Reg);
+        let src1: Option<Reg> = (m & HAS_SRC1 != 0).then_some((m >> 24) as Reg);
+        let mem = if class.is_mem() {
+            let k = *mem_cursor;
+            *mem_cursor += 1;
+            Some(MemRef {
+                addr: self.mem_addr[k],
+                size: self.mem_size[k],
+                kind: if class == OpClass::Load {
+                    AccessKind::Read
+                } else {
+                    AccessKind::Write
+                },
+            })
+        } else {
+            None
+        };
+        let branch = if m & HAS_BRANCH != 0 {
+            let k = *branch_cursor;
+            *branch_cursor += 1;
+            Some(BranchInfo {
+                pc: self.branch_pc[k],
+                taken: m & BRANCH_TAKEN != 0,
+            })
+        } else {
+            None
+        };
+        Uop {
+            class,
+            dest,
+            srcs: [src0, src1],
+            mem,
+            branch,
+        }
+    }
+}
+
+impl Workload for RecordedTrace {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn generate(&self, sink: &mut dyn TraceSink) {
+        let mut mem_cursor = 0;
+        let mut branch_cursor = 0;
+        for i in 0..self.meta.len() {
+            sink.uop(self.unpack(i, &mut mem_cursor, &mut branch_cursor));
+        }
+        debug_assert_eq!(mem_cursor, self.mem_addr.len());
+        debug_assert_eq!(branch_cursor, self.branch_pc.len());
+    }
+
+    fn for_each_mem_ref(&self, f: &mut dyn FnMut(MemRef)) {
+        // Skip the full Uop reconstruction: only the class bits and the
+        // memory side arrays matter here.
+        let mut mem_cursor = 0;
+        for &m in &self.meta {
+            let class = code_class(m & CLASS_MASK);
+            if class.is_mem() {
+                let k = mem_cursor;
+                mem_cursor += 1;
+                f(MemRef {
+                    addr: self.mem_addr[k],
+                    size: self.mem_size[k],
+                    kind: if class == OpClass::Load {
+                        AccessKind::Read
+                    } else {
+                        AccessKind::Write
+                    },
+                });
+            }
+        }
+    }
+}
+
+/// A [`TraceSink`] that packs the incoming stream into a
+/// [`RecordedTrace`] arena.
+#[derive(Debug, Clone)]
+pub struct RecordingSink {
+    trace: RecordedTrace,
+}
+
+impl RecordingSink {
+    /// An empty recorder producing a trace named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            trace: RecordedTrace {
+                name: name.into(),
+                meta: Vec::new(),
+                mem_addr: Vec::new(),
+                mem_size: Vec::new(),
+                branch_pc: Vec::new(),
+            },
+        }
+    }
+
+    /// Finish recording, returning the packed trace with capacity
+    /// trimmed to length.
+    pub fn finish(mut self) -> RecordedTrace {
+        self.trace.meta.shrink_to_fit();
+        self.trace.mem_addr.shrink_to_fit();
+        self.trace.mem_size.shrink_to_fit();
+        self.trace.branch_pc.shrink_to_fit();
+        self.trace
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn uop(&mut self, uop: Uop) {
+        debug_assert_eq!(
+            uop.mem.is_some(),
+            uop.class.is_mem(),
+            "memory uops (and only memory uops) carry a MemRef"
+        );
+        let mut m = class_code(uop.class);
+        if let Some(d) = uop.dest {
+            m |= HAS_DEST | (u32::from(d) << 8);
+        }
+        if let Some(s) = uop.srcs[0] {
+            m |= HAS_SRC0 | (u32::from(s) << 16);
+        }
+        if let Some(s) = uop.srcs[1] {
+            m |= HAS_SRC1 | (u32::from(s) << 24);
+        }
+        if let Some(r) = uop.mem {
+            debug_assert_eq!(
+                r.kind.is_read(),
+                uop.class == OpClass::Load,
+                "MemRef kind must match the uop class"
+            );
+            self.trace.mem_addr.push(r.addr);
+            self.trace.mem_size.push(r.size);
+        }
+        if let Some(b) = uop.branch {
+            m |= HAS_BRANCH;
+            if b.taken {
+                m |= BRANCH_TAKEN;
+            }
+            self.trace.branch_pc.push(b.pc);
+        }
+        self.trace.meta.push(m);
+    }
+}
+
+/// Environment knob naming the [`TraceCache`] budget in MiB.
+///
+/// Unset → a 512 MiB default; `0` → caching disabled (every caller
+/// falls back to direct regeneration, which produces byte-identical
+/// results).
+pub const TRACE_CACHE_MB_ENV: &str = "MEMBW_TRACE_CACHE_MB";
+
+const DEFAULT_BUDGET_BYTES: u64 = 512 * 1024 * 1024;
+
+/// Counters describing a [`TraceCache`]'s behaviour so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCacheStats {
+    /// Lookups that found a finished recording.
+    pub hits: u64,
+    /// Lookups that had to record (or wait for a concurrent recording).
+    pub misses: u64,
+    /// Recordings dropped to stay within the byte budget.
+    pub evictions: u64,
+    /// Bytes currently accounted to resident recordings.
+    pub resident_bytes: u64,
+}
+
+struct CacheEntry {
+    /// The recording slot. Holding this lock while recording serializes
+    /// same-key callers (the second caller waits and reuses the first's
+    /// work) without blocking callers on other keys.
+    slot: Arc<Mutex<Option<Arc<RecordedTrace>>>>,
+    bytes: u64,
+    last_used: u64,
+}
+
+struct CacheInner {
+    map: HashMap<(String, String), CacheEntry>,
+    tick: u64,
+    stats: TraceCacheStats,
+}
+
+/// A process-wide cache of [`RecordedTrace`]s keyed by
+/// `(benchmark, variant)` — variant is typically the scale — with an
+/// explicit byte budget and least-recently-used eviction.
+///
+/// `Arc<RecordedTrace>` handles stay valid after eviction (eviction
+/// drops the cache's reference, not the trace), so callers never
+/// observe a trace disappearing mid-run.
+pub struct TraceCache {
+    budget_bytes: u64,
+    inner: Mutex<CacheInner>,
+}
+
+impl std::fmt::Debug for TraceCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCache")
+            .field("budget_bytes", &self.budget_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceCache {
+    /// A cache with an explicit byte budget. A budget of 0 disables
+    /// caching: [`TraceCache::get_or_record`] always returns `None`.
+    pub fn with_budget(budget_bytes: u64) -> Self {
+        Self {
+            budget_bytes,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+                stats: TraceCacheStats::default(),
+            }),
+        }
+    }
+
+    /// The shared process-wide cache, budgeted from
+    /// [`TRACE_CACHE_MB_ENV`] (read once, at first use).
+    pub fn global() -> &'static TraceCache {
+        static GLOBAL: OnceLock<TraceCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| TraceCache::with_budget(budget_from_env()))
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// `true` if the budget disables caching entirely.
+    pub fn is_disabled(&self) -> bool {
+        self.budget_bytes == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TraceCacheStats {
+        self.inner.lock().expect("trace cache poisoned").stats
+    }
+
+    /// Fetch the recording for `(name, variant)`, recording `workload`
+    /// on first use. Returns `None` when caching is disabled — the
+    /// caller should then use the workload directly.
+    ///
+    /// Concurrent callers with the same key serialize on the recording
+    /// (the loser reuses the winner's arena); callers with different
+    /// keys proceed in parallel.
+    pub fn get_or_record<W: Workload + ?Sized>(
+        &self,
+        name: &str,
+        variant: &str,
+        workload: &W,
+    ) -> Option<Arc<RecordedTrace>> {
+        if self.is_disabled() {
+            return None;
+        }
+        let slot = {
+            let mut inner = self.inner.lock().expect("trace cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            let entry = inner
+                .map
+                .entry((name.to_string(), variant.to_string()))
+                .or_insert_with(|| CacheEntry {
+                    slot: Arc::new(Mutex::new(None)),
+                    bytes: 0,
+                    last_used: tick,
+                });
+            entry.last_used = tick;
+            Arc::clone(&entry.slot)
+        };
+
+        let mut guard = slot.lock().expect("trace slot poisoned");
+        if let Some(trace) = guard.as_ref() {
+            let trace = Arc::clone(trace);
+            drop(guard);
+            self.inner.lock().expect("trace cache poisoned").stats.hits += 1;
+            return Some(trace);
+        }
+
+        // Record while holding only this key's slot lock.
+        let trace = Arc::new(RecordedTrace::record(workload));
+        *guard = Some(Arc::clone(&trace));
+        drop(guard);
+
+        let bytes = trace.arena_bytes();
+        let mut inner = self.inner.lock().expect("trace cache poisoned");
+        inner.stats.misses += 1;
+        let key = (name.to_string(), variant.to_string());
+        if let Some(entry) = inner.map.get_mut(&key) {
+            // A racing eviction may have already charged (or dropped)
+            // this entry; only charge bytes not yet accounted.
+            let delta = bytes - entry.bytes;
+            entry.bytes = bytes;
+            inner.stats.resident_bytes += delta;
+        }
+        self.evict_to_budget(&mut inner);
+        Some(trace)
+    }
+
+    /// Drop least-recently-used finished recordings until resident
+    /// bytes fit the budget. Entries still recording (bytes == 0, slot
+    /// locked elsewhere) carry no weight and are never worth evicting.
+    fn evict_to_budget(&self, inner: &mut CacheInner) {
+        while inner.stats.resident_bytes > self.budget_bytes {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(_, e)| e.bytes > 0)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(key) = victim else { break };
+            let entry = inner.map.remove(&key).expect("victim exists");
+            inner.stats.resident_bytes -= entry.bytes;
+            inner.stats.evictions += 1;
+        }
+    }
+}
+
+fn budget_from_env() -> u64 {
+    match std::env::var(TRACE_CACHE_MB_ENV) {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(mb) => mb.saturating_mul(1024 * 1024),
+            Err(_) => {
+                eprintln!(
+                    "warning: ignoring unparsable {TRACE_CACHE_MB_ENV}={v:?}; \
+                     using the default budget"
+                );
+                DEFAULT_BUDGET_BYTES
+            }
+        },
+        Err(_) => DEFAULT_BUDGET_BYTES,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Strided;
+    use crate::sink::CollectSink;
+
+    fn mixed_workload() -> crate::VecWorkload {
+        crate::VecWorkload::new(
+            "mixed",
+            vec![
+                MemRef::read(0x1000, 4),
+                MemRef::write(0x2000, 8),
+                MemRef::read(0x3000, 2),
+            ],
+        )
+    }
+
+    fn full_uop_workload() -> Vec<Uop> {
+        vec![
+            Uop::compute(OpClass::IntAlu, Some(1), [Some(2), None]),
+            Uop::compute(OpClass::FpDiv, Some(63), [Some(62), Some(61)]),
+            Uop::load(MemRef::read(0xdead_beef_0000, 8), Some(3), [Some(1), None]),
+            Uop::store(MemRef::write(0x42, 2), [Some(3), Some(1)]),
+            Uop::branch(0x4000, true, [Some(3), None]),
+            Uop::branch(0x4010, false, [None, None]),
+        ]
+    }
+
+    struct UopListWorkload(Vec<Uop>);
+    impl Workload for UopListWorkload {
+        fn name(&self) -> &str {
+            "uoplist"
+        }
+        fn generate(&self, sink: &mut dyn TraceSink) {
+            for &u in &self.0 {
+                sink.uop(u);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact_for_every_field() {
+        let w = UopListWorkload(full_uop_workload());
+        let rec = RecordedTrace::record(&w);
+        assert_eq!(rec.len(), 6);
+        assert_eq!(rec.num_mem_refs(), 2);
+        assert_eq!(rec.collect_uops(), w.collect_uops());
+        // Replaying twice yields the identical stream.
+        assert_eq!(rec.collect_uops(), rec.collect_uops());
+    }
+
+    #[test]
+    fn mem_ref_fast_path_matches_generate() {
+        let w = mixed_workload();
+        let rec = RecordedTrace::record(&w);
+        assert_eq!(rec.collect_mem_refs(), w.collect_mem_refs());
+        // And matches the slow path through generate().
+        let mut sink = CollectSink::new();
+        rec.generate(&mut sink);
+        let via_uops: Vec<MemRef> = sink.into_uops().iter().filter_map(|u| u.mem).collect();
+        assert_eq!(rec.collect_mem_refs(), via_uops);
+    }
+
+    #[test]
+    fn strided_pattern_roundtrips() {
+        let w = Strided::reads(0x8000, 4, 512).with_write_every(3).repeat(2);
+        let rec = RecordedTrace::record(&w);
+        assert_eq!(rec.collect_uops(), w.collect_uops());
+        assert!(rec.arena_bytes() > 0);
+    }
+
+    #[test]
+    fn cache_shares_one_recording_per_key() {
+        let cache = TraceCache::with_budget(u64::MAX);
+        let w = mixed_workload();
+        let a = cache.get_or_record("mixed", "Test", &w).expect("enabled");
+        let b = cache.get_or_record("mixed", "Test", &w).expect("enabled");
+        assert!(Arc::ptr_eq(&a, &b), "second lookup reuses the arena");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.resident_bytes, a.arena_bytes());
+        // A different variant records separately.
+        let c = cache.get_or_record("mixed", "Small", &w).expect("enabled");
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let cache = TraceCache::with_budget(0);
+        assert!(cache.is_disabled());
+        assert!(cache.get_or_record("x", "y", &mixed_workload()).is_none());
+        assert_eq!(cache.stats(), TraceCacheStats::default());
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_budget() {
+        let w = Strided::reads(0, 4, 4096);
+        let probe = RecordedTrace::record(&w);
+        let one = probe.arena_bytes();
+        // Budget fits two traces but not three.
+        let cache = TraceCache::with_budget(one * 2 + one / 2);
+        let a = cache.get_or_record("a", "t", &w).unwrap();
+        let _b = cache.get_or_record("b", "t", &w).unwrap();
+        // Touch "a" so "b" is the LRU when "c" lands.
+        let a2 = cache.get_or_record("a", "t", &w).unwrap();
+        assert!(Arc::ptr_eq(&a, &a2));
+        let _c = cache.get_or_record("c", "t", &w).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.resident_bytes <= cache.budget_bytes());
+        // "b" was evicted; re-fetch records again (miss, not hit).
+        let misses_before = s.misses;
+        let _b2 = cache.get_or_record("b", "t", &w).unwrap();
+        assert_eq!(cache.stats().misses, misses_before + 1);
+        // Evicted handles remain usable.
+        assert_eq!(a.collect_mem_refs().len(), 4096);
+    }
+
+    #[test]
+    fn concurrent_same_key_lookups_record_once() {
+        let cache = Arc::new(TraceCache::with_budget(u64::MAX));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    let w = Strided::reads(0, 4, 2048);
+                    cache.get_or_record("shared", "t", &w).unwrap()
+                })
+            })
+            .collect();
+        let traces: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for t in &traces[1..] {
+            assert!(Arc::ptr_eq(&traces[0], t), "all threads share one arena");
+        }
+        assert_eq!(cache.stats().misses, 1, "exactly one recording happened");
+    }
+}

@@ -4,8 +4,10 @@
 use crate::{
     Applu, Compress, Dnasa2, Eqntott, Espresso, Hydro2d, Li, Perl, Su2cor, Swm, Tomcatv, Vortex,
 };
-use membw_trace::Workload;
+use membw_trace::replay::{RecordedTrace, TraceCache};
+use membw_trace::{MemRef, TraceSink, Workload};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which suite a benchmark belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -36,6 +38,7 @@ pub enum Scale {
 pub struct Benchmark {
     name: &'static str,
     suite: Suite,
+    scale: Scale,
     workload: Box<dyn Workload + Send + Sync>,
     /// References traced by the paper, in millions (Table 3).
     pub paper_refs_millions: f64,
@@ -58,9 +61,73 @@ impl Benchmark {
         self.suite
     }
 
-    /// The workload.
+    /// The scale this instance was built at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The workload (always regenerates from the synthetic generator).
     pub fn workload(&self) -> &(dyn Workload + Send + Sync) {
         self.workload.as_ref()
+    }
+
+    /// The workload, routed through the process-wide [`TraceCache`]:
+    /// the first caller records the stream once, and every later caller
+    /// — other decomposition runs, other experiments, other runner
+    /// threads — replays the shared arena. Falls back to direct
+    /// regeneration when caching is disabled (`MEMBW_TRACE_CACHE_MB=0`);
+    /// both paths emit the identical stream.
+    pub fn replayable(&self) -> BenchWorkload<'_> {
+        let variant = match self.scale {
+            Scale::Test => "Test",
+            Scale::Small => "Small",
+            Scale::Full => "Full",
+        };
+        match TraceCache::global().get_or_record(self.name, variant, self.workload.as_ref()) {
+            Some(trace) => BenchWorkload::Recorded(trace),
+            None => BenchWorkload::Direct(self.workload.as_ref()),
+        }
+    }
+}
+
+/// A benchmark's stream source: a shared recorded trace, or the live
+/// generator when the trace cache is disabled.
+pub enum BenchWorkload<'a> {
+    /// Replays a shared recording.
+    Recorded(Arc<RecordedTrace>),
+    /// Streams straight from the synthetic generator.
+    Direct(&'a (dyn Workload + Send + Sync)),
+}
+
+impl Workload for BenchWorkload<'_> {
+    fn name(&self) -> &str {
+        match self {
+            BenchWorkload::Recorded(t) => t.name(),
+            BenchWorkload::Direct(w) => w.name(),
+        }
+    }
+
+    fn generate(&self, sink: &mut dyn TraceSink) {
+        match self {
+            BenchWorkload::Recorded(t) => t.generate(sink),
+            BenchWorkload::Direct(w) => w.generate(sink),
+        }
+    }
+
+    fn for_each_mem_ref(&self, f: &mut dyn FnMut(MemRef)) {
+        match self {
+            BenchWorkload::Recorded(t) => t.for_each_mem_ref(f),
+            BenchWorkload::Direct(w) => w.for_each_mem_ref(f),
+        }
+    }
+}
+
+impl std::fmt::Debug for BenchWorkload<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchWorkload::Recorded(t) => f.debug_tuple("Recorded").field(&t.name()).finish(),
+            BenchWorkload::Direct(w) => f.debug_tuple("Direct").field(&w.name()).finish(),
+        }
     }
 }
 
@@ -74,9 +141,11 @@ impl std::fmt::Debug for Benchmark {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // registry rows, one argument per column
 fn bench(
     name: &'static str,
     suite: Suite,
+    scale: Scale,
     refs_m: f64,
     dataset_mb: f64,
     input: &'static str,
@@ -87,6 +156,7 @@ fn bench(
     Benchmark {
         name,
         suite,
+        scale,
         workload: w,
         paper_refs_millions: refs_m,
         paper_dataset_mb: dataset_mb,
@@ -115,6 +185,7 @@ pub fn suite92(scale: Scale) -> Vec<Benchmark> {
             bench(
                 "compress",
                 Suite::Spec92,
+                scale,
                 21.9,
                 0.41,
                 "1000000 byte file",
@@ -136,6 +207,7 @@ pub fn suite92(scale: Scale) -> Vec<Benchmark> {
             bench(
                 "dnasa2",
                 Suite::Spec92,
+                scale,
                 181.0,
                 0.18,
                 "FFT, MxM=128x64x64",
@@ -149,6 +221,7 @@ pub fn suite92(scale: Scale) -> Vec<Benchmark> {
             bench(
                 "eqntott",
                 Suite::Spec92,
+                scale,
                 221.1,
                 1.63,
                 "int_pri_3.eqn",
@@ -162,6 +235,7 @@ pub fn suite92(scale: Scale) -> Vec<Benchmark> {
             bench(
                 "espresso",
                 Suite::Spec92,
+                scale,
                 22.3,
                 0.04,
                 "mlp4 only",
@@ -175,6 +249,7 @@ pub fn suite92(scale: Scale) -> Vec<Benchmark> {
             bench(
                 "su2cor",
                 Suite::Spec92,
+                scale,
                 163.4,
                 1.53,
                 "in.short",
@@ -188,6 +263,7 @@ pub fn suite92(scale: Scale) -> Vec<Benchmark> {
             bench(
                 "swm",
                 Suite::Spec92,
+                scale,
                 50.6,
                 0.93,
                 "180x180, 50 iter.",
@@ -201,6 +277,7 @@ pub fn suite92(scale: Scale) -> Vec<Benchmark> {
             bench(
                 "tomcatv",
                 Suite::Spec92,
+                scale,
                 104.2,
                 3.67,
                 "256x256, 10 iter",
@@ -237,6 +314,7 @@ pub fn suite95(scale: Scale) -> Vec<Benchmark> {
             bench(
                 "applu",
                 Suite::Spec95,
+                scale,
                 383.7,
                 32.38,
                 "33x33x33 grid, 2 iter.",
@@ -250,6 +328,7 @@ pub fn suite95(scale: Scale) -> Vec<Benchmark> {
             bench(
                 "hydro2d",
                 Suite::Spec95,
+                scale,
                 263.7,
                 8.71,
                 "test data set, 1 iter.",
@@ -263,6 +342,7 @@ pub fn suite95(scale: Scale) -> Vec<Benchmark> {
             bench(
                 "li",
                 Suite::Spec95,
+                scale,
                 471.3,
                 0.12,
                 "test.lsp",
@@ -276,6 +356,7 @@ pub fn suite95(scale: Scale) -> Vec<Benchmark> {
             bench(
                 "perl",
                 Suite::Spec95,
+                scale,
                 1280.8,
                 25.70,
                 "jumble.pl",
@@ -289,6 +370,7 @@ pub fn suite95(scale: Scale) -> Vec<Benchmark> {
             bench(
                 "su2cor95",
                 Suite::Spec95,
+                scale,
                 533.8,
                 22.53,
                 "test data set",
@@ -302,6 +384,7 @@ pub fn suite95(scale: Scale) -> Vec<Benchmark> {
             bench(
                 "swim",
                 Suite::Spec95,
+                scale,
                 267.4,
                 14.46,
                 "test data set",
@@ -315,6 +398,7 @@ pub fn suite95(scale: Scale) -> Vec<Benchmark> {
             bench(
                 "vortex",
                 Suite::Spec95,
+                scale,
                 1180.3,
                 19.87,
                 "test data set",
