@@ -4,7 +4,7 @@
 //! ```text
 //! repro [--scale test|small|full] [--jobs N] [--json DIR]
 //!       [--retries N] [--job-timeout SECS] [--resume | --no-resume]
-//!       [--checkpoint-dir DIR] <target>...
+//!       [--checkpoint-dir DIR] [--audit off|warn|strict] <target>...
 //!
 //! targets: fig1 table1 table2 table3 params fig3 table6 table7 table8
 //!          fig4 table9 extrapolate all
@@ -24,6 +24,7 @@
 //! interrupted campaign without recomputing finished jobs.
 
 use membw_bench::{parse_scale, validate_target};
+use membw_core::audit;
 use membw_core::analytic::pins::{dataset, Series};
 use membw_core::report::{self, TargetTiming};
 use membw_core::runner;
@@ -91,6 +92,11 @@ fn parse_args() -> Result<Options, String> {
                 }
                 runner::set_job_timeout(Some(Duration::from_secs_f64(secs)));
             }
+            "--audit" => {
+                let v = args.next().ok_or("--audit needs a level (off|warn|strict)")?;
+                let level: audit::AuditLevel = v.parse()?;
+                audit::set_level(level);
+            }
             "--resume" => resume = true,
             "--no-resume" => resume = false,
             "--checkpoint-dir" => {
@@ -100,7 +106,7 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!("usage: repro [--scale test|small|full] [--jobs N] [--json DIR]");
                 println!("             [--retries N] [--job-timeout SECS] [--resume|--no-resume]");
-                println!("             [--checkpoint-dir DIR] <target>...");
+                println!("             [--checkpoint-dir DIR] [--audit off|warn|strict] <target>...");
                 println!("targets: fig1 table1 table2 table3 params fig3 table6 table7");
                 println!("         table8 fig4 table9 epin extrapolate ablation interference");
                 println!("         dram speculation swprefetch dump all");
@@ -110,11 +116,23 @@ fn parse_args() -> Result<Options, String> {
                 println!("--job-timeout SECS marks jobs failed past a deadline (default: none);");
                 println!("--resume replays completed jobs archived under --checkpoint-dir");
                 println!("(default results/.checkpoint) by a previous, possibly interrupted run.");
+                println!("--audit LEVEL checks the paper's invariants on every target:");
+                println!("off skips them, warn (default) reports violations on stderr,");
+                println!("strict fails the target; a summary lands on stderr either way.");
+                println!(
+                    "{} caps the in-memory trace cache (whole MiB; 0 disables caching).",
+                    membw_core::trace::replay::TRACE_CACHE_MB_ENV
+                );
                 std::process::exit(0);
             }
             t if !t.starts_with('-') => targets.push(t.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    // Reject a malformed cache budget up front, before any target runs:
+    // the lazy reader would otherwise only warn and fall back.
+    if let Ok(v) = std::env::var(membw_core::trace::replay::TRACE_CACHE_MB_ENV) {
+        membw_core::trace::replay::parse_cache_budget_mb(&v)?;
     }
     if targets.is_empty() {
         targets.push("all".to_string());
@@ -226,7 +244,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
     let scale = opts.scale;
     match target {
         "fig1" => {
-            let (res, table) = run_fig1::run();
+            let (res, table) = run_fig1::run()?;
             emit(
                 opts,
                 "fig1",
@@ -252,11 +270,11 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
             }
         }
         "table1" => {
-            let (_, table) = run_table1::run();
+            let (_, table) = run_table1::run()?;
             emit(opts, "table1", &table, None)?;
         }
         "table2" => {
-            let (res, table) = run_table2::run(1024);
+            let (res, table) = run_table2::run(1024)?;
             emit(
                 opts,
                 "table2",
@@ -265,7 +283,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
             )?;
         }
         "table3" => {
-            let (res, table) = run_table3::run(scale);
+            let (res, table) = run_table3::run(scale)?;
             emit(
                 opts,
                 "table3",
@@ -278,7 +296,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
             println!("{}", params_table("SPEC95", MachineSpec::spec95).render());
         }
         "fig2" => {
-            let (res, table, plots) = run_fig2::run(12);
+            let (res, table, plots) = run_fig2::run(12)?;
             emit(
                 opts,
                 "fig2",
@@ -401,7 +419,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
             }
         }
         "epin" => {
-            let (res, table) = run_epin::run(scale);
+            let (res, table) = run_epin::run(scale)?;
             emit(
                 opts,
                 "epin",
@@ -410,7 +428,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
             )?;
         }
         "swprefetch" => {
-            let (res, table) = run_swprefetch::run();
+            let (res, table) = run_swprefetch::run()?;
             emit(
                 opts,
                 "swprefetch",
@@ -419,7 +437,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
             )?;
         }
         "speculation" => {
-            let (res, table) = run_speculation::run();
+            let (res, table) = run_speculation::run()?;
             emit(
                 opts,
                 "speculation",
@@ -428,7 +446,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
             )?;
         }
         "dram" => {
-            let (res, table) = run_dram::run();
+            let (res, table) = run_dram::run()?;
             emit(
                 opts,
                 "dram",
@@ -437,7 +455,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
             )?;
         }
         "interference" => {
-            let (res, table) = run_interference::run(16 * 1024, 200);
+            let (res, table) = run_interference::run(16 * 1024, 200)?;
             emit(
                 opts,
                 "interference",
@@ -446,7 +464,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
             )?;
         }
         "extrapolate" => {
-            let (res, table) = run_extrapolation::run();
+            let (res, table) = run_extrapolation::run()?;
             emit(
                 opts,
                 "extrapolate",
@@ -502,6 +520,21 @@ fn main() {
         eprintln!(
             "{}",
             report::timing_table(&timings, runner::configured_jobs()).render()
+        );
+    }
+    let audit_summary = audit::summary();
+    if audit_summary.targets > 0 || audit::configured_level() != audit::AuditLevel::Off {
+        let quarantined = runner::quarantined_artifacts();
+        let trace_failures = membw_core::trace::TraceCache::global().stats().verify_failures;
+        eprintln!(
+            "audit[{}]: {} check(s) across {} target(s), {} violation(s); \
+             {} artifact(s) quarantined, {} cached trace(s) failed verification",
+            audit::configured_level().as_str(),
+            audit_summary.checks,
+            audit_summary.targets,
+            audit_summary.violations,
+            quarantined,
+            trace_failures,
         );
     }
     if !failed_targets.is_empty() {

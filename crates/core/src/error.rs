@@ -50,6 +50,13 @@ pub enum MembwError {
         /// The failures, in canonical index order.
         failures: Vec<FailedJob>,
     },
+    /// The runtime invariant auditor found violated paper identities
+    /// under `--audit strict` (see [`crate::audit`]).
+    InvariantViolation {
+        /// Every violated check, in audit order; each names its target
+        /// and matrix cell.
+        violations: Vec<crate::audit::Violation>,
+    },
 }
 
 impl std::fmt::Display for MembwError {
@@ -78,6 +85,13 @@ impl std::fmt::Display for MembwError {
                 }
                 Ok(())
             }
+            MembwError::InvariantViolation { violations } => {
+                write!(f, "{} paper invariant(s) violated", violations.len())?;
+                if let Some(first) = violations.first() {
+                    write!(f, " (first: {first})")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -87,7 +101,7 @@ impl std::error::Error for MembwError {
         match self {
             MembwError::Io { source, .. } => Some(source),
             MembwError::Trace { source, .. } => Some(source),
-            MembwError::Jobs { .. } => None,
+            MembwError::Jobs { .. } | MembwError::InvariantViolation { .. } => None,
         }
     }
 }
@@ -106,6 +120,14 @@ impl MembwError {
     pub fn failed_jobs(&self) -> &[FailedJob] {
         match self {
             MembwError::Jobs { failures } => failures,
+            _ => &[],
+        }
+    }
+
+    /// The violated invariants, if this is a strict-audit failure.
+    pub fn invariant_violations(&self) -> &[crate::audit::Violation] {
+        match self {
+            MembwError::InvariantViolation { violations } => violations,
             _ => &[],
         }
     }
@@ -184,6 +206,24 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("2 job(s) failed"), "{msg}");
         assert!(msg.contains("bench1"), "{msg}");
+    }
+
+    #[test]
+    fn invariant_violations_name_target_and_cell() {
+        let e = MembwError::InvariantViolation {
+            violations: vec![crate::audit::Violation {
+                target: "table8".to_string(),
+                cell: "compress @ 16KB".to_string(),
+                invariant: "inefficiency",
+                detail: "G = 0.7 < 1".to_string(),
+            }],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("1 paper invariant(s) violated"), "{msg}");
+        assert!(msg.contains("table8"), "{msg}");
+        assert!(msg.contains("compress @ 16KB"), "{msg}");
+        assert_eq!(e.invariant_violations().len(), 1);
+        assert!(e.failed_jobs().is_empty());
     }
 
     #[test]

@@ -27,11 +27,16 @@
 //! ```
 //! use membw_core::run_extrapolation;
 //!
-//! let (proj, table) = run_extrapolation::run();
+//! let (proj, table) = run_extrapolation::run().expect("audit passes");
 //! assert!(proj.pins > 2000.0);
 //! assert!(table.render().contains("2006"));
 //! ```
+//!
+//! Every entry point feeds the [`audit`] runtime invariant auditor
+//! (Eq. 1–4 time ordering, fraction closure, `R > 0`, `G ≥ 1`, the §5
+//! MTC bound) before returning; see [`audit`] for the levels.
 
+pub mod audit;
 pub mod error;
 pub mod plot;
 pub mod report;
@@ -53,6 +58,7 @@ pub mod run_table7;
 pub mod run_table8;
 pub mod run_table9;
 
+pub use audit::{AuditLevel, Auditor};
 pub use error::{FailedJob, MembwError};
 pub use plot::AsciiPlot;
 pub use report::Table;

@@ -7,6 +7,7 @@
 //! (Gindele \[17\]), stream buffers (Jouppi \[24\]), a victim cache
 //! (Jouppi \[24\]), and reuse-predicted bypassing (Tyson et al. \[45\]).
 
+use crate::audit::Auditor;
 use crate::error::{collect_jobs, MembwError};
 use crate::report::Table;
 use membw_cache::{BypassCache, Cache, CacheConfig, CacheStats, StreamBuffers, VictimCache};
@@ -135,6 +136,18 @@ pub fn run(scale: Scale, cache_bytes: u64) -> Result<(AblationResult, Table), Me
     let cells: Vec<AblationCell> = collect_jobs("ablation", raw, |k| {
         format!("{}/{}", suite[k / n_t].name(), TECHNIQUES[k % n_t])
     })?;
+
+    let mut audit = Auditor::new("ablation");
+    for c in &cells {
+        // A technique that reports zero traffic on a real workload means
+        // the instrument broke, not that the cache was free.
+        audit.positive(
+            &format!("{}/{}", c.workload, c.technique),
+            "below-cache traffic",
+            c.traffic as f64,
+        );
+    }
+    audit.finish()?;
 
     let mut headers = vec!["Workload".to_string()];
     for t in TECHNIQUES {

@@ -6,6 +6,8 @@
 //! into experiment F and measures how quickly execution time converges
 //! to the infinite-bank baseline.
 
+use crate::audit::Auditor;
+use crate::error::MembwError;
 use crate::report::Table;
 use membw_sim::{decompose, DramConfig, Experiment, MachineSpec};
 use membw_trace::Workload;
@@ -31,7 +33,12 @@ pub struct DramCell {
 pub const BANK_SWEEP: [u32; 5] = [1, 2, 4, 16, 0];
 
 /// Run the bank sweep on experiment F.
-pub fn run() -> (Vec<DramCell>, Table) {
+///
+/// # Errors
+///
+/// Returns [`MembwError::InvariantViolation`] under `--audit strict` if
+/// any cell breaks the §3 identities.
+pub fn run() -> Result<(Vec<DramCell>, Table), MembwError> {
     let workloads: Vec<Box<dyn Workload>> = vec![
         Box::new(Swm::new(64, 64, 2)),
         Box::new(Vortex::new(2048, 4000, 7)),
@@ -69,6 +76,15 @@ pub fn run() -> (Vec<DramCell>, Table) {
         }
     }
 
+    let mut audit = Auditor::new("dram");
+    for c in &cells {
+        let cell = format!("{}/{} banks", c.workload, c.banks);
+        audit.positive(&cell, "cycles", c.cycles as f64);
+        audit.positive(&cell, "slowdown", c.slowdown);
+        audit.unit_fraction(&cell, "f_B", c.f_b);
+    }
+    audit.finish()?;
+
     let mut table = Table::new(
         "DRAM bank sensitivity (experiment F; slowdown vs infinite banks)",
         ["Workload", "Banks", "Cycles", "Slowdown", "f_B"]
@@ -88,7 +104,7 @@ pub fn run() -> (Vec<DramCell>, Table) {
             format!("{:.2}", c.f_b),
         ]);
     }
-    (cells, table)
+    Ok((cells, table))
 }
 
 #[cfg(test)]
@@ -97,7 +113,7 @@ mod tests {
 
     #[test]
     fn few_banks_slow_things_down_and_many_converge() {
-        let (cells, table) = run();
+        let (cells, table) = run().expect("audit passes");
         assert_eq!(table.num_rows(), 2 * BANK_SWEEP.len());
         for w in ["swm", "vortex"] {
             let get = |banks: u32| {

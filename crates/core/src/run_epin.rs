@@ -7,6 +7,8 @@
 //! discussion assumes) and report what an 800 MB/s package delivers
 //! *effectively*, plus the Eq. 7 upper bound using the same-size MTC.
 
+use crate::audit::Auditor;
+use crate::error::MembwError;
 use crate::report::Table;
 use membw_analytic::{effective_pin_bandwidth, upper_bound_epin};
 use membw_cache::{CacheConfig, Hierarchy};
@@ -40,7 +42,12 @@ pub const B_PIN: f64 = 800.0;
 ///
 /// Uses a 64 KiB/32 B L1 and 1 MiB/64 B 4-way L2 (the Table 4 pair with
 /// the L1 sized to its on-chip era).
-pub fn run(scale: Scale) -> (Vec<EpinRow>, Table) {
+///
+/// # Errors
+///
+/// Returns [`MembwError::InvariantViolation`] under `--audit strict` if
+/// any row breaks the Eq. 5–7 identities.
+pub fn run(scale: Scale) -> Result<(Vec<EpinRow>, Table), MembwError> {
     let l1 = CacheConfig::builder(64 * 1024, 32).build().expect("valid");
     let l2 = CacheConfig::builder(1024 * 1024, 64)
         .associativity(membw_cache::Associativity::Ways(4))
@@ -80,6 +87,16 @@ pub fn run(scale: Scale) -> (Vec<EpinRow>, Table) {
         });
     }
 
+    let mut audit = Auditor::new("epin");
+    for r in &rows {
+        audit.traffic_ratio(&format!("{} R1", r.name), r.r1);
+        audit.traffic_ratio(&format!("{} R2", r.name), r.r2);
+        audit.inefficiency(&r.name, r.g);
+        audit.positive(&r.name, "E_pin (Eq. 5)", r.epin_mb_s);
+        audit.positive(&r.name, "OE_pin (Eq. 7)", r.oe_pin_mb_s);
+    }
+    audit.finish()?;
+
     let mut table = Table::new(
         format!("Effective pin bandwidth (Eq. 5/7), B_pin = {B_PIN} MB/s, 64KB L1 + 1MB L2"),
         ["Benchmark", "R1", "R2", "E_pin MB/s", "G", "OE_pin MB/s"]
@@ -96,7 +113,7 @@ pub fn run(scale: Scale) -> (Vec<EpinRow>, Table) {
             format!("{:.0}", r.oe_pin_mb_s),
         ]);
     }
-    (rows, table)
+    Ok((rows, table))
 }
 
 #[cfg(test)]
@@ -105,7 +122,7 @@ mod tests {
 
     #[test]
     fn epin_accounting_is_consistent() {
-        let (rows, table) = run(Scale::Test);
+        let (rows, table) = run(Scale::Test).expect("audit passes");
         assert_eq!(table.num_rows(), 7);
         for r in &rows {
             // Eq. 5 arithmetic must hold.
@@ -125,7 +142,7 @@ mod tests {
 
     #[test]
     fn filtering_workloads_see_amplified_bandwidth() {
-        let (rows, _) = run(Scale::Test);
+        let (rows, _) = run(Scale::Test).expect("audit passes");
         // At least one cache-friendly benchmark must see E_pin well above
         // the raw package (espresso's tiny working set filters ~all
         // traffic).

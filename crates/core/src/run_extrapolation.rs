@@ -1,10 +1,17 @@
 //! §4.3: the ten-year package extrapolation.
 
+use crate::audit::Auditor;
+use crate::error::MembwError;
 use crate::report::Table;
 use membw_analytic::extrapolate::{paper_projection, project, Projection};
 
 /// Regenerate the §4.3 projection (1996 → 2006 and a few mid-points).
-pub fn run() -> (Projection, Table) {
+///
+/// # Errors
+///
+/// Returns [`MembwError::InvariantViolation`] under `--audit strict` if
+/// a projected quantity is non-positive or non-finite.
+pub fn run() -> Result<(Projection, Table), MembwError> {
     let final_proj = paper_projection();
     let mut table = Table::new(
         "Section 4.3: extrapolated package requirements (16%/yr pins, 60%/yr performance)",
@@ -12,8 +19,17 @@ pub fn run() -> (Projection, Table) {
             .map(String::from)
             .to_vec(),
     );
+    let mut audit = Auditor::new("extrapolation");
     for years in [0u32, 2, 4, 6, 8, 10] {
         let p = project(600.0, 0.16, 0.60, years);
+        let cell = format!("{}", 1996 + years);
+        audit.positive(&cell, "projected pins", p.pins);
+        audit.positive(&cell, "performance multiple", p.performance_multiple);
+        audit.positive(
+            &cell,
+            "per-pin bandwidth multiple",
+            p.per_pin_bandwidth_multiple,
+        );
         table.row(vec![
             (1996 + years).to_string(),
             format!("{:.0}", p.pins),
@@ -21,14 +37,15 @@ pub fn run() -> (Projection, Table) {
             format!("{:.1}x", p.per_pin_bandwidth_multiple),
         ]);
     }
-    (final_proj, table)
+    audit.finish()?;
+    Ok((final_proj, table))
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn reproduces_the_25x_claim() {
-        let (p, t) = super::run();
+        let (p, t) = super::run().expect("audit passes");
         assert!((20.0..30.0).contains(&p.per_pin_bandwidth_multiple));
         assert!((2000.0..3500.0).contains(&p.pins));
         assert!(t.render().contains("2006"));

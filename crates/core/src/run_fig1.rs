@@ -1,6 +1,8 @@
 //! Figure 1: physical microprocessor trends (pins, MIPS/pin,
 //! MIPS/(pin MB/s)) with fitted growth rates.
 
+use crate::audit::Auditor;
+use crate::error::MembwError;
 use crate::report::Table;
 use membw_analytic::pins::{dataset, fit_growth, Processor, Series};
 use serde::{Deserialize, Serialize};
@@ -17,13 +19,32 @@ pub struct Fig1Result {
 }
 
 /// Regenerate Figure 1: the dataset table plus the three trend fits.
-pub fn run() -> (Fig1Result, Table) {
+///
+/// # Errors
+///
+/// Returns [`MembwError::InvariantViolation`] under `--audit strict` if
+/// a fitted growth rate is non-finite or a dataset row is degenerate.
+pub fn run() -> Result<(Fig1Result, Table), MembwError> {
     let data = dataset();
     let result = Fig1Result {
         pin_growth: fit_growth(&data, Series::Pins),
         mips_per_pin_growth: fit_growth(&data, Series::MipsPerPin),
         mips_per_bandwidth_growth: fit_growth(&data, Series::MipsPerBandwidth),
     };
+    let mut audit = Auditor::new("fig1");
+    audit.finite("fits", "pin growth", result.pin_growth);
+    audit.finite("fits", "MIPS/pin growth", result.mips_per_pin_growth);
+    audit.finite(
+        "fits",
+        "MIPS/bandwidth growth",
+        result.mips_per_bandwidth_growth,
+    );
+    for p in &data {
+        audit.positive(p.name, "pins", f64::from(p.pins));
+        audit.positive(p.name, "MIPS", p.mips);
+        audit.positive(p.name, "package MB/s", p.package_mb_s);
+    }
+    audit.finish()?;
     let mut table = Table::new(
         format!(
             "Figure 1: physical trends (fits: pins {:+.1}%/yr, MIPS/pin {:+.1}%/yr, MIPS/(pin MB/s) {:+.1}%/yr)",
@@ -48,7 +69,7 @@ pub fn run() -> (Fig1Result, Table) {
             format!("{:.4}", p.mips_per_bandwidth()),
         ]);
     }
-    (result, table)
+    Ok((result, table))
 }
 
 #[cfg(test)]
@@ -57,7 +78,7 @@ mod tests {
 
     #[test]
     fn trends_match_the_paper_qualitatively() {
-        let (r, t) = run();
+        let (r, t) = run().expect("audit passes");
         assert!((0.10..0.22).contains(&r.pin_growth));
         assert!(r.mips_per_pin_growth > r.pin_growth);
         assert!(r.mips_per_bandwidth_growth > 0.0);

@@ -6,6 +6,8 @@
 //! * (b) for a fixed program, computation stays constant while off-chip
 //!   traffic falls as on-chip memory grows (TMM's `1/√S` law) — gap (2).
 
+use crate::audit::Auditor;
+use crate::error::MembwError;
 use crate::plot::AsciiPlot;
 use crate::report::Table;
 use membw_analytic::growth::Algorithm;
@@ -28,7 +30,12 @@ pub struct Fig2Point {
 }
 
 /// Evaluate both panels over `years` years.
-pub fn run(years: u32) -> (Vec<Fig2Point>, Table, Vec<AsciiPlot>) {
+///
+/// # Errors
+///
+/// Returns [`MembwError::InvariantViolation`] under `--audit strict` if
+/// any point is non-positive or non-finite.
+pub fn run(years: u32) -> Result<(Vec<Fig2Point>, Table, Vec<AsciiPlot>), MembwError> {
     let n = 4096.0; // fixed program size
     let s0 = 16.0 * 1024.0; // base on-chip memory, elements
     let mem_growth: f64 = 1.35; // on-chip memory per year (4x per ~4.6 yrs)
@@ -49,6 +56,16 @@ pub fn run(years: u32) -> (Vec<Fig2Point>, Table, Vec<AsciiPlot>) {
             pressure,
         });
     }
+
+    let mut audit = Auditor::new("fig2");
+    for p in &points {
+        let cell = format!("year {}", p.year);
+        audit.positive(&cell, "processor bandwidth", p.processor_bandwidth);
+        audit.positive(&cell, "off-chip bandwidth", p.offchip_bandwidth);
+        audit.positive(&cell, "normalized traffic", p.traffic);
+        audit.positive(&cell, "net pressure", p.pressure);
+    }
+    audit.finish()?;
 
     let mut table = Table::new(
         "Figure 2: processing vs bandwidth trends (normalized to year 0)",
@@ -103,7 +120,7 @@ pub fn run(years: u32) -> (Vec<Fig2Point>, Table, Vec<AsciiPlot>) {
             .map(|p| (f64::from(p.year), p.traffic))
             .collect(),
     );
-    (points, table, vec![plot_a, plot_b])
+    Ok((points, table, vec![plot_a, plot_b]))
 }
 
 #[cfg(test)]
@@ -115,7 +132,7 @@ mod tests {
         // The §2.4 conclusion: processing-demand growth beats the traffic
         // reduction bought by bigger on-chip memory, so net pressure on
         // the pins rises.
-        let (points, table, plots) = run(10);
+        let (points, table, plots) = run(10).expect("audit passes");
         assert_eq!(points.len(), 11);
         assert_eq!(table.num_rows(), 11);
         assert_eq!(plots.len(), 2);
@@ -128,7 +145,7 @@ mod tests {
 
     #[test]
     fn plots_render() {
-        let (_, _, plots) = run(6);
+        let (_, _, plots) = run(6).expect("audit passes");
         for p in &plots {
             assert!(p.render().lines().count() > 10);
         }

@@ -1,6 +1,7 @@
 //! Figure 3 + Table 6: execution-time decomposition across experiments
 //! A–F for both benchmark suites.
 
+use crate::audit::Auditor;
 use crate::error::{collect_jobs, MembwError};
 use crate::report::{count_uops, Table};
 use membw_runner::Runner;
@@ -82,7 +83,9 @@ impl Fig3Result {
 ///
 /// Returns [`MembwError::Jobs`] if any matrix cell ultimately failed
 /// (after the configured retry budget); healthy cells stay archived in
-/// the checkpoint for a `--resume` rerun.
+/// the checkpoint for a `--resume` rerun. Returns
+/// [`MembwError::InvariantViolation`] under `--audit strict` if any
+/// cell breaks the Eq. 1–4 identities.
 pub fn run_suite(
     suite: Suite,
     scale: Scale,
@@ -170,6 +173,14 @@ pub fn run_suite(
         (x.benchmark.as_str(), x.experiment.as_str())
             .cmp(&(y.benchmark.as_str(), y.experiment.as_str()))
     });
+
+    let mut audit = Auditor::new(label);
+    for c in &cells {
+        let cell = format!("{}/{}", c.benchmark, c.experiment);
+        audit.decomposition(&cell, &c.decomposition);
+        audit.positive(&cell, "normalized time", c.normalized_time);
+    }
+    audit.finish()?;
     Ok(Fig3Result { cells })
 }
 

@@ -2,6 +2,7 @@
 //! Compress, Eqntott, and Swm — 4-way set-associative caches with block
 //! sizes 4 B – 128 B, plus the write-allocate and write-validate MTCs.
 
+use crate::audit::Auditor;
 use crate::error::{collect_jobs, MembwError};
 use crate::report::{size_label, Table};
 use membw_cache::{Associativity, Cache, CacheConfig};
@@ -133,12 +134,25 @@ pub fn run(scale: Scale) -> Result<(Vec<Fig4Panel>, Vec<Table>), MembwError> {
         format!("{}/{}", panel_names[k / n_c], curve_specs[k % n_c].label())
     })?;
 
+    let mut audit = Auditor::new("fig4");
     let mut panels = Vec::new();
     let mut tables = Vec::new();
     for (pi, name) in panel_names.iter().enumerate() {
         let curves: Vec<Curve> = all_curves
             [pi * curve_specs.len()..(pi + 1) * curve_specs.len()]
             .to_vec();
+
+        // §5: at every shared capacity, the write-validate MTC moves no
+        // more bytes than any real cache curve.
+        if let Some(wv) = curves.iter().find(|c| c.label == "MTC write-validate") {
+            for c in curves.iter().filter(|c| c.label.ends_with("blocks")) {
+                for &(s, t) in &c.points {
+                    if let Some(&(_, m)) = wv.points.iter().find(|(cap, _)| *cap == s) {
+                        audit.mtc_bound(&format!("{name}/{} @ {}", c.label, size_label(s)), m, t);
+                    }
+                }
+            }
+        }
 
         let mut table = Table::new(
             format!("Figure 4 ({name}): traffic in KB vs cache/MTC size"),
@@ -167,6 +181,7 @@ pub fn run(scale: Scale) -> Result<(Vec<Fig4Panel>, Vec<Table>), MembwError> {
             curves,
         });
     }
+    audit.finish()?;
     Ok((panels, tables))
 }
 

@@ -8,6 +8,8 @@
 //! of the same kernel (distinct address spaces) through one cache and
 //! watch the traffic *per context* grow.
 
+use crate::audit::Auditor;
+use crate::error::MembwError;
 use crate::report::Table;
 use membw_cache::{Cache, CacheConfig};
 use membw_trace::{Interleave, Workload};
@@ -58,7 +60,15 @@ fn measure<W: Workload>(threads: Vec<W>, chunk: usize, cache_bytes: u64) -> (f64
 /// Run the interference experiment: each kernel at 1, 2, and 4 contexts
 /// through a shared cache of `cache_bytes`, switching every
 /// `switch_every` uops.
-pub fn run(cache_bytes: u64, switch_every: usize) -> (InterferenceResult, Table) {
+///
+/// # Errors
+///
+/// Returns [`MembwError::InvariantViolation`] under `--audit strict` if
+/// any cell's ratios are out of range.
+pub fn run(
+    cache_bytes: u64,
+    switch_every: usize,
+) -> Result<(InterferenceResult, Table), MembwError> {
     let mut cells = Vec::new();
     // Kernels whose single-context working set fits the shared cache, so
     // interference (not capacity alone) is what multi-context runs add.
@@ -90,6 +100,14 @@ pub fn run(cache_bytes: u64, switch_every: usize) -> (InterferenceResult, Table)
             });
         }
     }
+
+    let mut audit = Auditor::new("interference");
+    for c in &cells {
+        let cell = format!("{}/{} ctx", c.workload, c.contexts);
+        audit.traffic_ratio(&cell, c.traffic_ratio);
+        audit.unit_fraction(&cell, "miss ratio", c.miss_ratio);
+    }
+    audit.finish()?;
 
     let mut table = Table::new(
         format!(
@@ -123,14 +141,14 @@ pub fn run(cache_bytes: u64, switch_every: usize) -> (InterferenceResult, Table)
             format!("{:.3}", get(4).miss_ratio),
         ]);
     }
-    (
+    Ok((
         InterferenceResult {
             cells,
             cache_bytes,
             switch_every,
         },
         table,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -139,7 +157,7 @@ mod tests {
 
     #[test]
     fn more_contexts_mean_more_traffic_per_reference() {
-        let (res, table) = run(16 * 1024, 200);
+        let (res, table) = run(16 * 1024, 200).expect("audit passes");
         assert_eq!(table.num_rows(), 3);
         for name in ["espresso", "li", "vortex"] {
             let get = |ctx: usize| {
@@ -163,7 +181,7 @@ mod tests {
 
     #[test]
     fn two_contexts_sit_between_one_and_four() {
-        let (res, _) = run(16 * 1024, 200);
+        let (res, _) = run(16 * 1024, 200).expect("audit passes");
         let li = |ctx: usize| {
             res.cells
                 .iter()

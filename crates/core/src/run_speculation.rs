@@ -6,6 +6,8 @@
 //! the squash rate on experiment F and report traffic and the bandwidth
 //! -stall share.
 
+use crate::audit::Auditor;
+use crate::error::MembwError;
 use crate::report::Table;
 use membw_sim::{decompose, Experiment, MachineSpec};
 use membw_trace::squash::Squashing;
@@ -29,14 +31,21 @@ pub struct SpeculationCell {
 pub const RATES: [u32; 4] = [0, 32, 64, 128];
 
 /// Run the squash-rate sweep on experiment F with a streaming kernel.
-pub fn run() -> (Vec<SpeculationCell>, Table) {
+///
+/// # Errors
+///
+/// Returns [`MembwError::InvariantViolation`] under `--audit strict` if
+/// any decomposition breaks the §3 identities.
+pub fn run() -> Result<(Vec<SpeculationCell>, Table), MembwError> {
     let spec = MachineSpec::spec92(Experiment::F);
     // Big enough that wrong-path loads miss beyond the L1.
     let base = Tomcatv::new(96, 2);
     let mut cells = Vec::new();
+    let mut audit = Auditor::new("speculation");
     for rate in RATES {
         let w = Squashing::new(base.clone(), 256, rate, 11);
         let d = decompose(&w, &spec);
+        audit.decomposition(&format!("squash {rate}/256"), &d);
         cells.push(SpeculationCell {
             squash_per_256: rate,
             memory_traffic: d.full_mem.memory_traffic,
@@ -44,6 +53,7 @@ pub fn run() -> (Vec<SpeculationCell>, Table) {
             f_b: d.f_b,
         });
     }
+    audit.finish()?;
     let mut table = Table::new(
         "Coarse-grained speculation: squash rate vs traffic (experiment F, tomcatv kernel)",
         ["Squash %", "Memory traffic KB", "Cycles", "f_B"]
@@ -58,7 +68,7 @@ pub fn run() -> (Vec<SpeculationCell>, Table) {
             format!("{:.2}", c.f_b),
         ]);
     }
-    (cells, table)
+    Ok((cells, table))
 }
 
 #[cfg(test)]
@@ -67,7 +77,7 @@ mod tests {
 
     #[test]
     fn squashing_increases_traffic_monotonically() {
-        let (cells, table) = run();
+        let (cells, table) = run().expect("audit passes");
         assert_eq!(table.num_rows(), RATES.len());
         for pair in cells.windows(2) {
             assert!(

@@ -11,6 +11,8 @@
 //!   worsen performance if memory bandwidth … is the primary bottleneck"
 //!   (and the inaccurate variant moves strictly more bytes).
 
+use crate::audit::Auditor;
+use crate::error::MembwError;
 use crate::report::Table;
 use membw_sim::{decompose, Experiment, MachineSpec};
 use membw_trace::swprefetch::SoftwarePrefetch;
@@ -35,9 +37,16 @@ pub struct SwPrefetchCell {
     pub memory_traffic: u64,
 }
 
-fn measure(kernel: &str, w: &dyn Workload, config: &str, cells: &mut Vec<SwPrefetchCell>) {
+fn measure(
+    kernel: &str,
+    w: &dyn Workload,
+    config: &str,
+    cells: &mut Vec<SwPrefetchCell>,
+    audit: &mut Auditor,
+) {
     let spec = MachineSpec::spec92(Experiment::C);
     let d = decompose(w, &spec);
+    audit.decomposition(&format!("{kernel}/{config}"), &d);
     cells.push(SwPrefetchCell {
         kernel: kernel.into(),
         config: config.into(),
@@ -50,38 +59,49 @@ fn measure(kernel: &str, w: &dyn Workload, config: &str, cells: &mut Vec<SwPrefe
 
 /// Run none / accurate / inaccurate software prefetching on experiment C
 /// for a latency-bound and a bandwidth-bound kernel.
-pub fn run() -> (Vec<SwPrefetchCell>, Table) {
+///
+/// # Errors
+///
+/// Returns [`MembwError::InvariantViolation`] under `--audit strict` if
+/// any decomposition breaks the §3 identities.
+pub fn run() -> Result<(Vec<SwPrefetchCell>, Table), MembwError> {
     let mut cells = Vec::new();
+    let mut audit = Auditor::new("swprefetch");
     // Dependent pointer walks over a 256 KiB heap: L2-latency-bound.
     let li = Li::new(32 * 1024, 900, 7);
-    measure("li", &li, "none", &mut cells);
+    measure("li", &li, "none", &mut cells, &mut audit);
     measure(
         "li",
         &SoftwarePrefetch::new(li.clone(), 64),
         "accurate d=64",
         &mut cells,
+        &mut audit,
     );
     measure(
         "li",
         &SoftwarePrefetch::with_inaccuracy(li.clone(), 64, 64, 5),
         "25% wrong d=64",
         &mut cells,
+        &mut audit,
     );
     // Streaming stencil: the memory bus is already saturated.
     let swm = Swm::new(96, 96, 2);
-    measure("swm", &swm, "none", &mut cells);
+    measure("swm", &swm, "none", &mut cells, &mut audit);
     measure(
         "swm",
         &SoftwarePrefetch::new(swm.clone(), 64),
         "accurate d=64",
         &mut cells,
+        &mut audit,
     );
     measure(
         "swm",
         &SoftwarePrefetch::with_inaccuracy(swm.clone(), 64, 64, 5),
         "25% wrong d=64",
         &mut cells,
+        &mut audit,
     );
+    audit.finish()?;
 
     let mut table = Table::new(
         "Software prefetching on experiment C: latency-bound vs bandwidth-bound",
@@ -99,7 +119,7 @@ pub fn run() -> (Vec<SwPrefetchCell>, Table) {
             (c.memory_traffic / 1024).to_string(),
         ]);
     }
-    (cells, table)
+    Ok((cells, table))
 }
 
 #[cfg(test)]
@@ -108,7 +128,7 @@ mod tests {
 
     #[test]
     fn prefetching_helps_latency_bound_but_not_bandwidth_bound_code() {
-        let (cells, table) = run();
+        let (cells, table) = run().expect("audit passes");
         assert_eq!(table.num_rows(), 6);
         let get = |k: &str, c: &str| {
             cells

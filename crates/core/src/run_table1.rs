@@ -1,11 +1,23 @@
 //! Table 1: estimated effects on the execution-time divisions.
 
+use crate::audit::Auditor;
+use crate::error::MembwError;
 use crate::report::Table;
 use membw_analytic::qualitative::{table1, Table1Row, Table1Section};
 
 /// Regenerate Table 1.
-pub fn run() -> (Vec<Table1Row>, Table) {
+///
+/// # Errors
+///
+/// Returns [`MembwError::InvariantViolation`] under `--audit strict` if
+/// the compiled-in table is incomplete.
+pub fn run() -> Result<(Vec<Table1Row>, Table), MembwError> {
     let rows = table1();
+    let mut audit = Auditor::new("table1");
+    audit.check("inventory", "positive", rows.len() == 13, || {
+        format!("Table 1 must carry 13 rows, found {}", rows.len())
+    });
+    audit.finish()?;
     let mut table = Table::new(
         "Table 1: estimated effects on execution divisions",
         ["Technique / trend", "Section", "f_P", "f_L", "f_B"]
@@ -26,14 +38,14 @@ pub fn run() -> (Vec<Table1Row>, Table) {
             r.f_b.glyph().to_string(),
         ]);
     }
-    (rows, table)
+    Ok((rows, table))
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn renders_all_13_rows() {
-        let (rows, table) = super::run();
+        let (rows, table) = super::run().expect("audit passes");
         assert_eq!(rows.len(), 13);
         assert_eq!(table.num_rows(), 13);
         assert!(table.render().contains("Lockup-free caches"));

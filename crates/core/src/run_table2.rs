@@ -6,6 +6,8 @@
 //! and `4S` and compare the measured `C/D` gain to the analytic
 //! prediction (`√4 = 2` for TMM/Stencil, `log₂`-law for FFT/Sort).
 
+use crate::audit::Auditor;
+use crate::error::MembwError;
 use crate::report::Table;
 use membw_analytic::growth::Algorithm;
 use membw_mtc::{MinCache, MinConfig, MinWritePolicy};
@@ -35,10 +37,15 @@ fn mtc_traffic(w: &dyn Workload, capacity_bytes: u64) -> u64 {
 /// Regenerate Table 2: analytic columns plus the empirical check at
 /// on-chip size `s_bytes → 4·s_bytes`.
 ///
+/// # Errors
+///
+/// Returns [`MembwError::InvariantViolation`] under `--audit strict` if
+/// any gain column is non-positive or non-finite.
+///
 /// # Panics
 ///
 /// Panics if `s_bytes` is not a power of two (MTC requirement).
-pub fn run(s_bytes: u64) -> (Vec<Table2Row>, Table) {
+pub fn run(s_bytes: u64) -> Result<(Vec<Table2Row>, Table), MembwError> {
     let s_elems = (s_bytes / 4) as f64;
     // Problem sizes chosen so footprints comfortably exceed 4·S.
     let tmm_n = 48u64;
@@ -105,6 +112,13 @@ pub fn run(s_bytes: u64) -> (Vec<Table2Row>, Table) {
         },
     ];
 
+    let mut audit = Auditor::new("table2");
+    for r in &rows {
+        audit.positive(&r.name, "predicted C/D gain", r.predicted_gain);
+        audit.positive(&r.name, "measured C/D gain", r.measured_gain);
+    }
+    audit.finish()?;
+
     let mut table = Table::new(
         format!(
             "Table 2: application growth rates (C/D gain for S = {} -> {} bytes, k = 4)",
@@ -123,7 +137,7 @@ pub fn run(s_bytes: u64) -> (Vec<Table2Row>, Table) {
             format!("{:.2}", r.measured_gain),
         ]);
     }
-    (rows, table)
+    Ok((rows, table))
 }
 
 #[cfg(test)]
@@ -132,7 +146,7 @@ mod tests {
 
     #[test]
     fn measured_gains_track_the_analytic_laws() {
-        let (rows, _) = run(1024);
+        let (rows, _) = run(1024).expect("audit passes");
         let tmm = &rows[0];
         // √4 = 2: the measured tiled-MM gain should land near 2 (the
         // compulsory N² term and tile rounding blur it).

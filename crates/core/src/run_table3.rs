@@ -1,6 +1,8 @@
 //! Table 3: benchmark trace lengths and inputs — the paper's inventory
 //! next to this reproduction's scaled instances.
 
+use crate::audit::Auditor;
+use crate::error::MembwError;
 use crate::report::Table;
 use membw_trace::sink::CountSink;
 use membw_trace::Workload;
@@ -28,7 +30,12 @@ pub struct Table3Row {
 }
 
 /// Regenerate Table 3 at `scale`.
-pub fn run(scale: Scale) -> (Vec<Table3Row>, Table) {
+///
+/// # Errors
+///
+/// Returns [`MembwError::InvariantViolation`] under `--audit strict` if
+/// any benchmark traced nothing or declares an empty footprint.
+pub fn run(scale: Scale) -> Result<(Vec<Table3Row>, Table), MembwError> {
     let mut rows = Vec::new();
     for b in suite92(scale).iter().chain(suite95(scale).iter()) {
         let mut c = CountSink::new();
@@ -45,6 +52,14 @@ pub fn run(scale: Scale) -> (Vec<Table3Row>, Table) {
             our_footprint_mb: b.footprint_bytes as f64 / (1024.0 * 1024.0),
         });
     }
+
+    let mut audit = Auditor::new("table3");
+    for r in &rows {
+        audit.positive(&r.name, "traced references", r.our_refs_millions);
+        audit.positive(&r.name, "declared footprint", r.our_footprint_mb);
+    }
+    audit.finish()?;
+
     let mut table = Table::new(
         format!("Table 3: benchmark inventory ({scale:?} scale; paper vs. this reproduction)"),
         [
@@ -68,7 +83,7 @@ pub fn run(scale: Scale) -> (Vec<Table3Row>, Table) {
             format!("{:.2}", r.our_footprint_mb),
         ]);
     }
-    (rows, table)
+    Ok((rows, table))
 }
 
 #[cfg(test)]
@@ -77,7 +92,7 @@ mod tests {
 
     #[test]
     fn lists_all_fourteen_benchmarks() {
-        let (rows, table) = run(Scale::Test);
+        let (rows, table) = run(Scale::Test).expect("audit passes");
         assert_eq!(rows.len(), 14);
         assert_eq!(table.num_rows(), 14);
         for r in &rows {

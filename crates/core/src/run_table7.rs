@@ -2,6 +2,7 @@
 //! 1 KB – 2 MB, over the SPEC92 workloads — plus the Eq. 5 effective
 //! pin bandwidth they imply.
 
+use crate::audit::Auditor;
 use crate::error::{collect_jobs, MembwError};
 use crate::report::{size_label, Table};
 use membw_analytic::effective_pin_bandwidth;
@@ -96,6 +97,15 @@ pub fn run(scale: Scale) -> Result<(Table7Result, Table), MembwError> {
     });
     let rows: Vec<Table7Row> = collect_jobs("table7", rows, |i| suite[i].name().to_string())?;
 
+    let mut audit = Auditor::new("table7");
+    for r in &rows {
+        for (size, ratio) in &r.ratios {
+            if let Some(ratio) = ratio {
+                audit.traffic_ratio(&format!("{} @ {}", r.name, size_label(*size)), *ratio);
+            }
+        }
+    }
+
     let reasonable: Vec<f64> = rows
         .iter()
         .flat_map(|r| {
@@ -119,6 +129,12 @@ pub fn run(scale: Scale) -> Result<(Table7Result, Table), MembwError> {
             800.0
         },
     };
+    audit.positive(
+        "summary",
+        "effective pin bandwidth (Eq. 5)",
+        result.effective_pin_bandwidth_mb_s,
+    );
+    audit.finish()?;
 
     let mut headers = vec!["Trace".to_string()];
     headers.extend(SIZES.iter().map(|&s| size_label(s)));

@@ -2,6 +2,7 @@
 //! direct-mapped caches against same-size MTCs — plus the Eq. 7 upper
 //! bound on effective pin bandwidth.
 
+use crate::audit::Auditor;
 use crate::error::{collect_jobs, MembwError};
 use crate::report::{size_label, Table};
 use crate::run_table7::SIZES;
@@ -83,6 +84,16 @@ pub fn run(scale: Scale) -> Result<(Table8Result, Table), MembwError> {
         }
     });
     let rows: Vec<Table8Row> = collect_jobs("table8", rows, |i| suite[i].name().to_string())?;
+
+    let mut audit = Auditor::new("table8");
+    for r in &rows {
+        for (size, g) in &r.inefficiencies {
+            if let Some(g) = g {
+                audit.inefficiency(&format!("{} @ {}", r.name, size_label(*size)), *g);
+            }
+        }
+    }
+
     let mut all_g: Vec<f64> = rows
         .iter()
         .flat_map(|r| r.inefficiencies.iter().filter_map(|(_, g)| *g))
@@ -99,6 +110,8 @@ pub fn run(scale: Scale) -> Result<(Table8Result, Table), MembwError> {
         max_g,
         oe_pin_at_median_g: upper_bound_epin(800.0, &[0.5], &[median_g]),
     };
+    audit.positive("summary", "OE_pin bound (Eq. 7)", result.oe_pin_at_median_g);
+    audit.finish()?;
 
     let mut headers = vec!["Trace".to_string()];
     headers.extend(SIZES.iter().map(|&s| size_label(s)));

@@ -1,6 +1,7 @@
 //! Tables 9–10: isolating the factors behind the traffic-inefficiency
 //! gap (associativity, replacement, block size ×2, write-validate).
 
+use crate::audit::Auditor;
 use crate::error::{collect_jobs, MembwError};
 use crate::report::Table;
 use membw_mtc::factors::{factor_gap, FactorGap, TABLE10_FACTORS};
@@ -58,6 +59,15 @@ pub fn run(scale: Scale) -> Result<(Table9Result, Vec<Table>), MembwError> {
     .into_iter()
     .flatten()
     .collect();
+
+    let mut audit = Auditor::new("table9");
+    for g in &gaps {
+        let cell = format!("{}/{}", g.workload, g.factor);
+        // Both endpoints of a factor gap are Eq. 6 inefficiencies.
+        audit.inefficiency(&cell, g.g_exp1);
+        audit.inefficiency(&cell, g.g_exp2);
+    }
+    audit.finish()?;
 
     // Table 9: rows = factors, columns = benchmarks.
     let mut headers = vec!["Factor".to_string()];

@@ -16,15 +16,35 @@
 //! within a directory (hash collision or layout change) wipes the
 //! directory rather than trusting it.
 //!
-//! Writes go through a temp file + rename so a job killed mid-write
-//! leaves no torn `<index>.json` behind; a torn or corrupt file is
-//! treated as "not checkpointed" and recomputed. Because every job is a
-//! pure function of its index and the serialization round trip is
-//! lossless (bit-exact floats), a resumed run's merged output is
-//! byte-identical to an uninterrupted one at any thread count.
+//! # Integrity
+//!
+//! Every `<index>.json` carries a content checksum header:
+//!
+//! ```text
+//! #membw-ckpt fnv64=0123456789abcdef
+//! { ...the archived JSON body... }
+//! ```
+//!
+//! On load the body is re-hashed; a mismatch (bit rot, a torn write
+//! that survived rename, manual editing) **quarantines** the artifact —
+//! it is renamed to `<index>.json.corrupt`, a structured warning names
+//! it on stderr, and the job is recomputed. Corrupt checkpoints are
+//! therefore never served, and never crash a campaign.
+//!
+//! Writes go through a temp file that is fsynced and then renamed, so a
+//! job killed mid-write (or a full disk) leaves no torn `<index>.json`
+//! behind; a failed write degrades to "no checkpoint" with a warning
+//! naming the operation, path, and OS error (`ENOSPC` included).
+//! Orphaned `*.tmp` files from a killed run are swept when the batch
+//! directory is reopened. Because every job is a pure function of its
+//! index and the serialization round trip is lossless (bit-exact
+//! floats), a resumed run's merged output is byte-identical to an
+//! uninterrupted one at any thread count.
 
 use serde::{Deserialize, Serialize};
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Where checkpoints live and whether existing ones may be replayed.
@@ -38,15 +58,46 @@ pub struct CheckpointConfig {
     pub resume: bool,
 }
 
+/// Checkpoint artifacts quarantined (renamed to `*.corrupt`) by this
+/// process because their checksum or structure did not verify.
+static QUARANTINED: AtomicU64 = AtomicU64::new(0);
+
+/// How many corrupt checkpoint artifacts this process has quarantined.
+pub fn quarantined_artifacts() -> u64 {
+    QUARANTINED.load(Ordering::Relaxed)
+}
+
 /// 64-bit FNV-1a — stable across runs and platforms (unlike
 /// `DefaultHasher`, which makes no cross-version promise).
-fn fnv64(s: &str) -> u64 {
+pub(crate) fn fnv64(s: &str) -> u64 {
+    fnv64_bytes(s.as_bytes())
+}
+
+/// FNV-1a over raw bytes (the content checksum of archived results).
+pub(crate) fn fnv64_bytes(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.as_bytes() {
+    for b in bytes {
         h ^= u64::from(*b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// The checksum header prefix of an archived job result.
+const CKPT_HEADER: &str = "#membw-ckpt fnv64=";
+
+/// Prefix `body` with its content checksum header.
+fn seal(body: &str) -> String {
+    format!("{CKPT_HEADER}{:016x}\n{body}", fnv64_bytes(body.as_bytes()))
+}
+
+/// Split a sealed artifact into its verified body, or `None` if the
+/// header is missing/malformed or the checksum does not match.
+fn unseal(text: &str) -> Option<&str> {
+    let rest = text.strip_prefix(CKPT_HEADER)?;
+    let (hex, body) = rest.split_once('\n')?;
+    let stored = u64::from_str_radix(hex, 16).ok()?;
+    (stored == fnv64_bytes(body.as_bytes())).then_some(body)
 }
 
 /// Keep only filesystem-safe characters from a batch label.
@@ -74,7 +125,8 @@ pub(crate) struct Store {
 
 impl Store {
     /// Open (creating or validating) the checkpoint directory for a
-    /// batch. Returns `None` — checkpointing disabled, jobs just run —
+    /// batch, sweeping any orphaned `*.tmp` files a killed run left
+    /// behind. Returns `None` — checkpointing disabled, jobs just run —
     /// if the directory cannot be prepared; the campaign must not fail
     /// because its checkpoint store is unavailable.
     pub(crate) fn open(
@@ -100,6 +152,7 @@ impl Store {
             }
             Err(_) => write_meta(&dir, &meta_path, &meta)?,
         }
+        sweep_orphaned_tmp(&dir);
         Some(Store {
             dir,
             resume: cfg.resume,
@@ -108,31 +161,105 @@ impl Store {
     }
 
     /// Load job `i`'s archived result, if resuming and present.
+    ///
+    /// An artifact whose checksum header is missing, malformed, or
+    /// wrong — or whose verified body still fails to deserialize — is
+    /// quarantined (renamed to `<i>.json.corrupt`, with a stderr
+    /// warning) and reported as "not checkpointed", so the job is
+    /// recomputed rather than served corrupt data.
     pub(crate) fn load<T: Deserialize>(&self, i: usize) -> Option<T> {
         if !self.resume {
             return None;
         }
-        let text = std::fs::read_to_string(self.dir.join(format!("{i}.json"))).ok()?;
-        serde_json::from_str(&text).ok()
+        let path = self.dir.join(format!("{i}.json"));
+        let text = std::fs::read_to_string(&path).ok()?;
+        let parsed = unseal(&text).and_then(|body| serde_json::from_str(body).ok());
+        if parsed.is_none() {
+            self.quarantine(&path);
+        }
+        parsed
     }
 
-    /// Persist job `i`'s result. Failure to write degrades to "no
-    /// checkpoint" with a single stderr warning — it never fails the
-    /// job.
+    /// Rename a failed-verification artifact to `<path>.corrupt` so it
+    /// is preserved for inspection but never consulted again.
+    fn quarantine(&self, path: &Path) {
+        let mut corrupt = path.as_os_str().to_owned();
+        corrupt.push(".corrupt");
+        let corrupt = PathBuf::from(corrupt);
+        QUARANTINED.fetch_add(1, Ordering::Relaxed);
+        match std::fs::rename(path, &corrupt) {
+            Ok(()) => eprintln!(
+                "warning: checkpoint {} failed verification; quarantined to {} and recomputing",
+                path.display(),
+                corrupt.display()
+            ),
+            Err(e) => {
+                // Last resort: make sure the bad artifact cannot be
+                // replayed on the next resume either.
+                let _ = std::fs::remove_file(path);
+                eprintln!(
+                    "warning: checkpoint {} failed verification and could not be quarantined \
+                     ({e}); removed and recomputing",
+                    path.display()
+                );
+            }
+        }
+    }
+
+    /// Persist job `i`'s result with a content checksum, via an fsynced
+    /// temp file + rename. Failure to write (`ENOSPC`, permissions, a
+    /// short write) degrades to "no checkpoint" with a single stderr
+    /// warning naming the operation, path, and OS error — it never
+    /// fails the job.
     pub(crate) fn save<T: Serialize>(&self, i: usize, value: &T) {
         let body = serde_json::to_string_pretty(value).expect("job result serializes");
+        let sealed = seal(&body);
         let tmp = self.dir.join(format!("{i}.json.tmp"));
         let fin = self.dir.join(format!("{i}.json"));
-        let result = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, &fin));
-        if let Err(e) = result {
+        if let Err((context, path, e)) = write_durable(&tmp, &fin, sealed.as_bytes()) {
+            let _ = std::fs::remove_file(&tmp);
             let mut warned = self.write_warned.lock().expect("warn flag");
             if !*warned {
                 *warned = true;
                 eprintln!(
-                    "warning: checkpoint write failed under {} ({e}); resume disabled for this batch",
-                    self.dir.display()
+                    "warning: cannot {context} at {} ({e}); resume disabled for this batch",
+                    path.display()
                 );
             }
+        }
+    }
+}
+
+/// Write `bytes` to `tmp`, fsync, and rename onto `fin`. On failure the
+/// returned triple names the failed operation and path, in the same
+/// shape `MembwError::Io` renders.
+fn write_durable(
+    tmp: &Path,
+    fin: &Path,
+    bytes: &[u8],
+) -> Result<(), (&'static str, PathBuf, std::io::Error)> {
+    let mut f = std::fs::File::create(tmp)
+        .map_err(|e| ("create checkpoint temp file", tmp.to_path_buf(), e))?;
+    f.write_all(bytes)
+        .map_err(|e| ("write checkpoint", tmp.to_path_buf(), e))?;
+    // fsync before rename: otherwise a crash can leave a renamed but
+    // empty/short file, which is exactly the torn artifact the rename
+    // is meant to rule out.
+    f.sync_all()
+        .map_err(|e| ("fsync checkpoint", tmp.to_path_buf(), e))?;
+    drop(f);
+    std::fs::rename(tmp, fin).map_err(|e| ("publish checkpoint", fin.to_path_buf(), e))
+}
+
+/// Remove `*.tmp` leftovers from a run that was killed mid-save.
+fn sweep_orphaned_tmp(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "tmp") {
+            let _ = std::fs::remove_file(&path);
         }
     }
 }
@@ -202,7 +329,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_archive_is_recomputed_not_trusted() {
+    fn corrupt_archive_is_quarantined_not_trusted() {
         let root = tmp("corrupt");
         let cfg = CheckpointConfig {
             root: root.clone(),
@@ -210,8 +337,88 @@ mod tests {
         };
         let store = Store::open(&cfg, "x", "v1/x", 2).expect("open");
         std::fs::write(store.dir.join("0.json"), "{ not json").unwrap();
+        let before = quarantined_artifacts();
         assert_eq!(store.load::<u64>(0), None);
+        assert_eq!(quarantined_artifacts(), before + 1);
+        assert!(
+            store.dir.join("0.json.corrupt").exists(),
+            "bad artifact preserved under quarantine"
+        );
+        assert!(!store.dir.join("0.json").exists());
+        // A second load sees nothing (no double quarantine, no crash).
+        assert_eq!(store.load::<u64>(0), None);
+        assert_eq!(quarantined_artifacts(), before + 1);
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_checksum() {
+        let root = tmp("flip");
+        let cfg = CheckpointConfig {
+            root: root.clone(),
+            resume: true,
+        };
+        let store = Store::open(&cfg, "x", "v1/flip", 1).expect("open");
+        store.save(0, &1234567u64);
+        let path = store.dir.join("0.json");
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a digit inside the JSON body: still valid JSON, wrong
+        // value — only the checksum can catch it.
+        let pos = bytes.len() - 2;
+        bytes[pos] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            store.load::<u64>(0),
+            None,
+            "checksum must reject a silently-altered body"
+        );
+        assert!(store.dir.join("0.json.corrupt").exists());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn headerless_legacy_artifacts_are_quarantined() {
+        let root = tmp("legacy");
+        let cfg = CheckpointConfig {
+            root: root.clone(),
+            resume: true,
+        };
+        let store = Store::open(&cfg, "x", "v1/legacy", 1).expect("open");
+        // A pre-checksum artifact: valid JSON, no header. Unverifiable
+        // bytes are never replayed into results.
+        std::fs::write(store.dir.join("0.json"), "7").unwrap();
+        assert_eq!(store.load::<u64>(0), None);
+        assert!(store.dir.join("0.json.corrupt").exists());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn orphaned_tmp_files_are_swept_on_open() {
+        let root = tmp("orphan");
+        let cfg = CheckpointConfig {
+            root: root.clone(),
+            resume: true,
+        };
+        let store = Store::open(&cfg, "x", "v1/orphan", 2).expect("open");
+        let orphan = store.dir.join("1.json.tmp");
+        std::fs::write(&orphan, "half-written").unwrap();
+        let store = Store::open(&cfg, "x", "v1/orphan", 2).expect("reopen");
+        assert!(!orphan.exists(), "reopen sweeps orphaned tmp files");
+        assert_eq!(store.load::<u64>(1), None);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip_and_reject() {
+        let sealed = seal("{\"x\": 1}");
+        assert!(sealed.starts_with(CKPT_HEADER));
+        assert_eq!(unseal(&sealed), Some("{\"x\": 1}"));
+        // Any body flip is caught.
+        let tampered = sealed.replace('1', "2");
+        assert_eq!(unseal(&tampered), None);
+        // Header damage is caught.
+        assert_eq!(unseal("#membw-ckpt fnv64=zz\nbody"), None);
+        assert_eq!(unseal("no header at all"), None);
     }
 
     #[test]

@@ -64,7 +64,7 @@ mod checkpoint;
 mod failure;
 mod inject;
 
-pub use checkpoint::CheckpointConfig;
+pub use checkpoint::{quarantined_artifacts, CheckpointConfig};
 pub use failure::{JobError, JobFailure};
 
 use serde::{Deserialize, Serialize};

@@ -11,24 +11,49 @@
 //! Little-endian, fixed-width records:
 //!
 //! ```text
-//! magic   8 bytes  "MWTRACE1"
-//! count   8 bytes  u64 number of records
-//! record 11 bytes  kind (1: 0=read, 1=write) | size u16 | addr u64
+//! magic    8 bytes  "MWTRACE2"
+//! count    8 bytes  u64 number of records
+//! record  11 bytes  kind (1: 0=read, 1=write) | size u16 | addr u64
+//! check    8 bytes  u64 FNV-1a over all record bytes
 //! ```
+//!
+//! The trailing checksum catches any corruption the structural checks
+//! can't — a flipped address bit is still a syntactically perfect
+//! record. Version-1 files (magic `"MWTRACE1"`, no checksum) are still
+//! read for compatibility with previously dumped traces; they get the
+//! structural checks only. The two magics differ in two bits, so no
+//! single-bit flip turns a checksummed file into a "legacy" one.
 
 use crate::record::{AccessKind, MemRef};
 use crate::{VecWorkload, Workload};
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-/// File magic for the trace format.
-pub const MAGIC: &[u8; 8] = b"MWTRACE1";
+/// File magic for the current (checksummed) trace format.
+pub const MAGIC: &[u8; 8] = b"MWTRACE2";
+
+/// File magic of the legacy checksum-less format, still readable.
+pub const MAGIC_V1: &[u8; 8] = b"MWTRACE1";
 
 /// Byte offset of the first record (magic + count header).
 pub const RECORDS_START: u64 = 16;
 
 /// Bytes per record (kind + size + addr).
 pub const RECORD_BYTES: u64 = 11;
+
+/// Bytes of the trailing content checksum (current format only).
+pub const CHECKSUM_BYTES: u64 = 8;
+
+/// 64-bit FNV-1a over a byte stream, continued from `h`.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Errors from trace (de)serialization.
 #[derive(Debug)]
@@ -55,6 +80,18 @@ pub enum TraceIoError {
         /// Byte offset of the bad record.
         offset: u64,
     },
+    /// The trailing content checksum did not match the record bytes.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed from the records actually read.
+        computed: u64,
+    },
+    /// A current-format stream ended before its trailing checksum.
+    MissingChecksum {
+        /// Byte offset where the checksum should start.
+        offset: u64,
+    },
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -79,6 +116,15 @@ impl std::fmt::Display for TraceIoError {
             } => write!(
                 f,
                 "invalid access kind byte {kind} in record {record} (byte offset {offset})"
+            ),
+            TraceIoError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "trace checksum mismatch: file says {stored:016x}, records hash to {computed:016x} \
+                 (the trace was altered after it was written)"
+            ),
+            TraceIoError::MissingChecksum { offset } => write!(
+                f,
+                "trace ends without its trailing checksum (expected 8 bytes at offset {offset})"
             ),
         }
     }
@@ -109,6 +155,7 @@ impl From<io::Error> for TraceIoError {
 pub fn write_refs<W: Write>(mut w: W, refs: &[MemRef]) -> Result<(), TraceIoError> {
     w.write_all(MAGIC)?;
     w.write_all(&(refs.len() as u64).to_le_bytes())?;
+    let mut hash = FNV_OFFSET;
     let mut buf = Vec::with_capacity(refs.len().min(1 << 16) * 11);
     for r in refs {
         buf.push(match r.kind {
@@ -118,11 +165,14 @@ pub fn write_refs<W: Write>(mut w: W, refs: &[MemRef]) -> Result<(), TraceIoErro
         buf.extend_from_slice(&r.size.to_le_bytes());
         buf.extend_from_slice(&r.addr.to_le_bytes());
         if buf.len() >= 1 << 20 {
+            hash = fnv1a(hash, &buf);
             w.write_all(&buf)?;
             buf.clear();
         }
     }
+    hash = fnv1a(hash, &buf);
     w.write_all(&buf)?;
+    w.write_all(&hash.to_le_bytes())?;
     Ok(())
 }
 
@@ -137,13 +187,16 @@ pub fn write_refs<W: Write>(mut w: W, refs: &[MemRef]) -> Result<(), TraceIoErro
 pub fn read_refs<R: Read>(mut r: R) -> Result<Vec<MemRef>, TraceIoError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(TraceIoError::BadMagic(magic));
-    }
+    let checksummed = match &magic {
+        m if m == MAGIC => true,
+        m if m == MAGIC_V1 => false,
+        _ => return Err(TraceIoError::BadMagic(magic)),
+    };
     let mut count_bytes = [0u8; 8];
     r.read_exact(&mut count_bytes)?;
     let count = u64::from_le_bytes(count_bytes);
     let mut refs = Vec::with_capacity(count.min(1 << 24) as usize);
+    let mut hash = FNV_OFFSET;
     let mut rec = [0u8; 11];
     for i in 0..count {
         if let Err(e) = r.read_exact(&mut rec) {
@@ -156,6 +209,7 @@ pub fn read_refs<R: Read>(mut r: R) -> Result<Vec<MemRef>, TraceIoError> {
             }
             return Err(e.into());
         }
+        hash = fnv1a(hash, &rec);
         let kind = match rec[0] {
             0 => AccessKind::Read,
             1 => AccessKind::Write,
@@ -170,6 +224,24 @@ pub fn read_refs<R: Read>(mut r: R) -> Result<Vec<MemRef>, TraceIoError> {
         let size = u16::from_le_bytes([rec[1], rec[2]]);
         let addr = u64::from_le_bytes(rec[3..11].try_into().expect("fixed slice"));
         refs.push(MemRef { addr, size, kind });
+    }
+    if checksummed {
+        let mut stored_bytes = [0u8; 8];
+        if let Err(e) = r.read_exact(&mut stored_bytes) {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                return Err(TraceIoError::MissingChecksum {
+                    offset: RECORDS_START + count * RECORD_BYTES,
+                });
+            }
+            return Err(e.into());
+        }
+        let stored = u64::from_le_bytes(stored_bytes);
+        if stored != hash {
+            return Err(TraceIoError::ChecksumMismatch {
+                stored,
+                computed: hash,
+            });
+        }
     }
     Ok(refs)
 }
@@ -219,7 +291,7 @@ mod tests {
     fn round_trip_preserves_everything() {
         let mut buf = Vec::new();
         write_refs(&mut buf, &sample()).unwrap();
-        assert_eq!(buf.len(), 16 + 3 * 11);
+        assert_eq!(buf.len(), 16 + 3 * 11 + 8, "header + records + checksum");
         let back = read_refs(buf.as_slice()).unwrap();
         assert_eq!(back, sample());
     }
@@ -244,7 +316,8 @@ mod tests {
     fn truncation_detected_with_counts() {
         let mut buf = Vec::new();
         write_refs(&mut buf, &sample()).unwrap();
-        buf.truncate(buf.len() - 5);
+        // Cut the trailing checksum plus 5 bytes of the third record.
+        buf.truncate(buf.len() - 8 - 5);
         match read_refs(buf.as_slice()) {
             Err(TraceIoError::Truncated {
                 expected: 3,
@@ -253,6 +326,48 @@ mod tests {
             }) => assert_eq!(offset, 16 + 2 * 11, "third record's start offset"),
             other => panic!("expected truncation, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn missing_checksum_detected() {
+        let mut buf = Vec::new();
+        write_refs(&mut buf, &sample()).unwrap();
+        // Records intact, trailing checksum short: the stream is
+        // unverifiable, not "legacy".
+        buf.truncate(buf.len() - 5);
+        match read_refs(buf.as_slice()) {
+            Err(TraceIoError::MissingChecksum { offset }) => assert_eq!(offset, 16 + 3 * 11),
+            other => panic!("expected missing checksum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_record_bit_fails_the_checksum() {
+        let mut buf = Vec::new();
+        write_refs(&mut buf, &sample()).unwrap();
+        // Flip one address bit: structurally perfect, semantically
+        // wrong — only the checksum can object.
+        buf[16 + 11 + 3] ^= 0x40;
+        match read_refs(buf.as_slice()) {
+            Err(TraceIoError::ChecksumMismatch { stored, computed }) => {
+                assert_ne!(stored, computed)
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_v1_files_still_read() {
+        // A v1 file: old magic, no trailing checksum.
+        let mut buf = Vec::new();
+        write_refs(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 8);
+        buf[..8].copy_from_slice(MAGIC_V1);
+        assert_eq!(read_refs(buf.as_slice()).unwrap(), sample());
+        // The two magics are two bit flips apart ('1' = 0x31, '2' =
+        // 0x32), so one flipped bit cannot downgrade a checksummed file
+        // into an unchecked legacy read.
+        assert_eq!((MAGIC[7] ^ MAGIC_V1[7]).count_ones(), 2);
     }
 
     #[test]

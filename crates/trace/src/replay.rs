@@ -54,6 +54,46 @@ const HAS_SRC1: u32 = 1 << 5;
 const HAS_BRANCH: u32 = 1 << 6;
 const BRANCH_TAKEN: u32 = 1 << 7;
 
+/// Fold `bytes` into a running 64-bit FNV-1a hash.
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for b in bytes {
+        *h ^= u64::from(*b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Content checksum of a trace arena: FNV-1a over the name and every
+/// side array, each prefixed by its length so boundary shifts between
+/// arrays cannot cancel out.
+fn arena_checksum(
+    name: &str,
+    meta: &[u32],
+    mem_addr: &[u64],
+    mem_size: &[u16],
+    branch_pc: &[u64],
+) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a(&mut h, &(name.len() as u64).to_le_bytes());
+    fnv1a(&mut h, name.as_bytes());
+    fnv1a(&mut h, &(meta.len() as u64).to_le_bytes());
+    for v in meta {
+        fnv1a(&mut h, &v.to_le_bytes());
+    }
+    fnv1a(&mut h, &(mem_addr.len() as u64).to_le_bytes());
+    for v in mem_addr {
+        fnv1a(&mut h, &v.to_le_bytes());
+    }
+    fnv1a(&mut h, &(mem_size.len() as u64).to_le_bytes());
+    for v in mem_size {
+        fnv1a(&mut h, &v.to_le_bytes());
+    }
+    fnv1a(&mut h, &(branch_pc.len() as u64).to_le_bytes());
+    for v in branch_pc {
+        fnv1a(&mut h, &v.to_le_bytes());
+    }
+    h
+}
+
 fn class_code(c: OpClass) -> u32 {
     match c {
         OpClass::IntAlu => 0,
@@ -96,6 +136,12 @@ pub struct RecordedTrace {
     mem_size: Vec<u16>,
     /// PC of the i-th branch-info-carrying uop.
     branch_pc: Vec<u64>,
+    /// FNV-1a content checksum sealed at recording time; [`verify`]
+    /// recomputes it to detect in-memory corruption of a cached arena
+    /// before it is replayed into results.
+    ///
+    /// [`verify`]: RecordedTrace::verify
+    checksum: u64,
 }
 
 impl RecordedTrace {
@@ -134,6 +180,57 @@ impl RecordedTrace {
             + self.branch_pc.capacity() * size_of::<u64>()
             + self.name.capacity()
             + size_of::<Self>()) as u64
+    }
+
+    /// The content checksum sealed when recording finished.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Recompute the arena checksum and compare it against the sealed
+    /// one. `false` means the arena was altered after recording and
+    /// must not be replayed.
+    pub fn verify(&self) -> bool {
+        arena_checksum(
+            &self.name,
+            &self.meta,
+            &self.mem_addr,
+            &self.mem_size,
+            &self.branch_pc,
+        ) == self.checksum
+    }
+
+    /// Flip one bit of the arena's payload, leaving the sealed checksum
+    /// untouched — a corruption injector for integrity tests and the
+    /// mutation-fuzz harness. `bit` is reduced modulo the payload size,
+    /// so any `u64` seed indexes a valid bit. No-op on an empty trace.
+    #[doc(hidden)]
+    pub fn corrupt_bit(&mut self, bit: u64) {
+        let meta_bits = self.meta.len() as u64 * 32;
+        let addr_bits = self.mem_addr.len() as u64 * 64;
+        let size_bits = self.mem_size.len() as u64 * 16;
+        let pc_bits = self.branch_pc.len() as u64 * 64;
+        let total = meta_bits + addr_bits + size_bits + pc_bits;
+        if total == 0 {
+            return;
+        }
+        let mut bit = bit % total;
+        if bit < meta_bits {
+            self.meta[(bit / 32) as usize] ^= 1 << (bit % 32);
+            return;
+        }
+        bit -= meta_bits;
+        if bit < addr_bits {
+            self.mem_addr[(bit / 64) as usize] ^= 1 << (bit % 64);
+            return;
+        }
+        bit -= addr_bits;
+        if bit < size_bits {
+            self.mem_size[(bit / 16) as usize] ^= 1 << (bit % 16);
+            return;
+        }
+        bit -= size_bits;
+        self.branch_pc[(bit / 64) as usize] ^= 1 << (bit % 64);
     }
 
     #[inline]
@@ -233,17 +330,25 @@ impl RecordingSink {
                 mem_addr: Vec::new(),
                 mem_size: Vec::new(),
                 branch_pc: Vec::new(),
+                checksum: 0,
             },
         }
     }
 
     /// Finish recording, returning the packed trace with capacity
-    /// trimmed to length.
+    /// trimmed to length and its content checksum sealed.
     pub fn finish(mut self) -> RecordedTrace {
         self.trace.meta.shrink_to_fit();
         self.trace.mem_addr.shrink_to_fit();
         self.trace.mem_size.shrink_to_fit();
         self.trace.branch_pc.shrink_to_fit();
+        self.trace.checksum = arena_checksum(
+            &self.trace.name,
+            &self.trace.meta,
+            &self.trace.mem_addr,
+            &self.trace.mem_size,
+            &self.trace.branch_pc,
+        );
         self.trace
     }
 }
@@ -305,6 +410,9 @@ pub struct TraceCacheStats {
     pub evictions: u64,
     /// Bytes currently accounted to resident recordings.
     pub resident_bytes: u64,
+    /// Cache hits whose arena failed checksum verification and were
+    /// discarded and re-recorded instead of being served.
+    pub verify_failures: u64,
 }
 
 struct CacheEntry {
@@ -411,11 +519,23 @@ impl TraceCache {
         };
 
         let mut guard = slot.lock().expect("trace slot poisoned");
+        let mut verify_failed = false;
         if let Some(trace) = guard.as_ref() {
-            let trace = Arc::clone(trace);
-            drop(guard);
-            self.inner.lock().expect("trace cache poisoned").stats.hits += 1;
-            return Some(trace);
+            if trace.verify() {
+                let trace = Arc::clone(trace);
+                drop(guard);
+                self.inner.lock().expect("trace cache poisoned").stats.hits += 1;
+                return Some(trace);
+            }
+            // The cached arena no longer matches its sealed checksum
+            // (in-memory corruption): never replay it. Drop the bad
+            // recording and fall through to record afresh.
+            verify_failed = true;
+            *guard = None;
+            eprintln!(
+                "warning: cached trace {name}/{variant} failed checksum verification; \
+                 discarded and re-recording"
+            );
         }
 
         // Record while holding only this key's slot lock.
@@ -426,16 +546,51 @@ impl TraceCache {
         let bytes = trace.arena_bytes();
         let mut inner = self.inner.lock().expect("trace cache poisoned");
         inner.stats.misses += 1;
+        if verify_failed {
+            inner.stats.verify_failures += 1;
+        }
         let key = (name.to_string(), variant.to_string());
         if let Some(entry) = inner.map.get_mut(&key) {
             // A racing eviction may have already charged (or dropped)
-            // this entry; only charge bytes not yet accounted.
-            let delta = bytes - entry.bytes;
+            // this entry; only charge bytes not yet accounted. A
+            // re-record after a verify failure may shrink the entry.
+            let old = entry.bytes;
             entry.bytes = bytes;
-            inner.stats.resident_bytes += delta;
+            if bytes >= old {
+                inner.stats.resident_bytes += bytes - old;
+            } else {
+                inner.stats.resident_bytes -= old - bytes;
+            }
         }
         self.evict_to_budget(&mut inner);
         Some(trace)
+    }
+
+    /// Flip one payload bit of the cached arena for `(name, variant)`,
+    /// in place, without touching its sealed checksum. Returns `true`
+    /// if a finished recording was present to corrupt. Corruption
+    /// injector for integrity tests and the mutation-fuzz harness; the
+    /// next lookup must detect the damage and re-record.
+    #[doc(hidden)]
+    pub fn corrupt_cached_trace(&self, name: &str, variant: &str, bit: u64) -> bool {
+        let slot = {
+            let inner = self.inner.lock().expect("trace cache poisoned");
+            let Some(entry) = inner.map.get(&(name.to_string(), variant.to_string())) else {
+                return false;
+            };
+            Arc::clone(&entry.slot)
+        };
+        let mut guard = slot.lock().expect("trace slot poisoned");
+        let Some(trace) = guard.as_mut() else {
+            return false;
+        };
+        if trace.is_empty() {
+            return false;
+        }
+        // Clone-on-write: outstanding handles keep the healthy arena;
+        // the *cached* copy is the one damaged.
+        Arc::make_mut(trace).corrupt_bit(bit);
+        true
     }
 
     /// Drop least-recently-used finished recordings until resident
@@ -457,18 +612,35 @@ impl TraceCache {
     }
 }
 
+/// Parse a [`TRACE_CACHE_MB_ENV`] value into a byte budget.
+///
+/// # Errors
+///
+/// A non-numeric value is an error naming the variable and the bad
+/// value — drivers (`repro`) validate the environment up front with
+/// this and refuse to start, rather than silently running with a
+/// default the user didn't ask for.
+pub fn parse_cache_budget_mb(value: &str) -> Result<u64, String> {
+    value
+        .trim()
+        .parse::<u64>()
+        .map(|mb| mb.saturating_mul(1024 * 1024))
+        .map_err(|_| {
+            format!(
+                "invalid {TRACE_CACHE_MB_ENV}={value:?}: expected a whole number of MiB \
+                 (0 disables the trace cache)"
+            )
+        })
+}
+
 fn budget_from_env() -> u64 {
     match std::env::var(TRACE_CACHE_MB_ENV) {
-        Ok(v) => match v.trim().parse::<u64>() {
-            Ok(mb) => mb.saturating_mul(1024 * 1024),
-            Err(_) => {
-                eprintln!(
-                    "warning: ignoring unparsable {TRACE_CACHE_MB_ENV}={v:?}; \
-                     using the default budget"
-                );
-                DEFAULT_BUDGET_BYTES
-            }
-        },
+        Ok(v) => parse_cache_budget_mb(&v).unwrap_or_else(|e| {
+            // Library-level fallback for embedders that skipped up-front
+            // validation; `repro` rejects the value before this runs.
+            eprintln!("warning: {e}; using the default budget");
+            DEFAULT_BUDGET_BYTES
+        }),
         Err(_) => DEFAULT_BUDGET_BYTES,
     }
 }
@@ -589,6 +761,69 @@ mod tests {
         assert_eq!(cache.stats().misses, misses_before + 1);
         // Evicted handles remain usable.
         assert_eq!(a.collect_mem_refs().len(), 4096);
+    }
+
+    #[test]
+    fn checksum_seals_at_finish_and_catches_any_bit_flip() {
+        let w = UopListWorkload(full_uop_workload());
+        let rec = RecordedTrace::record(&w);
+        assert!(rec.verify(), "freshly recorded arenas verify");
+        // Re-recording the same stream yields the same checksum.
+        assert_eq!(rec.checksum(), RecordedTrace::record(&w).checksum());
+        // Every payload region is covered: probe bits landing in meta,
+        // mem_addr, mem_size and branch_pc.
+        for bit in [0u64, 6 * 32 + 3, 6 * 32 + 2 * 64 + 5, u64::MAX] {
+            let mut bad = rec.clone();
+            bad.corrupt_bit(bit);
+            assert!(!bad.verify(), "bit {bit} flip must fail verification");
+        }
+    }
+
+    #[test]
+    fn cache_detects_corrupt_arena_and_rerecords() {
+        let cache = TraceCache::with_budget(u64::MAX);
+        let w = mixed_workload();
+        let healthy = cache.get_or_record("mixed", "Test", &w).expect("enabled");
+        assert!(
+            cache.corrupt_cached_trace("mixed", "Test", 17),
+            "a finished recording was present to corrupt"
+        );
+        let refetched = cache.get_or_record("mixed", "Test", &w).expect("enabled");
+        assert!(
+            !Arc::ptr_eq(&healthy, &refetched),
+            "corrupt arena must not be served"
+        );
+        assert!(refetched.verify());
+        assert_eq!(refetched.collect_uops(), w.collect_uops());
+        let s = cache.stats();
+        assert_eq!(s.verify_failures, 1);
+        assert_eq!((s.hits, s.misses), (0, 2));
+        assert_eq!(s.resident_bytes, refetched.arena_bytes());
+        // Outstanding handles to the pre-corruption arena stay healthy
+        // (clone-on-write damages only the cached copy).
+        assert!(healthy.verify());
+        // The healed entry now hits normally.
+        let again = cache.get_or_record("mixed", "Test", &w).expect("enabled");
+        assert!(Arc::ptr_eq(&refetched, &again));
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn corrupting_an_absent_entry_is_a_no_op() {
+        let cache = TraceCache::with_budget(u64::MAX);
+        assert!(!cache.corrupt_cached_trace("nope", "t", 0));
+    }
+
+    #[test]
+    fn cache_budget_env_parses_strictly() {
+        assert_eq!(parse_cache_budget_mb("512"), Ok(512 * 1024 * 1024));
+        assert_eq!(parse_cache_budget_mb(" 0 "), Ok(0));
+        let err = parse_cache_budget_mb("lots").unwrap_err();
+        assert!(err.contains(TRACE_CACHE_MB_ENV), "{err}");
+        assert!(err.contains("lots"), "{err}");
+        assert!(parse_cache_budget_mb("-1").is_err());
+        assert!(parse_cache_budget_mb("1.5").is_err());
+        assert!(parse_cache_budget_mb("").is_err());
     }
 
     #[test]

@@ -5,15 +5,16 @@ use membw::sim::{decompose, Experiment, MachineSpec};
 use membw::trace::pattern::{PointerChase, Strided, Zipf};
 use membw::trace::Workload;
 use membw::workloads::{Compress, Espresso, Swm};
+use membw::Auditor;
 
 fn check_invariants(w: &dyn Workload, spec: &MachineSpec) -> membw::sim::Decomposition {
     let d = decompose(w, spec);
-    assert!(
-        (d.f_p + d.f_l + d.f_b - 1.0).abs() < 1e-9,
-        "fractions must sum to 1"
-    );
-    assert!(d.f_p > 0.0 && d.f_l >= 0.0 && d.f_b >= 0.0);
-    assert!(d.t >= d.t_i && d.t_i >= d.t_p, "T >= T_I >= T_P");
+    // The §3 identities are the runtime auditor's checks, run strict so
+    // test-time and run-time invariants cannot drift apart.
+    let mut audit = Auditor::strict("decomposition_invariants");
+    audit.decomposition("test cell", &d);
+    audit.finish().expect("Eq. 1-4 hold");
+    // Beyond the shared checks: IPC cannot exceed the issue width.
     assert!(d.ipc() > 0.0 && d.ipc() <= f64::from(spec.issue_width));
     d
 }

@@ -53,16 +53,17 @@ proptest! {
 
     /// The paper's MTC (bypass + write-validate) generates no more
     /// traffic than the fully-associative LRU cache of the same size —
-    /// the structural reason G >= 1 in Table 8.
+    /// the structural reason G >= 1 in Table 8. Checked through the
+    /// runtime auditor's `mtc-bound` invariant (§5) so the test asserts
+    /// exactly what `repro --audit strict` enforces.
     #[test]
     fn mtc_traffic_lower_bounds_lru(refs in trace_strategy(400, 96), cap_pow in 3u32..7) {
         let cap = 4u64 << cap_pow;
         let mtc = MinCache::simulate(&MinConfig::mtc(cap), &refs);
         let lru = lru_fa(&refs, cap, 4);
-        prop_assert!(
-            mtc.traffic_below() <= lru.traffic_below(),
-            "mtc {} > lru {}", mtc.traffic_below(), lru.traffic_below()
-        );
+        let mut audit = membw::Auditor::strict("mtc_bounds");
+        audit.mtc_bound(&format!("random trace @ {cap}B"), mtc.traffic_below(), lru.traffic_below());
+        prop_assert!(audit.finish().is_ok(), "mtc {} > lru {}", mtc.traffic_below(), lru.traffic_below());
     }
 
     /// Growing the MTC can only shrink its traffic (the monotonicity

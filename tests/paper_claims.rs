@@ -15,7 +15,7 @@ fn fig1_pin_counts_grow_about_16_percent_per_year() {
 
 #[test]
 fn table2_tmm_gains_sqrt_k_and_fft_gains_little() {
-    let (rows, _) = run_table2::run(1024);
+    let (rows, _) = run_table2::run(1024).expect("audit passes");
     let tmm = rows.iter().find(|r| r.name == "TMM").expect("TMM row");
     let fft = rows.iter().find(|r| r.name == "FFT").expect("FFT row");
     assert!(tmm.measured_gain > fft.measured_gain);
