@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! repro [--scale test|small|full] [--jobs N] [--json DIR]
-//!       [--retries N] [--job-timeout SECS] [--resume | --no-resume]
+//!       [--retries N] [--job-timeout SECS] [--deadline SECS]
+//!       [--mem-budget MB] [--resume | --no-resume]
 //!       [--checkpoint-dir DIR] [--audit off|warn|strict] <target>...
 //!
 //! targets: fig1 table1 table2 table3 params fig3 table6 table7 table8
@@ -22,6 +23,17 @@
 //! checkpointed under `--checkpoint-dir` (default
 //! `results/.checkpoint`); rerun with `--resume` to pick up an
 //! interrupted campaign without recomputing finished jobs.
+//!
+//! The campaign is also interruptible: SIGINT/SIGTERM request a drain
+//! (in-flight jobs cancel cooperatively, completed work flushes through
+//! the durable checkpoint path, exit code 130; a second signal
+//! force-exits), `--deadline SECS` bounds the whole invocation's wall
+//! clock the same way (exit code 124), and `--mem-budget MB` (or
+//! `MEMBW_MEM_BUDGET_MB`) keeps the invocation inside a memory budget
+//! by degrading — trace-cache shrink, then record-streaming, then
+//! serialized job admission — instead of OOMing. All three preserve
+//! stdout byte-identity: a cancelled run resumed with `--resume`, or a
+//! budgeted run, prints exactly what an undisturbed run prints.
 
 use membw_bench::{parse_scale, validate_target};
 use membw_core::audit;
@@ -46,6 +58,7 @@ struct Options {
     targets: Vec<String>,
     resume: bool,
     checkpoint_dir: PathBuf,
+    deadline: Option<Duration>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -54,6 +67,8 @@ fn parse_args() -> Result<Options, String> {
     let mut targets = Vec::new();
     let mut resume = false;
     let mut checkpoint_dir = PathBuf::from("results/.checkpoint");
+    let mut deadline = None;
+    let mut mem_budget_mb: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -92,6 +107,22 @@ fn parse_args() -> Result<Options, String> {
                 }
                 runner::set_job_timeout(Some(Duration::from_secs_f64(secs)));
             }
+            "--deadline" => {
+                let v = args.next().ok_or("--deadline needs seconds")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--deadline needs seconds, got '{v}'"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--deadline needs a positive number of seconds".to_string());
+                }
+                deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--mem-budget" => {
+                let v = args.next().ok_or("--mem-budget needs whole MiB")?;
+                let mb = runner::parse_mem_budget_mb(&v)
+                    .map_err(|e| e.replace(runner::MEM_BUDGET_MB_ENV, "--mem-budget"))?;
+                mem_budget_mb = Some(mb);
+            }
             "--audit" => {
                 let v = args.next().ok_or("--audit needs a level (off|warn|strict)")?;
                 let level: audit::AuditLevel = v.parse()?;
@@ -105,15 +136,24 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 println!("usage: repro [--scale test|small|full] [--jobs N] [--json DIR]");
-                println!("             [--retries N] [--job-timeout SECS] [--resume|--no-resume]");
+                println!("             [--retries N] [--job-timeout SECS] [--deadline SECS]");
+                println!("             [--mem-budget MB] [--resume|--no-resume]");
                 println!("             [--checkpoint-dir DIR] [--audit off|warn|strict] <target>...");
                 println!("targets: fig1 table1 table2 table3 params fig3 table6 table7");
                 println!("         table8 fig4 table9 epin extrapolate ablation interference");
                 println!("         dram speculation swprefetch dump all");
                 println!("--jobs N (default: MEMBW_JOBS or all cores) sets run-engine threads;");
                 println!("stdout is byte-identical at every setting.");
-                println!("--retries N retries a failed job N more times (default 0);");
-                println!("--job-timeout SECS marks jobs failed past a deadline (default: none);");
+                println!("--retries N retries a panicked job N more times (default 0;");
+                println!("timed-out and cancelled jobs are never retried);");
+                println!("--job-timeout SECS marks jobs failed past a per-job deadline;");
+                println!("--deadline SECS drains the whole invocation at a wall-clock bound");
+                println!("(finished work stays checkpointed; exit code 124);");
+                println!(
+                    "--mem-budget MB (or {}) bounds memory by degrading",
+                    runner::MEM_BUDGET_MB_ENV
+                );
+                println!("(cache shrink -> record-streaming -> throttled admission; 0 = strictest);");
                 println!("--resume replays completed jobs archived under --checkpoint-dir");
                 println!("(default results/.checkpoint) by a previous, possibly interrupted run.");
                 println!("--audit LEVEL checks the paper's invariants on every target:");
@@ -123,16 +163,34 @@ fn parse_args() -> Result<Options, String> {
                     "{} caps the in-memory trace cache (whole MiB; 0 disables caching).",
                     membw_core::trace::replay::TRACE_CACHE_MB_ENV
                 );
+                println!("SIGINT/SIGTERM request a graceful drain (second signal force-exits).");
+                println!("exit codes: 0 ok, 1 target/job failures, 2 usage error,");
+                println!("            124 deadline exceeded, 130 interrupted.");
                 std::process::exit(0);
             }
             t if !t.starts_with('-') => targets.push(t.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    // Reject a malformed cache budget up front, before any target runs:
-    // the lazy reader would otherwise only warn and fall back.
+    // Reject malformed environment configuration up front, before any
+    // target runs: the lazy readers would otherwise only warn and fall
+    // back (or in the fault-injection case, silently no-op).
     if let Ok(v) = std::env::var(membw_core::trace::replay::TRACE_CACHE_MB_ENV) {
         membw_core::trace::replay::parse_cache_budget_mb(&v)?;
+    }
+    if let Ok(v) = std::env::var(runner::JOBS_ENV) {
+        runner::parse_jobs(&v)?;
+    }
+    runner::validate_fault_env()?;
+    if let Ok(v) = std::env::var(runner::MEM_BUDGET_MB_ENV) {
+        let mb = runner::parse_mem_budget_mb(&v)?;
+        // The flag wins over the environment when both are present.
+        if mem_budget_mb.is_none() {
+            mem_budget_mb = Some(mb);
+        }
+    }
+    if let Some(mb) = mem_budget_mb {
+        runner::set_mem_budget(Some(mb));
     }
     if targets.is_empty() {
         targets.push("all".to_string());
@@ -146,6 +204,7 @@ fn parse_args() -> Result<Options, String> {
         targets,
         resume,
         checkpoint_dir,
+        deadline,
     })
 }
 
@@ -485,6 +544,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // From here on SIGINT/SIGTERM request a drain instead of killing the
+    // process; a second signal force-exits with code 130.
+    runner::install_signal_drain();
+    let cancel = runner::global_cancel_token();
+    if let Some(d) = opts.deadline {
+        cancel.set_deadline(d);
+    }
     runner::set_checkpoint(Some(CheckpointConfig {
         root: opts.checkpoint_dir.clone(),
         resume: opts.resume,
@@ -502,7 +568,14 @@ fn main() {
         .collect();
     let mut timings = Vec::new();
     let mut failed_targets: Vec<String> = Vec::new();
+    let mut skipped_targets: Vec<String> = Vec::new();
     for t in leaves {
+        // Once a drain is requested (signal or deadline) no further
+        // target starts; already-finished targets keep their stdout.
+        if cancel.is_cancelled() {
+            skipped_targets.push(t.to_string());
+            continue;
+        }
         // A failed target never aborts the campaign: report it on
         // stderr (stdout stays byte-identical for healthy targets) and
         // keep going.
@@ -536,6 +609,38 @@ fn main() {
             quarantined,
             trace_failures,
         );
+    }
+    let gov = runner::global_governor();
+    if gov.limited() {
+        let s = gov.stats();
+        eprintln!(
+            "governor[{} MiB]: finished at level {}; {} escalation event(s), \
+             {} forced eviction(s), {} throttled admission(s)",
+            s.budget_bytes.unwrap_or(0) / (1024 * 1024),
+            s.level,
+            s.events,
+            s.forced_evictions,
+            s.throttled_admissions,
+        );
+    }
+    if let Some(reason) = cancel.cancel_reason() {
+        // Partial-run summary: what finished, what the drain cut short,
+        // and how to pick the campaign back up.
+        let cancelled_jobs = runner::metrics().cancelled;
+        eprintln!(
+            "repro: cancelled ({reason}): {} target(s) completed, {} failed or cut short \
+             ({} job(s) cancelled in flight), {} never started; completed jobs are \
+             checkpointed under {} — rerun with --resume to finish",
+            timings.len(),
+            failed_targets.len(),
+            cancelled_jobs,
+            skipped_targets.len(),
+            opts.checkpoint_dir.display()
+        );
+        std::process::exit(match reason {
+            runner::CancelReason::Interrupted => 130,
+            runner::CancelReason::DeadlineExceeded => 124,
+        });
     }
     if !failed_targets.is_empty() {
         eprintln!(

@@ -142,7 +142,13 @@ impl MinCache {
     pub fn simulate(cfg: &MinConfig, refs: &[MemRef]) -> CacheStats {
         let index = NextUseIndex::build(refs, cfg.block_size);
         let mut cache = Self::new(*cfg);
+        // Poll the ambient cancel token on the scan so a drain or
+        // deadline stops a long MTC pass within milliseconds.
+        let cancel = membw_runner::ambient_cancel_token();
         for (i, r) in refs.iter().enumerate() {
+            if i.is_multiple_of(8192) {
+                cancel.check();
+            }
             cache.access(*r, index.block(i), index.next_use(i));
         }
         cache.flush()

@@ -1,6 +1,7 @@
 //! Typed per-job failures: what the engine reports instead of letting a
 //! panicking or overrunning job abort the whole campaign.
 
+use crate::cancel::CancelReason;
 use std::any::Any;
 use std::time::Duration;
 
@@ -14,8 +15,19 @@ pub enum JobError {
     /// The engine cannot preempt the runaway computation (std threads
     /// are not killable); it stops waiting, marks the job failed, and
     /// keeps scheduling siblings. The stray attempt finishes on its
-    /// own thread and its late result is discarded.
+    /// own thread and its late result is discarded. Timeouts are not
+    /// retried: an attempt that already consumed the full deadline is
+    /// presumed doomed, so the remaining `--retries` budget is left
+    /// intact for genuinely transient (panic) failures.
     TimedOut(Duration),
+    /// The job was cancelled cooperatively — a SIGINT/SIGTERM drain,
+    /// the `--deadline` wall clock, or an explicit
+    /// [`CancelToken::cancel`](crate::CancelToken::cancel).
+    ///
+    /// Cancelled jobs are never retried (the whole run is stopping)
+    /// and never checkpointed, so a `--resume` run recomputes exactly
+    /// these slots and reproduces the uninterrupted output.
+    Cancelled(CancelReason),
 }
 
 impl std::fmt::Display for JobError {
@@ -25,6 +37,7 @@ impl std::fmt::Display for JobError {
             JobError::TimedOut(d) => {
                 write!(f, "exceeded {:.1}s job deadline", d.as_secs_f64())
             }
+            JobError::Cancelled(reason) => write!(f, "cancelled ({reason})"),
         }
     }
 }
@@ -87,6 +100,11 @@ mod tests {
 
         let t = JobError::TimedOut(Duration::from_millis(1500)).to_string();
         assert!(t.contains("1.5s"), "{t}");
+
+        let c = JobError::Cancelled(CancelReason::Interrupted).to_string();
+        assert_eq!(c, "cancelled (interrupt)");
+        let c = JobError::Cancelled(CancelReason::DeadlineExceeded).to_string();
+        assert_eq!(c, "cancelled (deadline exceeded)");
     }
 
     #[test]

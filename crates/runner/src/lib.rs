@@ -60,12 +60,26 @@
 //! assert_eq!(out[3].as_ref().copied(), Ok(30));
 //! ```
 
+mod cancel;
 mod checkpoint;
 mod failure;
+mod governor;
 mod inject;
 
+pub use cancel::{
+    ambient_cancel_token, global_cancel_token, install_signal_drain, with_cancel_token,
+    CancelReason, CancelToken, CancelUnwind,
+};
 pub use checkpoint::{quarantined_artifacts, CheckpointConfig};
 pub use failure::{JobError, JobFailure};
+pub use governor::{
+    ambient_governor, global_governor, parse_mem_budget_mb, set_mem_budget, with_governor,
+    AdmissionGuard, Governor, GovernorStats, MEM_BUDGET_MB_ENV,
+};
+pub use inject::{
+    validate_env as validate_fault_env, validate_selector_spec, validate_slow_spec,
+    FAULT_CANCEL_ENV, FAULT_INJECT_ENV, FAULT_SLOW_ENV,
+};
 
 use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
@@ -95,6 +109,28 @@ thread_local! {
     /// Thread-local override installed by [`with_checkpoint`].
     static TL_CHECKPOINT: RefCell<Option<Option<CheckpointConfig>>> =
         const { RefCell::new(None) };
+}
+
+/// Environment variable naming the default pool width (same meaning as
+/// `repro --jobs N`).
+pub const JOBS_ENV: &str = "MEMBW_JOBS";
+
+/// Strictly parse a [`JOBS_ENV`] / `--jobs` value: a positive integer
+/// thread count.
+///
+/// # Errors
+///
+/// Anything else is an error naming the variable and the bad value —
+/// drivers (`repro`) validate the environment up front with this and
+/// refuse to start, rather than silently running with a parallelism
+/// the user didn't ask for.
+pub fn parse_jobs(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!(
+            "invalid {JOBS_ENV} value {raw:?}: expected a positive integer thread count"
+        )),
+    }
 }
 
 /// Set the process-wide job count (e.g. from a `--jobs N` flag).
@@ -130,11 +166,12 @@ pub fn configured_jobs() -> usize {
     if global > 0 {
         return global;
     }
-    if let Ok(v) = std::env::var("MEMBW_JOBS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+    if let Ok(v) = std::env::var(JOBS_ENV) {
+        match parse_jobs(&v) {
+            Ok(n) => return n,
+            // Library-level fallback for embedders that skipped up-front
+            // validation; `repro` rejects the value before this runs.
+            Err(e) => eprintln!("warning: {e}; using the detected parallelism"),
         }
     }
     std::thread::available_parallelism()
@@ -248,6 +285,9 @@ pub struct Metrics {
     pub failures: u64,
     /// Jobs satisfied from a checkpoint instead of executing.
     pub resumed: u64,
+    /// Jobs cancelled by an interrupt drain or deadline (not counted
+    /// as failures: their work is simply deferred to a `--resume` run).
+    pub cancelled: u64,
 }
 
 impl Metrics {
@@ -263,6 +303,7 @@ static METRIC_BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
 static METRIC_RETRIES: AtomicU64 = AtomicU64::new(0);
 static METRIC_FAILURES: AtomicU64 = AtomicU64::new(0);
 static METRIC_RESUMED: AtomicU64 = AtomicU64::new(0);
+static METRIC_CANCELLED: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot the process-wide job metrics.
 pub fn metrics() -> Metrics {
@@ -273,6 +314,7 @@ pub fn metrics() -> Metrics {
         retries: METRIC_RETRIES.load(Ordering::Relaxed),
         failures: METRIC_FAILURES.load(Ordering::Relaxed),
         resumed: METRIC_RESUMED.load(Ordering::Relaxed),
+        cancelled: METRIC_CANCELLED.load(Ordering::Relaxed),
     }
 }
 
@@ -286,6 +328,7 @@ pub fn metrics_delta(earlier: Metrics, later: Metrics) -> Metrics {
         retries: later.retries.saturating_sub(earlier.retries),
         failures: later.failures.saturating_sub(earlier.failures),
         resumed: later.resumed.saturating_sub(earlier.resumed),
+        cancelled: later.cancelled.saturating_sub(earlier.cancelled),
     }
 }
 
@@ -467,8 +510,16 @@ impl Runner {
         }
         METRIC_BATCHES.fetch_add(1, Ordering::Relaxed);
         let attempts_allowed = self.retries + 1;
+        // Capture the ambient cancellation/governance context on the
+        // *calling* thread (where `with_cancel_token`/`with_governor`
+        // overrides live) and re-install it inside every worker and
+        // watchdog thread below, so jobs always see the right one.
+        let cancel = ambient_cancel_token();
+        let gov = ambient_governor();
 
         // One attempt, panic-isolated; the caller decides about retries.
+        // A cancellation unwind (the token's private payload) is kept
+        // distinct from a genuine panic.
         let attempt_inline = |i: usize| -> Result<T, JobError> {
             METRIC_JOBS.fetch_add(1, Ordering::Relaxed);
             let t0 = Instant::now();
@@ -477,24 +528,43 @@ impl Runner {
                 f(i)
             }));
             METRIC_BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            out.map_err(|p| JobError::Panicked(failure::panic_message(p.as_ref())))
+            out.map_err(|p| match p.downcast_ref::<CancelUnwind>() {
+                Some(cu) => JobError::Cancelled(cu.0),
+                None => JobError::Panicked(failure::panic_message(p.as_ref())),
+            })
         };
 
-        // Full per-job lifecycle: resume, attempts, checkpoint, retry
-        // accounting. `attempt` abstracts over inline vs watchdog
-        // execution.
+        // Full per-job lifecycle: cancellation, resume, admission,
+        // attempts, checkpoint, retry accounting. `attempt` abstracts
+        // over inline vs watchdog execution.
         let run_job = |i: usize, attempt: &dyn Fn(usize) -> Result<T, JobError>| {
+            // Drain mode: once the run is cancelled, pending jobs fail
+            // fast (attempts = 0 — they never started) so the batch
+            // returns within a poll interval of the request.
+            if let Some(reason) = cancel.cancel_reason() {
+                METRIC_CANCELLED.fetch_add(1, Ordering::Relaxed);
+                return Err(JobFailure {
+                    index: i,
+                    attempts: 0,
+                    error: JobError::Cancelled(reason),
+                });
+            }
             if let Some(c) = ckpt {
                 if let Some(v) = c.load(i) {
                     METRIC_RESUMED.fetch_add(1, Ordering::Relaxed);
                     return Ok(v);
                 }
             }
-            let mut last = None;
-            for attempt_no in 1..=attempts_allowed {
-                if attempt_no > 1 {
+            // Memory-governor gate: under the Throttled level this
+            // serializes job admission (resumed jobs above skip it —
+            // replaying a checkpoint costs no working set).
+            let _slot = gov.admit(&cancel);
+            let mut attempts = 0;
+            loop {
+                if attempts > 0 {
                     METRIC_RETRIES.fetch_add(1, Ordering::Relaxed);
                 }
+                attempts += 1;
                 match attempt(i) {
                     Ok(v) => {
                         if let Some(c) = ckpt {
@@ -502,21 +572,37 @@ impl Runner {
                         }
                         return Ok(v);
                     }
-                    Err(e) => last = Some(e),
+                    Err(e) => {
+                        // Only panics consume the retry budget: a
+                        // timed-out attempt already burned the full
+                        // deadline once (re-running it is presumed
+                        // doomed and would multiply the stall), and a
+                        // cancelled attempt means the whole run is
+                        // stopping. `attempts` reports what actually
+                        // ran, not the theoretical budget.
+                        let retryable = matches!(e, JobError::Panicked(_));
+                        if !retryable || attempts >= attempts_allowed {
+                            if matches!(e, JobError::Cancelled(_)) {
+                                METRIC_CANCELLED.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                METRIC_FAILURES.fetch_add(1, Ordering::Relaxed);
+                            }
+                            return Err(JobFailure {
+                                index: i,
+                                attempts,
+                                error: e,
+                            });
+                        }
+                    }
                 }
             }
-            METRIC_FAILURES.fetch_add(1, Ordering::Relaxed);
-            Err(JobFailure {
-                index: i,
-                attempts: attempts_allowed,
-                error: last.expect("at least one attempt ran"),
-            })
         };
 
         let workers = self.threads.min(n);
         if workers <= 1 && self.timeout.is_none() {
             // Serial baseline: no threads at all (also keeps `--jobs 1`
-            // runnable on targets where spawning is undesirable).
+            // runnable on targets where spawning is undesirable). The
+            // caller's thread already carries the ambient context.
             return (0..n).map(|i| run_job(i, &attempt_inline)).collect();
         }
 
@@ -524,31 +610,46 @@ impl Runner {
         let slots: Vec<Mutex<Option<Result<T, JobFailure>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
-            let worker = || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let result = match self.timeout {
-                    None => run_job(i, &attempt_inline),
-                    Some(deadline) => run_job(i, &|i| {
-                        // Watchdog: run the attempt on its own scoped
-                        // thread and stop waiting at the deadline. A
-                        // timed-out attempt keeps running (std threads
-                        // cannot be killed) but its result is dropped
-                        // with the receiver; the scope joins it before
-                        // the batch returns.
-                        let (tx, rx) = mpsc::channel();
-                        scope.spawn(move || {
-                            let _ = tx.send(attempt_inline(i));
-                        });
-                        match rx.recv_timeout(deadline) {
-                            Ok(r) => r,
-                            Err(_) => Err(JobError::TimedOut(deadline)),
+            let worker = || {
+                // Workers are fresh threads: re-install the captured
+                // ambient context so the jobs' own polls (sim loops,
+                // trace recording) and cache lookups see it.
+                let wc = cancel.clone();
+                let wg = std::sync::Arc::clone(&gov);
+                with_cancel_token(wc, || {
+                    with_governor(wg, || loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
                         }
-                    }),
-                };
-                *slots[i].lock().expect("job slot poisoned") = Some(result);
+                        let result = match self.timeout {
+                            None => run_job(i, &attempt_inline),
+                            Some(deadline) => run_job(i, &|i| {
+                                // Watchdog: run the attempt on its own
+                                // scoped thread and stop waiting at the
+                                // deadline. A timed-out attempt keeps
+                                // running (std threads cannot be killed)
+                                // but its result is dropped with the
+                                // receiver; the scope joins it before
+                                // the batch returns.
+                                let (tx, rx) = mpsc::channel();
+                                let ac = cancel.clone();
+                                let ag = std::sync::Arc::clone(&gov);
+                                scope.spawn(move || {
+                                    let r = with_cancel_token(ac, || {
+                                        with_governor(ag, || attempt_inline(i))
+                                    });
+                                    let _ = tx.send(r);
+                                });
+                                match rx.recv_timeout(deadline) {
+                                    Ok(r) => r,
+                                    Err(_) => Err(JobError::TimedOut(deadline)),
+                                }
+                            }),
+                        };
+                        *slots[i].lock().expect("job slot poisoned") = Some(result);
+                    })
+                })
             };
             for _ in 0..workers {
                 scope.spawn(worker);
@@ -786,6 +887,190 @@ mod tests {
         });
         let err = out[1].as_ref().unwrap_err();
         assert_eq!(err.attempts, 4, "1 + 3 retries");
+    }
+
+    #[test]
+    fn timed_out_jobs_do_not_burn_the_retry_budget() {
+        // Satellite of PR 5: a timeout is not retried — the attempt
+        // already consumed the full deadline once, so re-running it
+        // would multiply the stall while the retry budget stays
+        // reserved for genuinely transient (panic) failures.
+        let calls: Vec<AtomicU32> = (0..4).map(|_| AtomicU32::new(0)).collect();
+        let out = Runner::new(2)
+            .retries(3)
+            .timeout(Some(Duration::from_millis(50)))
+            .try_run("doomed-slow", 4, |i| {
+                calls[i].fetch_add(1, Ordering::SeqCst);
+                if i == 1 {
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                i
+            });
+        let err = out[1].as_ref().unwrap_err();
+        assert!(matches!(err.error, JobError::TimedOut(_)), "{err}");
+        assert_eq!(err.attempts, 1, "one attempt, no retries burned");
+        assert_eq!(calls[1].load(Ordering::SeqCst), 1, "ran exactly once");
+        // Panics, by contrast, still consume the full budget.
+        let out = Runner::new(2)
+            .retries(3)
+            .timeout(Some(Duration::from_millis(200)))
+            .try_run("doomed-panic", 2, |i| {
+                assert!(i != 1, "always fails");
+                i
+            });
+        assert_eq!(out[1].as_ref().unwrap_err().attempts, 4, "1 + 3 retries");
+    }
+
+    #[test]
+    fn cancellation_drains_a_batch_and_marks_pending_jobs() {
+        for threads in [1, 4] {
+            let token = CancelToken::new();
+            let trigger = token.clone();
+            let out = with_cancel_token(token, || {
+                Runner::new(threads).try_run("drain", 16, move |i| {
+                    if i == 3 {
+                        // Simulate SIGINT landing mid-job; the job's own
+                        // poll (here explicit) unwinds it.
+                        trigger.cancel(CancelReason::Interrupted);
+                        ambient_cancel_token().check();
+                    }
+                    i * 2
+                })
+            });
+            // Jobs dispatched before the cancel completed normally; the
+            // rest are Cancelled, never Panicked, and jobs that never
+            // started report attempts = 0. (How many raced past the
+            // cancel depends on scheduling; the reason and shape do
+            // not.)
+            for (i, r) in out.iter().enumerate() {
+                match r {
+                    Ok(v) => assert_eq!(*v, i * 2),
+                    Err(e) => {
+                        assert!(
+                            matches!(e.error, JobError::Cancelled(CancelReason::Interrupted)),
+                            "job {i}: {e}"
+                        );
+                        if i != 3 {
+                            assert_eq!(e.attempts, 0, "job {i} never started");
+                        }
+                    }
+                }
+            }
+            assert!(out[3].is_err(), "the in-flight job is cancelled, not completed");
+            if threads == 1 {
+                // Serial dispatch is fully deterministic: the prefix
+                // completes, everything from the trigger drains.
+                assert!(out[..3].iter().all(Result::is_ok));
+                assert!(out[3..].iter().all(Result::is_err));
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_jobs_are_not_retried() {
+        let calls: Vec<AtomicU32> = (0..2).map(|_| AtomicU32::new(0)).collect();
+        let token = CancelToken::new();
+        let trigger = token.clone();
+        let calls = &calls;
+        let out = with_cancel_token(token, || {
+            Runner::new(1).retries(5).try_run("cancel-noretry", 2, move |i| {
+                calls[i].fetch_add(1, Ordering::SeqCst);
+                if i == 0 {
+                    trigger.cancel(CancelReason::DeadlineExceeded);
+                    ambient_cancel_token().check();
+                }
+                i
+            })
+        });
+        let err = out[0].as_ref().unwrap_err();
+        assert!(matches!(
+            err.error,
+            JobError::Cancelled(CancelReason::DeadlineExceeded)
+        ));
+        assert_eq!(err.attempts, 1);
+        assert_eq!(calls[0].load(Ordering::SeqCst), 1, "no retry after cancel");
+        assert_eq!(calls[1].load(Ordering::SeqCst), 0, "sibling never dispatched");
+    }
+
+    #[test]
+    fn cancelled_batch_resumes_byte_identically() {
+        // The PR's headline guarantee at engine level: cancel mid-batch,
+        // resume with the same checkpoint, get the uninterrupted result.
+        let root = std::env::temp_dir().join(format!(
+            "membw_runner_ckpt_cancel_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let cfg = Some(CheckpointConfig {
+            root: root.clone(),
+            resume: true,
+        });
+        let token = CancelToken::new();
+        let trigger = token.clone();
+        let first = with_checkpoint(cfg.clone(), || {
+            with_cancel_token(token, || {
+                Runner::new(1).checkpointed("cancel-resume", "v1/cr/8", 8, move |i| {
+                    if i == 4 {
+                        trigger.cancel(CancelReason::Interrupted);
+                        ambient_cancel_token().check();
+                    }
+                    i as u64 * 7
+                })
+            })
+        });
+        assert!(first[..4].iter().all(Result::is_ok), "prefix completed");
+        assert!(first[4..].iter().all(Result::is_err), "suffix drained");
+        // Resume with a live token: completed jobs replay, cancelled
+        // slots recompute.
+        let executed = AtomicU32::new(0);
+        let second = with_checkpoint(cfg, || {
+            Runner::new(1).checkpointed("cancel-resume", "v1/cr/8", 8, |i| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                i as u64 * 7
+            })
+        });
+        assert_eq!(
+            second
+                .iter()
+                .map(|r| *r.as_ref().unwrap())
+                .collect::<Vec<_>>(),
+            (0..8).map(|i| i * 7).collect::<Vec<u64>>()
+        );
+        assert_eq!(executed.load(Ordering::SeqCst), 4, "only cancelled slots re-ran");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cancelled_jobs_count_as_cancelled_not_failed() {
+        let before = metrics();
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Interrupted);
+        let out = with_cancel_token(token, || {
+            Runner::new(2).try_run("all-cancelled", 5, |i| i)
+        });
+        assert!(out.iter().all(Result::is_err));
+        // Every slot reports Cancelled with attempts 0 — none of them
+        // count as failures (metrics are process-global and other tests
+        // run concurrently, so assert on the returned shape plus the
+        // cancelled counter's growth, not on an exact failure delta).
+        for r in &out {
+            let e = r.as_ref().unwrap_err();
+            assert!(matches!(e.error, JobError::Cancelled(_)), "{e}");
+            assert_eq!(e.attempts, 0);
+        }
+        let d = metrics_delta(before, metrics());
+        assert!(d.cancelled >= 5, "cancelled counted: {d:?}");
+    }
+
+    #[test]
+    fn jobs_env_parses_strictly() {
+        assert_eq!(parse_jobs("4"), Ok(4));
+        assert_eq!(parse_jobs(" 1 "), Ok(1));
+        for bad in ["0", "-2", "many", "1.5", ""] {
+            let err = parse_jobs(bad).unwrap_err();
+            assert!(err.contains(JOBS_ENV), "{bad:?} -> {err}");
+            assert!(err.contains(&format!("{bad:?}")), "{bad:?} -> {err}");
+        }
     }
 
     #[test]

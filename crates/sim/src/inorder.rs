@@ -9,6 +9,7 @@
 use crate::bpred::{BranchPredictor, TwoLevelPredictor};
 use crate::machine::MachineSpec;
 use crate::memsys::MemSystem;
+use membw_runner::{ambient_cancel_token, CancelToken};
 use membw_trace::uop::NUM_REGS;
 use membw_trace::{OpClass, TraceSink, Uop, Workload};
 
@@ -61,6 +62,10 @@ pub struct InOrderCore {
     mispredict_penalty: u64,
     finish: u64,
     uops: u64,
+    /// Ambient cancellation token, captured at construction and polled
+    /// every 4096 uops, so a drain or deadline stops a simulation
+    /// within milliseconds.
+    cancel: CancelToken,
 }
 
 impl InOrderCore {
@@ -81,6 +86,7 @@ impl InOrderCore {
             mispredict_penalty: spec.mispredict_penalty,
             finish: 0,
             uops: 0,
+            cancel: ambient_cancel_token(),
         }
     }
 
@@ -156,6 +162,9 @@ impl InOrderCore {
 impl TraceSink for InOrderCore {
     fn uop(&mut self, uop: Uop) {
         self.uops += 1;
+        if self.uops.is_multiple_of(4096) {
+            self.cancel.check();
+        }
         self.gate_fetch();
         self.advance_pc(&uop);
         let taken_branch = uop.branch.is_some_and(|b| b.taken);

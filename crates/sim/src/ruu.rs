@@ -10,6 +10,7 @@
 use crate::bpred::{BranchPredictor, TwoLevelPredictor};
 use crate::machine::MachineSpec;
 use crate::memsys::MemSystem;
+use membw_runner::{ambient_cancel_token, CancelToken};
 use membw_trace::uop::NUM_REGS;
 use membw_trace::{OpClass, TraceSink, Uop, Workload};
 use std::collections::VecDeque;
@@ -96,6 +97,10 @@ pub struct RuuCore {
     mispredict_penalty: u64,
     finish: u64,
     uops: u64,
+    /// Ambient cancellation token, captured at construction and polled
+    /// on the same 4096-uop cadence as the scheduler prune, so a drain
+    /// or deadline stops a simulation within milliseconds.
+    cancel: CancelToken,
 }
 
 impl RuuCore {
@@ -128,6 +133,7 @@ impl RuuCore {
             mispredict_penalty: spec.mispredict_penalty,
             finish: 0,
             uops: 0,
+            cancel: ambient_cancel_token(),
         }
     }
 
@@ -272,6 +278,7 @@ impl TraceSink for RuuCore {
 
         // Nothing can be scheduled before the oldest in-flight commit.
         if self.uops.is_multiple_of(4096) {
+            self.cancel.check();
             let floor = self.slot_free.front().copied().unwrap_or(0);
             self.dispatch.prune(floor);
             self.issue.prune(floor);

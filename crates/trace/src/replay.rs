@@ -34,8 +34,9 @@ use crate::record::{AccessKind, MemRef};
 use crate::sink::TraceSink;
 use crate::uop::{BranchInfo, OpClass, Reg, Uop};
 use crate::Workload;
+use membw_runner::{ambient_cancel_token, ambient_governor, CancelToken};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 // Packed per-uop metadata layout (one u32 per uop):
 //   bits 0-2   operation class (8 variants)
@@ -281,9 +282,15 @@ impl Workload for RecordedTrace {
     }
 
     fn generate(&self, sink: &mut dyn TraceSink) {
+        // Poll the ambient cancel token so replay into sinks that do
+        // not poll themselves still stops promptly under a drain.
+        let cancel = ambient_cancel_token();
         let mut mem_cursor = 0;
         let mut branch_cursor = 0;
         for i in 0..self.meta.len() {
+            if i.is_multiple_of(8192) {
+                cancel.check();
+            }
             sink.uop(self.unpack(i, &mut mem_cursor, &mut branch_cursor));
         }
         debug_assert_eq!(mem_cursor, self.mem_addr.len());
@@ -318,6 +325,10 @@ impl Workload for RecordedTrace {
 #[derive(Debug, Clone)]
 pub struct RecordingSink {
     trace: RecordedTrace,
+    /// Ambient cancel token, captured at construction and polled every
+    /// 8192 recorded uops: a drain or deadline stops a long recording
+    /// within milliseconds (the partial arena unwinds away unused).
+    cancel: CancelToken,
 }
 
 impl RecordingSink {
@@ -332,6 +343,7 @@ impl RecordingSink {
                 branch_pc: Vec::new(),
                 checksum: 0,
             },
+            cancel: ambient_cancel_token(),
         }
     }
 
@@ -355,6 +367,9 @@ impl RecordingSink {
 
 impl TraceSink for RecordingSink {
     fn uop(&mut self, uop: Uop) {
+        if self.trace.meta.len().is_multiple_of(8192) {
+            self.cancel.check();
+        }
         debug_assert_eq!(
             uop.mem.is_some(),
             uop.class.is_mem(),
@@ -502,6 +517,15 @@ impl TraceCache {
         if self.is_disabled() {
             return None;
         }
+        // Memory-governor consultation: under the Streaming level the
+        // cache steps aside entirely (callers record-stream, which is
+        // byte-identical); under CacheShrunk the effective byte cap is
+        // clamped below the configured budget.
+        let gov = ambient_governor();
+        if gov.streaming() {
+            return None;
+        }
+        let effective_budget = gov.cache_cap(self.budget_bytes);
         let slot = {
             let mut inner = self.inner.lock().expect("trace cache poisoned");
             inner.tick += 1;
@@ -518,13 +542,23 @@ impl TraceCache {
             Arc::clone(&entry.slot)
         };
 
-        let mut guard = slot.lock().expect("trace slot poisoned");
+        // Poison-tolerant: a cancellation can unwind a recording while
+        // it holds this lock. The slot is only ever written *after* a
+        // recording completes, so a poisoned slot still holds `None`
+        // (or a finished arena) — safe to reuse.
+        let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
         let mut verify_failed = false;
         if let Some(trace) = guard.as_ref() {
             if trace.verify() {
                 let trace = Arc::clone(trace);
                 drop(guard);
-                self.inner.lock().expect("trace cache poisoned").stats.hits += 1;
+                let mut inner = self.inner.lock().expect("trace cache poisoned");
+                inner.stats.hits += 1;
+                // Honour a cap the governor shrank since the arena
+                // landed: evict on the hit path too, and keep the
+                // governor's residency view current.
+                self.evict_to_effective_budget(&mut inner, effective_budget, &gov);
+                gov.report_cache_resident(inner.stats.resident_bytes);
                 return Some(trace);
             }
             // The cached arena no longer matches its sealed checksum
@@ -544,6 +578,7 @@ impl TraceCache {
         drop(guard);
 
         let bytes = trace.arena_bytes();
+        gov.observe_arena_bytes(bytes);
         let mut inner = self.inner.lock().expect("trace cache poisoned");
         inner.stats.misses += 1;
         if verify_failed {
@@ -562,7 +597,8 @@ impl TraceCache {
                 inner.stats.resident_bytes -= old - bytes;
             }
         }
-        self.evict_to_budget(&mut inner);
+        self.evict_to_effective_budget(&mut inner, effective_budget, &gov);
+        gov.report_cache_resident(inner.stats.resident_bytes);
         Some(trace)
     }
 
@@ -580,7 +616,7 @@ impl TraceCache {
             };
             Arc::clone(&entry.slot)
         };
-        let mut guard = slot.lock().expect("trace slot poisoned");
+        let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
         let Some(trace) = guard.as_mut() else {
             return false;
         };
@@ -594,10 +630,10 @@ impl TraceCache {
     }
 
     /// Drop least-recently-used finished recordings until resident
-    /// bytes fit the budget. Entries still recording (bytes == 0, slot
+    /// bytes fit `budget`. Entries still recording (bytes == 0, slot
     /// locked elsewhere) carry no weight and are never worth evicting.
-    fn evict_to_budget(&self, inner: &mut CacheInner) {
-        while inner.stats.resident_bytes > self.budget_bytes {
+    fn evict_to_budget(&self, inner: &mut CacheInner, budget: u64) {
+        while inner.stats.resident_bytes > budget {
             let victim = inner
                 .map
                 .iter()
@@ -608,6 +644,25 @@ impl TraceCache {
             let entry = inner.map.remove(&key).expect("victim exists");
             inner.stats.resident_bytes -= entry.bytes;
             inner.stats.evictions += 1;
+        }
+    }
+
+    /// [`evict_to_budget`](Self::evict_to_budget) against the
+    /// governor-clamped cap, crediting evictions the clamp forced
+    /// (beyond what the configured budget alone would have evicted) to
+    /// the governor's accounting.
+    fn evict_to_effective_budget(
+        &self,
+        inner: &mut CacheInner,
+        effective_budget: u64,
+        gov: &membw_runner::Governor,
+    ) {
+        let before = inner.stats.evictions;
+        self.evict_to_budget(inner, self.budget_bytes);
+        let own = inner.stats.evictions - before;
+        if effective_budget < self.budget_bytes {
+            self.evict_to_budget(inner, effective_budget);
+            gov.note_forced_evictions(inner.stats.evictions - before - own);
         }
     }
 }
