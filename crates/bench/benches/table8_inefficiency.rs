@@ -6,7 +6,7 @@
 //! hot-loop overhaul's speedup is measured, not assumed.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use membw_core::mtc::{MinCache, MinConfig, ReferenceMinCache};
+use membw_core::mtc::{min_sweep, MinCache, MinConfig, ReferenceMinCache};
 use membw_core::trace::Workload;
 use membw_core::workloads::{Compress, Eqntott};
 use std::hint::black_box;
@@ -35,6 +35,24 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
+    // The table's MTC column for one benchmark across eight capacities:
+    // the shared-index multi-state sweep against one two-pass simulation
+    // per capacity.
+    let caps: Vec<u64> = (10..=17).map(|p| 1u64 << p).collect();
+    g.throughput(Throughput::Elements(compress.len() as u64));
+    g.bench_function("mtc_column_8_capacities_sweep", |b| {
+        let cfgs: Vec<MinConfig> = caps.iter().map(|&s| MinConfig::mtc(s)).collect();
+        b.iter(|| black_box(min_sweep(&cfgs, black_box(&compress))))
+    });
+    g.bench_function("mtc_column_8_capacities_direct", |b| {
+        b.iter(|| {
+            let out: Vec<_> = caps
+                .iter()
+                .map(|&s| MinCache::simulate(&MinConfig::mtc(s), black_box(&compress)))
+                .collect();
+            black_box(out)
+        })
+    });
     g.finish();
 }
 

@@ -5,11 +5,21 @@
 //! repro [--scale test|small|full] [--jobs N] [--json DIR]
 //!       [--retries N] [--job-timeout SECS] [--deadline SECS]
 //!       [--mem-budget MB] [--resume | --no-resume]
-//!       [--checkpoint-dir DIR] [--audit off|warn|strict] <target>...
+//!       [--checkpoint-dir DIR] [--audit off|warn|strict]
+//!       [--sweep stack|direct] <target>...
 //!
 //! targets: fig1 table1 table2 table3 params fig3 table6 table7 table8
 //!          fig4 table9 extrapolate all
 //! ```
+//!
+//! `--sweep` selects how the traffic suites (`fig4`, `table7`,
+//! `table8`, `table9`) cover their capacity axes: `stack` (default)
+//! runs the one-pass multi-configuration sweep engine, `direct` runs
+//! one independent simulation per configuration. Output is
+//! byte-identical between the modes; `direct` exists as the cross-check
+//! oracle and the `MEMBW_SWEEP_VERIFY=1` environment variable makes a
+//! `stack` run recompute every swept cell directly and report any
+//! divergence through the auditor.
 //!
 //! `--jobs N` (or the `MEMBW_JOBS` environment variable) sets the run
 //! engine's thread count. Experiment output on stdout is byte-identical
@@ -35,8 +45,9 @@
 //! stdout byte-identity: a cancelled run resumed with `--resume`, or a
 //! budgeted run, prints exactly what an undisturbed run prints.
 
-use membw_bench::{parse_scale, validate_target};
+use membw_bench::{parse_scale, validate_target, ALL_TARGETS};
 use membw_core::audit;
+use membw_core::sweep::SweepMode;
 use membw_core::analytic::pins::{dataset, Series};
 use membw_core::report::{self, TargetTiming};
 use membw_core::runner;
@@ -59,6 +70,7 @@ struct Options {
     resume: bool,
     checkpoint_dir: PathBuf,
     deadline: Option<Duration>,
+    sweep: SweepMode,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -69,6 +81,7 @@ fn parse_args() -> Result<Options, String> {
     let mut checkpoint_dir = PathBuf::from("results/.checkpoint");
     let mut deadline = None;
     let mut mem_budget_mb: Option<u64> = None;
+    let mut sweep = SweepMode::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -128,6 +141,10 @@ fn parse_args() -> Result<Options, String> {
                 let level: audit::AuditLevel = v.parse()?;
                 audit::set_level(level);
             }
+            "--sweep" => {
+                let v = args.next().ok_or("--sweep needs a mode (stack|direct)")?;
+                sweep = SweepMode::parse(&v)?;
+            }
             "--resume" => resume = true,
             "--no-resume" => resume = false,
             "--checkpoint-dir" => {
@@ -138,7 +155,8 @@ fn parse_args() -> Result<Options, String> {
                 println!("usage: repro [--scale test|small|full] [--jobs N] [--json DIR]");
                 println!("             [--retries N] [--job-timeout SECS] [--deadline SECS]");
                 println!("             [--mem-budget MB] [--resume|--no-resume]");
-                println!("             [--checkpoint-dir DIR] [--audit off|warn|strict] <target>...");
+                println!("             [--checkpoint-dir DIR] [--audit off|warn|strict]");
+                println!("             [--sweep stack|direct] <target>...");
                 println!("targets: fig1 table1 table2 table3 params fig3 table6 table7");
                 println!("         table8 fig4 table9 epin extrapolate ablation interference");
                 println!("         dram speculation swprefetch dump all");
@@ -159,6 +177,14 @@ fn parse_args() -> Result<Options, String> {
                 println!("--audit LEVEL checks the paper's invariants on every target:");
                 println!("off skips them, warn (default) reports violations on stderr,");
                 println!("strict fails the target; a summary lands on stderr either way.");
+                println!("--sweep MODE picks the traffic suites' capacity-axis engine:");
+                println!("stack (default) = one-pass multi-configuration sweep engine,");
+                println!("direct = one simulation per configuration; output is");
+                println!(
+                    "byte-identical either way, and {}=1 makes a stack",
+                    membw_core::sweep::SWEEP_VERIFY_ENV
+                );
+                println!("run recompute every swept cell directly through the auditor.");
                 println!(
                     "{} caps the in-memory trace cache (whole MiB; 0 disables caching).",
                     membw_core::trace::replay::TRACE_CACHE_MB_ENV
@@ -180,6 +206,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if let Ok(v) = std::env::var(runner::JOBS_ENV) {
         runner::parse_jobs(&v)?;
+    }
+    if let Ok(v) = std::env::var(membw_core::sweep::SWEEP_VERIFY_ENV) {
+        membw_core::sweep::parse_verify(&v)?;
     }
     runner::validate_fault_env()?;
     if let Ok(v) = std::env::var(runner::MEM_BUDGET_MB_ENV) {
@@ -205,6 +234,7 @@ fn parse_args() -> Result<Options, String> {
         resume,
         checkpoint_dir,
         deadline,
+        sweep,
     })
 }
 
@@ -255,28 +285,6 @@ fn params_table(suite: &str, spec_for: impl Fn(Experiment) -> MachineSpec) -> Ta
     }
     t
 }
-
-/// The leaf targets `all` expands to, in output order.
-const ALL_TARGETS: [&str; 18] = [
-    "fig1",
-    "table1",
-    "fig2",
-    "table2",
-    "table3",
-    "params",
-    "table7",
-    "table8",
-    "fig4",
-    "table9",
-    "epin",
-    "extrapolate",
-    "ablation",
-    "interference",
-    "dram",
-    "speculation",
-    "swprefetch",
-    "fig3",
-];
 
 /// Run one leaf target, recording one [`TargetTiming`] on success.
 fn run_target(
@@ -383,7 +391,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
             }
         }
         "table7" => {
-            let (res, table) = run_table7::run(scale)?;
+            let (res, table) = run_table7::run_with(scale, opts.sweep)?;
             emit(
                 opts,
                 "table7",
@@ -392,7 +400,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
             )?;
         }
         "table8" => {
-            let (res, table) = run_table8::run(scale)?;
+            let (res, table) = run_table8::run_with(scale, opts.sweep)?;
             emit(
                 opts,
                 "table8",
@@ -401,7 +409,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
             )?;
         }
         "fig4" => {
-            let (panels, tables) = run_fig4::run(scale)?;
+            let (panels, tables) = run_fig4::run_with(scale, opts.sweep)?;
             for t in &tables {
                 println!("{}", t.render());
             }
@@ -436,7 +444,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
             }
         }
         "table9" => {
-            let (res, tables) = run_table9::run(scale)?;
+            let (res, tables) = run_table9::run_with(scale, opts.sweep)?;
             for t in &tables {
                 println!("{}", t.render());
             }

@@ -52,6 +52,31 @@ pub const TARGETS: [&str; 20] = [
     "dump",
 ];
 
+/// The leaf targets the `all` meta-target expands to, in `repro`'s
+/// output order (fig3 runs last: it is by far the slowest). This is the
+/// single source of truth — the `repro` binary imports it rather than
+/// maintaining its own copy, and a test pins it against [`TARGETS`].
+pub const ALL_TARGETS: [&str; 18] = [
+    "fig1",
+    "table1",
+    "fig2",
+    "table2",
+    "table3",
+    "params",
+    "table7",
+    "table8",
+    "fig4",
+    "table9",
+    "epin",
+    "extrapolate",
+    "ablation",
+    "interference",
+    "dram",
+    "speculation",
+    "swprefetch",
+    "fig3",
+];
+
 /// Levenshtein edit distance (iterative two-row form) — small inputs
 /// only, used for the "did you mean" hint.
 fn edit_distance(a: &str, b: &str) -> usize {
@@ -136,5 +161,24 @@ mod tests {
         for t in TARGETS {
             assert!(validate_target(t).is_ok(), "{t}");
         }
+    }
+
+    #[test]
+    fn all_expansion_and_target_list_are_consistent() {
+        // Every `all` leaf is a known target, no leaf repeats, and the
+        // only targets outside the expansion are the non-default ones
+        // (`table6` is folded into `fig3`; `dump` is a utility).
+        for t in ALL_TARGETS {
+            assert!(TARGETS.contains(&t), "'{t}' missing from TARGETS");
+        }
+        for (i, t) in ALL_TARGETS.iter().enumerate() {
+            assert!(!ALL_TARGETS[..i].contains(t), "'{t}' duplicated");
+        }
+        let extras: Vec<&str> = TARGETS
+            .iter()
+            .copied()
+            .filter(|t| !ALL_TARGETS.contains(t))
+            .collect();
+        assert_eq!(extras, ["table6", "dump"]);
     }
 }

@@ -97,6 +97,21 @@ impl fmt::Display for ConfigError {
     }
 }
 
+impl ConfigError {
+    /// `true` for errors that describe an *unrepresentable geometry* —
+    /// a block too large for the cache, or a size that will not divide
+    /// into whole sets. Sweeps over capacity grids hit these at the
+    /// small end of the axis and omit the point by design; any other
+    /// variant means the caller built the configuration wrong and
+    /// deserves a diagnostic rather than a silently missing point.
+    pub fn is_geometry_limit(&self) -> bool {
+        matches!(
+            self,
+            ConfigError::BlockLargerThanCache { .. } | ConfigError::BadGeometry(_)
+        )
+    }
+}
+
 impl std::error::Error for ConfigError {}
 
 /// A validated cache configuration.

@@ -30,6 +30,7 @@
 //! | `inefficiency` | `G ≥ 1` | Eq. 6, Table 8 |
 //! | `mtc-bound` | MTC traffic ≤ any real cache's traffic at equal capacity | §5 |
 //! | `finite` / `positive` | reported scalars are finite (and positive where required) | — |
+//! | `sweep-exact` | one-pass sweep-engine cells equal direct simulation (`MEMBW_SWEEP_VERIFY=1`) | — |
 //!
 //! The integration suites (`tests/decomposition_invariants.rs`,
 //! `tests/mtc_bounds.rs`) call the same checks through
@@ -314,6 +315,13 @@ impl Auditor {
                 "MTC traffic {mtc_traffic} exceeds the equal-capacity cache's {cache_traffic} (§5)"
             )
         });
+    }
+
+    /// Sweep-engine cross-check (`MEMBW_SWEEP_VERIFY=1`): a cell
+    /// computed by the one-pass stack engine must reproduce direct
+    /// per-configuration simulation exactly.
+    pub fn sweep_exact(&mut self, cell: &str, ok: bool, detail: impl FnOnce() -> String) {
+        self.check(cell, "sweep-exact", ok, detail);
     }
 
     /// A reported scalar that must be finite and strictly positive.

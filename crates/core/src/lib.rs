@@ -69,5 +69,6 @@ pub use membw_cache as cache;
 pub use membw_mtc as mtc;
 pub use membw_runner as runner;
 pub use membw_sim as sim;
+pub use membw_sweep as sweep;
 pub use membw_trace as trace;
 pub use membw_workloads as workloads;

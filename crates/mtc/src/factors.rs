@@ -6,6 +6,7 @@
 //! (the write-validate MTC used throughout §5, per the Figure 4 caption).
 
 use crate::min::{MinCache, MinConfig, MinWritePolicy};
+use crate::nextuse::NextUseIndex;
 use membw_cache::{Associativity, Cache, CacheConfig};
 use membw_trace::{MemRef, Workload};
 use serde::{Deserialize, Serialize};
@@ -157,6 +158,84 @@ pub fn factor_gap<W: Workload + ?Sized>(
     })
 }
 
+/// Measure *every* Table 10 factor for `workload` at `capacity_bytes`
+/// in one shot, returning one entry per [`TABLE10_FACTORS`] row in
+/// order.
+///
+/// Produces exactly the values of calling [`factor_gap`] per row, but
+/// collects the reference stream once, builds one next-use index per
+/// distinct **min** block size (shared by the reference MTC and every
+/// **min** experiment at that granularity), and simulates each of the
+/// six unique experiments once even though the five rows reference
+/// them nine times. Entries are `None` only when the reference MTC
+/// generated no traffic (degenerate trace), which holds for all rows
+/// at once.
+pub fn factor_gaps<W: Workload + ?Sized>(
+    workload: &W,
+    capacity_bytes: u64,
+) -> Vec<Option<FactorGap>> {
+    let refs = workload.collect_mem_refs();
+
+    // block size -> next-use index, built lazily on first use. The
+    // index is the dominant allocation (16 bytes per reference); report
+    // it to the ambient governor like any other sweep buffer.
+    let mut indices: Vec<(u64, NextUseIndex)> = Vec::new();
+    fn index_at<'a>(
+        indices: &'a mut Vec<(u64, NextUseIndex)>,
+        refs: &[MemRef],
+        block: u64,
+    ) -> &'a NextUseIndex {
+        if let Some(i) = indices.iter().position(|(b, _)| *b == block) {
+            return &indices[i].1;
+        }
+        membw_runner::ambient_governor().observe_arena_bytes(refs.len() as u64 * 16);
+        indices.push((block, NextUseIndex::build(refs, block)));
+        &indices.last().expect("just pushed").1
+    }
+
+    let mtc_cfg = MinConfig::mtc(capacity_bytes);
+    let d_mtc = {
+        let idx = index_at(&mut indices, &refs, mtc_cfg.block_size);
+        MinCache::simulate_with_index(&mtc_cfg, &refs, idx).traffic_below()
+    };
+    if d_mtc == 0 {
+        return TABLE10_FACTORS.iter().map(|_| None).collect();
+    }
+
+    let mut computed: Vec<(FactorExperiment, u64)> = Vec::new();
+    TABLE10_FACTORS
+        .iter()
+        .map(|spec| {
+            let mut traffic_of = |exp: FactorExperiment| -> u64 {
+                if let Some(&(_, t)) = computed.iter().find(|(e, _)| *e == exp) {
+                    return t;
+                }
+                let t = match exp {
+                    FactorExperiment::Lru(..) => exp.traffic(capacity_bytes, &refs),
+                    FactorExperiment::Min(block, write) => {
+                        // Same configuration `FactorExperiment::traffic`
+                        // builds, against the shared index.
+                        let cfg = MinConfig::new(capacity_bytes, block, write, true);
+                        let idx = index_at(&mut indices, &refs, block);
+                        MinCache::simulate_with_index(&cfg, &refs, idx).traffic_below()
+                    }
+                };
+                computed.push((exp, t));
+                t
+            };
+            let t1 = traffic_of(spec.exp1);
+            let t2 = traffic_of(spec.exp2);
+            Some(FactorGap {
+                factor: spec.name.to_string(),
+                workload: workload.name().to_string(),
+                capacity_bytes,
+                g_exp1: t1 as f64 / d_mtc as f64,
+                g_exp2: t2 as f64 / d_mtc as f64,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +281,24 @@ mod tests {
         use membw_trace::VecWorkload;
         let w = VecWorkload::new("empty", vec![]);
         assert!(factor_gap(&TABLE10_FACTORS[0], &w, 1024).is_none());
+        assert!(factor_gaps(&w, 1024).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn factor_gaps_match_per_factor_measurement() {
+        // The one-shot sweep must reproduce every per-factor value
+        // bit for bit (same integer traffic, same f64 division).
+        let w = Zipf::new(0, 2048, 16, 20_000, 0.8, 31).with_write_fraction(0.3);
+        let all = factor_gaps(&w, 8 * 1024);
+        assert_eq!(all.len(), TABLE10_FACTORS.len());
+        for (spec, got) in TABLE10_FACTORS.iter().zip(&all) {
+            let want = factor_gap(spec, &w, 8 * 1024).expect("traffic exists");
+            let got = got.as_ref().expect("traffic exists");
+            assert_eq!(got.factor, want.factor);
+            assert_eq!(got.workload, want.workload);
+            assert_eq!(got.capacity_bytes, want.capacity_bytes);
+            assert_eq!(got.g_exp1.to_bits(), want.g_exp1.to_bits(), "{}", spec.name);
+            assert_eq!(got.g_exp2.to_bits(), want.g_exp2.to_bits(), "{}", spec.name);
+        }
     }
 }

@@ -32,6 +32,7 @@
 pub mod factors;
 pub mod inefficiency;
 pub mod min;
+pub mod minsweep;
 pub mod nextuse;
 pub mod optstack;
 pub mod reference;
@@ -40,5 +41,6 @@ pub use factors::{FactorExperiment, FactorGap, FactorSpec, TABLE10_FACTORS};
 pub use inefficiency::{traffic_inefficiency, InefficiencyReport};
 pub use min::{MinCache, MinConfig, MinWritePolicy};
 pub use nextuse::NextUseIndex;
+pub use minsweep::min_sweep;
 pub use reference::ReferenceMinCache;
 pub use optstack::OptProfile;

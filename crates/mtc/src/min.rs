@@ -141,6 +141,35 @@ impl MinCache {
     /// final counters.
     pub fn simulate(cfg: &MinConfig, refs: &[MemRef]) -> CacheStats {
         let index = NextUseIndex::build(refs, cfg.block_size);
+        Self::simulate_with_index(cfg, refs, &index)
+    }
+
+    /// Simulate an entire reference stream against a *prebuilt* next-use
+    /// index, including the end-of-run flush. Callers sweeping several
+    /// capacities at one block size share the index build — the dominant
+    /// cost of a **min** pass at MTC (one-word) granularity — instead of
+    /// paying it once per capacity (see
+    /// [`min_sweep`](crate::optstack::min_sweep)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index was built at a different block size or over a
+    /// different number of references.
+    pub fn simulate_with_index(
+        cfg: &MinConfig,
+        refs: &[MemRef],
+        index: &NextUseIndex,
+    ) -> CacheStats {
+        assert_eq!(
+            index.block_size(),
+            cfg.block_size,
+            "next-use index block size must match the cache configuration"
+        );
+        assert_eq!(
+            index.len(),
+            refs.len(),
+            "next-use index must cover the reference stream"
+        );
         let mut cache = Self::new(*cfg);
         // Poll the ambient cancel token on the scan so a drain or
         // deadline stops a long MTC pass within milliseconds.

@@ -10,7 +10,8 @@
 //! capacity simultaneously — the way Figure 4's MTC curves would be
 //! produced at scale. (This module computes miss counts; for byte-exact
 //! traffic including write policy and bypass, use
-//! [`MinCache`](crate::MinCache).)
+//! [`MinCache`](crate::MinCache) or the multi-capacity
+//! [`min_sweep`](crate::min_sweep).)
 
 use crate::nextuse::{NextUseIndex, NEVER};
 use membw_trace::MemRef;

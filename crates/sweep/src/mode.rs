@@ -1,0 +1,94 @@
+//! Sweep-mode selection and the runtime cross-check switch.
+
+/// How a traffic suite computes its capacity axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepMode {
+    /// One-pass stack-distance sweep engine (default): one trace pass
+    /// yields every capacity.
+    #[default]
+    Stack,
+    /// Independent direct simulation per capacity (the pre-engine
+    /// behavior, kept as the cross-check oracle).
+    Direct,
+}
+
+impl SweepMode {
+    /// Stable lowercase name, used in checkpoint keys and CLI output.
+    pub fn key(self) -> &'static str {
+        match self {
+            SweepMode::Stack => "stack",
+            SweepMode::Direct => "direct",
+        }
+    }
+
+    /// Parse a `--sweep` argument value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending string if it is not `stack` or `direct`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "stack" => Ok(SweepMode::Stack),
+            "direct" => Ok(SweepMode::Direct),
+            other => Err(format!("unknown sweep mode '{other}' (expected stack|direct)")),
+        }
+    }
+}
+
+impl std::fmt::Display for SweepMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Environment variable that turns on the runtime stack-vs-direct
+/// cross-check (`1` = on, `0`/unset = off). When on, the traffic suites
+/// recompute every swept cell with direct simulation and route any
+/// divergence through the auditor as an `InvariantViolation`.
+pub const SWEEP_VERIFY_ENV: &str = "MEMBW_SWEEP_VERIFY";
+
+/// Parse a [`SWEEP_VERIFY_ENV`] value.
+///
+/// # Errors
+///
+/// Returns a usage message for anything but `0` or `1`.
+pub fn parse_verify(s: &str) -> Result<bool, String> {
+    match s {
+        "1" => Ok(true),
+        "0" => Ok(false),
+        other => Err(format!(
+            "{SWEEP_VERIFY_ENV} must be 0 or 1, got '{other}'"
+        )),
+    }
+}
+
+/// `true` if the runtime sweep cross-check is requested via
+/// [`SWEEP_VERIFY_ENV`]. Malformed values read as off (the `repro`
+/// binary rejects them up front).
+pub fn verify_requested() -> bool {
+    std::env::var(SWEEP_VERIFY_ENV)
+        .ok()
+        .and_then(|v| parse_verify(&v).ok())
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_modes() {
+        assert_eq!(SweepMode::parse("stack").unwrap(), SweepMode::Stack);
+        assert_eq!(SweepMode::parse("direct").unwrap(), SweepMode::Direct);
+        assert!(SweepMode::parse("fast").is_err());
+        assert_eq!(SweepMode::default(), SweepMode::Stack);
+        assert_eq!(SweepMode::Stack.key(), "stack");
+    }
+
+    #[test]
+    fn parses_verify_values() {
+        assert_eq!(parse_verify("1"), Ok(true));
+        assert_eq!(parse_verify("0"), Ok(false));
+        assert!(parse_verify("yes").is_err());
+    }
+}

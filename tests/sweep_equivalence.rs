@@ -1,0 +1,130 @@
+//! The one-pass sweep engines are observationally identical to direct
+//! per-configuration simulation.
+//!
+//! `sweep_lru` (truncated per-set LRU stacks with dirty-level tracking)
+//! must reproduce `Cache`'s counters — hits, misses, fetch, write-back,
+//! write-through, and flush bytes — for *every* swept capacity, across
+//! block sizes, write policies, allocation policies, and
+//! associativities, including straddling references. `min_sweep`
+//! (shared-index multi-state Belady) must likewise reproduce
+//! `MinCache::simulate` per capacity. A third check triangulates
+//! through an independent instrument: `ReuseProfile`'s Fenwick-tree
+//! stack distances predict the same fully-associative LRU miss counts
+//! the sweep engine reports.
+
+use membw::mtc::{min_sweep, MinCache, MinConfig, MinWritePolicy};
+use membw::sweep::{direct_reference, sweep_lru, SweepSpec};
+use membw::cache::{Associativity, WriteAllocate, WritePolicy};
+use membw::trace::reuse::ReuseProfile;
+use membw::trace::{MemRef, VecWorkload};
+use proptest::prelude::*;
+
+/// Arbitrary read/write traces over a bounded address space, with
+/// reference sizes up to 8 bytes so some references straddle block
+/// boundaries.
+fn trace_strategy(max_len: usize, words: u64) -> impl Strategy<Value = Vec<MemRef>> {
+    prop::collection::vec((0..words, prop::bool::ANY, 1u32..3), 1..max_len).prop_map(|v| {
+        v.into_iter()
+            .map(|(w, is_write, size_words)| {
+                let addr = w * 4;
+                let size = (size_words * 4) as u16;
+                if is_write {
+                    MemRef::write(addr, size)
+                } else {
+                    MemRef::read(addr, size)
+                }
+            })
+            .collect()
+    })
+}
+
+fn capacities() -> Vec<u64> {
+    (6..=13).map(|p| 1u64 << p).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Full counter equality for the LRU stack engine across the swept
+    /// capacity axis, over the geometry/policy grid the suites use.
+    #[test]
+    fn stack_sweep_matches_direct_cache(
+        refs in trace_strategy(400, 200),
+        block_pow in 2u32..6,
+        ways_idx in 0usize..4,
+        write_back in prop::bool::ANY,
+        allocate in prop::bool::ANY,
+    ) {
+        let assoc = [
+            Associativity::Ways(1),
+            Associativity::Ways(2),
+            Associativity::Ways(4),
+            Associativity::Full,
+        ][ways_idx];
+        let spec = SweepSpec::new(1 << block_pow)
+            .associativity(assoc)
+            .write_policy(if write_back { WritePolicy::WriteBack } else { WritePolicy::WriteThrough })
+            .write_allocate(if allocate { WriteAllocate::Allocate } else { WriteAllocate::NoAllocate });
+        let caps = capacities();
+        let swept = sweep_lru(&spec, &caps, &refs);
+        for (&cap, got) in caps.iter().zip(&swept) {
+            let want = direct_reference(&spec, cap, &refs);
+            prop_assert_eq!(got, &want, "capacity {}", cap);
+        }
+    }
+
+    /// Full counter equality for the multi-state min sweep, including
+    /// the MTC configuration (bypass + write-validate).
+    #[test]
+    fn min_sweep_matches_direct_min(
+        refs in trace_strategy(400, 120),
+        validate in prop::bool::ANY,
+        bypass in prop::bool::ANY,
+    ) {
+        // Write-validate requires one-word blocks and (in MinConfig)
+        // bypass is free; keep the grid to what the suites use.
+        let write = if validate { MinWritePolicy::Validate } else { MinWritePolicy::Allocate };
+        let cfgs: Vec<MinConfig> = (3u32..10)
+            .map(|p| MinConfig::new(4u64 << p, 4, write, bypass))
+            .collect();
+        let swept = min_sweep(&cfgs, &refs);
+        for (cfg, got) in cfgs.iter().zip(&swept) {
+            let want = MinCache::simulate(cfg, &refs);
+            prop_assert_eq!(got, &want, "capacity {}", cfg.capacity_bytes);
+        }
+    }
+
+    /// Triangulation through an independent instrument: the Fenwick
+    /// stack-distance profile's fully-associative LRU miss prediction
+    /// equals the sweep engine's per-capacity demand misses.
+    /// (Word-granular references only: `ReuseProfile` counts one block
+    /// per reference and does not split straddles the way the cache
+    /// simulators do.)
+    #[test]
+    fn stack_sweep_agrees_with_reuse_profile(
+        words in prop::collection::vec((0u64..200, prop::bool::ANY), 1..400),
+        block_pow in 2u32..6,
+    ) {
+        let refs: Vec<MemRef> = words
+            .into_iter()
+            .map(|(w, is_write)| {
+                if is_write { MemRef::write(w * 4, 4) } else { MemRef::read(w * 4, 4) }
+            })
+            .collect();
+        let block = 1u64 << block_pow;
+        let spec = SweepSpec::new(block).associativity(Associativity::Full);
+        let caps = capacities();
+        let swept = sweep_lru(&spec, &caps, &refs);
+        let profile = ReuseProfile::measure(&VecWorkload::new("t", refs), block);
+        for (&cap, got) in caps.iter().zip(&swept) {
+            if let Some(stats) = got {
+                prop_assert_eq!(
+                    stats.demand_misses(),
+                    profile.lru_misses(cap / block),
+                    "capacity {}",
+                    cap
+                );
+            }
+        }
+    }
+}
