@@ -8,9 +8,23 @@
 //!       [--checkpoint-dir DIR] [--audit off|warn|strict]
 //!       [--sweep stack|direct] <target>...
 //!
+//! repro serve [--socket PATH | --listen tcp:PORT] [--max-inflight N]
+//!             [--queue N] [--store DIR] [--checkpoint-dir DIR]
+//!             [--jobs N] [--mem-budget MB] [--read-timeout-ms N]
+//!
+//! repro query [--socket PATH|tcp:HOST:PORT] [--scale S] [--sweep M]
+//!             [--audit L] [--deadline-ms N] [--priority P] <target>...
+//!
 //! targets: fig1 table1 table2 table3 params fig3 table6 table7 table8
 //!          fig4 table9 extrapolate all
 //! ```
+//!
+//! `repro serve` keeps a resident daemon answering the same questions
+//! over newline-delimited JSON (see `membw_core::service`), with
+//! request coalescing, a crash-safe result store, backpressure, and a
+//! SIGTERM drain; `repro query` is its line client. A query's stdout is
+//! byte-identical to the CLI run of the same `(target, scale, sweep)`
+//! because both sides print `membw_core::targets::render_target`.
 //!
 //! `--sweep` selects how the traffic suites (`fig4`, `table7`,
 //! `table8`, `table9`) cover their capacity axes: `stack` (default)
@@ -47,20 +61,18 @@
 
 use membw_bench::{parse_scale, validate_target, ALL_TARGETS};
 use membw_core::audit;
-use membw_core::sweep::SweepMode;
-use membw_core::analytic::pins::{dataset, Series};
 use membw_core::report::{self, TargetTiming};
 use membw_core::runner;
+use membw_core::runner::persist;
 use membw_core::runner::CheckpointConfig;
+use membw_core::service::{ServiceRequest, ServiceResponse};
+use membw_core::sweep::SweepMode;
+use membw_core::targets;
+use membw_core::workloads::Scale;
 use membw_core::MembwError;
-use membw_core::sim::{Experiment, MachineSpec};
-use membw_core::workloads::{Scale, Suite};
-use membw_core::{
-    run_ablation, run_dram, run_epin, run_extrapolation, run_fig1, run_fig2, run_fig3, run_fig4,
-    run_interference, run_speculation, run_swprefetch, run_table1, run_table2, run_table3,
-    run_table7, run_table8, run_table9, AsciiPlot, Table,
-};
+use membw_serve::{client, serve, Endpoint, ResultStore, ServeConfig, Server};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct Options {
@@ -157,6 +169,8 @@ fn parse_args() -> Result<Options, String> {
                 println!("             [--mem-budget MB] [--resume|--no-resume]");
                 println!("             [--checkpoint-dir DIR] [--audit off|warn|strict]");
                 println!("             [--sweep stack|direct] <target>...");
+                println!("       repro serve [--socket PATH|--listen tcp:PORT] ... (see repro serve --help)");
+                println!("       repro query [--socket PATH] <target>...         (see repro query --help)");
                 println!("targets: fig1 table1 table2 table3 params fig3 table6 table7");
                 println!("         table8 fig4 table9 epin extrapolate ablation interference");
                 println!("         dram speculation swprefetch dump all");
@@ -238,54 +252,6 @@ fn parse_args() -> Result<Options, String> {
     })
 }
 
-fn emit(opts: &Options, name: &str, table: &Table, json: Option<String>) -> Result<(), MembwError> {
-    println!("{}", table.render());
-    if let (Some(dir), Some(body)) = (&opts.json_dir, json) {
-        std::fs::create_dir_all(dir)
-            .map_err(|e| MembwError::io("create JSON directory", dir.clone(), e))?;
-        let path = dir.join(format!("{name}.json"));
-        std::fs::write(&path, body)
-            .map_err(|e| MembwError::io("write JSON archive", path.clone(), e))?;
-        eprintln!("  [wrote {}]", path.display());
-    }
-    Ok(())
-}
-
-fn params_table(suite: &str, spec_for: impl Fn(Experiment) -> MachineSpec) -> Table {
-    let mut t = Table::new(
-        format!("Tables 4-5: machine parameters ({suite})"),
-        [
-            "Exp", "Core", "RUU", "LSQ", "Bpred", "MHz", "L1", "L1 blk", "L2", "L2 blk", "L1 kind",
-            "Prefetch",
-        ]
-        .map(String::from)
-        .to_vec(),
-    );
-    for e in Experiment::ALL {
-        let m = spec_for(e);
-        t.row(vec![
-            e.label().to_string(),
-            format!("{:?}", m.core),
-            m.ruu_slots.to_string(),
-            m.lsq_entries.to_string(),
-            m.bpred_entries.to_string(),
-            m.cpu_mhz.to_string(),
-            format!("{}KB", m.mem.l1_bytes / 1024),
-            format!("{}B", m.mem.l1_block),
-            format!("{}KB", m.mem.l2_bytes / 1024),
-            format!("{}B", m.mem.l2_block),
-            if m.mem.blocking {
-                "blocking"
-            } else {
-                "lockup-free"
-            }
-            .to_string(),
-            if m.mem.tagged_prefetch { "tagged" } else { "-" }.to_string(),
-        ]);
-    }
-    t
-}
-
 /// Run one leaf target, recording one [`TargetTiming`] on success.
 fn run_target(
     opts: &Options,
@@ -308,243 +274,342 @@ fn run_target(
 }
 
 fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
-    let scale = opts.scale;
-    match target {
-        "fig1" => {
-            let (res, table) = run_fig1::run()?;
-            emit(
-                opts,
-                "fig1",
-                &table,
-                serde_json::to_string_pretty(&res).ok(),
-            )?;
-            for (label, series) in [
-                ("Figure 1a: pins vs year (log y)", Series::Pins),
-                ("Figure 1b: MIPS/pin vs year (log y)", Series::MipsPerPin),
-                (
-                    "Figure 1c: MIPS/(pin MB/s) vs year (log y)",
-                    Series::MipsPerBandwidth,
-                ),
-            ] {
-                let pts: Vec<(f64, f64)> = dataset()
-                    .iter()
-                    .map(|pr| (f64::from(pr.year), series.value(pr)))
-                    .collect();
-                let plot = AsciiPlot::new(label, 60, 14)
-                    .log_y()
-                    .series('o', "processors", pts);
-                println!("{}", plot.render());
-            }
+    if target == "dump" {
+        // Dump every benchmark's reference stream as .mwtr files — the
+        // one target with filesystem side effects instead of a
+        // rendering, so it stays out of the shared renderer.
+        let dir = opts
+            .json_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("traces"));
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| MembwError::io("create trace directory", dir.clone(), e))?;
+        use membw_core::trace::io::save_workload;
+        use membw_core::workloads::{suite92, suite95};
+        for b in suite92(opts.scale).iter().chain(suite95(opts.scale).iter()) {
+            let path = dir.join(format!("{}.mwtr", b.name()));
+            let n = save_workload(&b.replayable(), &path).map_err(|e| MembwError::Trace {
+                path: path.clone(),
+                source: e,
+            })?;
+            println!("wrote {} ({n} refs)", path.display());
         }
-        "table1" => {
-            let (_, table) = run_table1::run()?;
-            emit(opts, "table1", &table, None)?;
+        return Ok(());
+    }
+    let rendered = targets::render_target(target, opts.scale, opts.sweep)?;
+    print!("{}", rendered.stdout);
+    if let Some(dir) = &opts.json_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| MembwError::io("create JSON directory", dir.clone(), e))?;
+        for a in &rendered.artifacts {
+            let path = dir.join(format!("{}.json", a.name));
+            // Archives go through the same tmp→fsync→rename path as
+            // checkpoints: a crash mid-write can leave a stray .tmp,
+            // never a torn .json that parses as a truncated result.
+            persist::write_atomic(&path, a.json.as_bytes())
+                .map_err(|(step, p, e)| MembwError::io(step, p, e))?;
+            eprintln!("  [wrote {}]", path.display());
         }
-        "table2" => {
-            let (res, table) = run_table2::run(1024)?;
-            emit(
-                opts,
-                "table2",
-                &table,
-                serde_json::to_string_pretty(&res).ok(),
-            )?;
-        }
-        "table3" => {
-            let (res, table) = run_table3::run(scale)?;
-            emit(
-                opts,
-                "table3",
-                &table,
-                serde_json::to_string_pretty(&res).ok(),
-            )?;
-        }
-        "params" => {
-            println!("{}", params_table("SPEC92", MachineSpec::spec92).render());
-            println!("{}", params_table("SPEC95", MachineSpec::spec95).render());
-        }
-        "fig2" => {
-            let (res, table, plots) = run_fig2::run(12)?;
-            emit(
-                opts,
-                "fig2",
-                &table,
-                serde_json::to_string_pretty(&res).ok(),
-            )?;
-            for p in plots {
-                println!("{}", p.render());
-            }
-        }
-        "fig3" | "table6" => {
-            for (suite, label) in [(Suite::Spec92, "SPEC92"), (Suite::Spec95, "SPEC95")] {
-                let res = run_fig3::run_suite(suite, scale, &Experiment::ALL)?;
-                if target == "fig3" {
-                    let t = run_fig3::render(&res, &format!("Figure 3 ({label} benchmarks)"));
-                    emit(
-                        opts,
-                        &format!("fig3_{}", label.to_lowercase()),
-                        &t,
-                        serde_json::to_string_pretty(&res).ok(),
-                    )?;
-                }
-                let t6 = run_fig3::render_table6(&res);
-                emit(opts, &format!("table6_{}", label.to_lowercase()), &t6, None)?;
-            }
-        }
-        "table7" => {
-            let (res, table) = run_table7::run_with(scale, opts.sweep)?;
-            emit(
-                opts,
-                "table7",
-                &table,
-                serde_json::to_string_pretty(&res).ok(),
-            )?;
-        }
-        "table8" => {
-            let (res, table) = run_table8::run_with(scale, opts.sweep)?;
-            emit(
-                opts,
-                "table8",
-                &table,
-                serde_json::to_string_pretty(&res).ok(),
-            )?;
-        }
-        "fig4" => {
-            let (panels, tables) = run_fig4::run_with(scale, opts.sweep)?;
-            for t in &tables {
-                println!("{}", t.render());
-            }
-            for p in &panels {
-                let mut plot = AsciiPlot::new(
-                    format!(
-                        "Figure 4 ({}): traffic (bytes) vs capacity, log-log",
-                        p.name
-                    ),
-                    64,
-                    16,
-                )
-                .log_log();
-                let markers = ['1', '2', '3', '4', '5', '6', 'A', 'V'];
-                for (c, m) in p.curves.iter().zip(markers) {
-                    let pts: Vec<(f64, f64)> = c
-                        .points
-                        .iter()
-                        .map(|&(s, t)| (s as f64, t as f64))
-                        .collect();
-                    plot = plot.series(m, c.label.clone(), pts);
-                }
-                println!("{}", plot.render());
-            }
-            if let Some(dir) = &opts.json_dir {
-                std::fs::create_dir_all(dir)
-                    .map_err(|e| MembwError::io("create JSON directory", dir.clone(), e))?;
-                let path = dir.join("fig4.json");
-                let body = serde_json::to_string_pretty(&panels).expect("fig4 serializes");
-                std::fs::write(&path, body)
-                    .map_err(|e| MembwError::io("write JSON archive", path, e))?;
-            }
-        }
-        "table9" => {
-            let (res, tables) = run_table9::run_with(scale, opts.sweep)?;
-            for t in &tables {
-                println!("{}", t.render());
-            }
-            if let Some(dir) = &opts.json_dir {
-                std::fs::create_dir_all(dir)
-                    .map_err(|e| MembwError::io("create JSON directory", dir.clone(), e))?;
-                let path = dir.join("table9.json");
-                let body = serde_json::to_string_pretty(&res).expect("table9 serializes");
-                std::fs::write(&path, body)
-                    .map_err(|e| MembwError::io("write JSON archive", path, e))?;
-            }
-        }
-        "ablation" => {
-            let (res, table) = run_ablation::run(scale, 16 * 1024)?;
-            emit(
-                opts,
-                "ablation",
-                &table,
-                serde_json::to_string_pretty(&res).ok(),
-            )?;
-        }
-        "dump" => {
-            // Dump every benchmark's reference stream as .mwtr files.
-            let dir = opts
-                .json_dir
-                .clone()
-                .unwrap_or_else(|| PathBuf::from("traces"));
-            std::fs::create_dir_all(&dir)
-                .map_err(|e| MembwError::io("create trace directory", dir.clone(), e))?;
-            use membw_core::trace::io::save_workload;
-            use membw_core::workloads::{suite92, suite95};
-            for b in suite92(scale).iter().chain(suite95(scale).iter()) {
-                let path = dir.join(format!("{}.mwtr", b.name()));
-                let n = save_workload(&b.replayable(), &path).map_err(|e| MembwError::Trace {
-                    path: path.clone(),
-                    source: e,
-                })?;
-                println!("wrote {} ({n} refs)", path.display());
-            }
-        }
-        "epin" => {
-            let (res, table) = run_epin::run(scale)?;
-            emit(
-                opts,
-                "epin",
-                &table,
-                serde_json::to_string_pretty(&res).ok(),
-            )?;
-        }
-        "swprefetch" => {
-            let (res, table) = run_swprefetch::run()?;
-            emit(
-                opts,
-                "swprefetch",
-                &table,
-                serde_json::to_string_pretty(&res).ok(),
-            )?;
-        }
-        "speculation" => {
-            let (res, table) = run_speculation::run()?;
-            emit(
-                opts,
-                "speculation",
-                &table,
-                serde_json::to_string_pretty(&res).ok(),
-            )?;
-        }
-        "dram" => {
-            let (res, table) = run_dram::run()?;
-            emit(
-                opts,
-                "dram",
-                &table,
-                serde_json::to_string_pretty(&res).ok(),
-            )?;
-        }
-        "interference" => {
-            let (res, table) = run_interference::run(16 * 1024, 200)?;
-            emit(
-                opts,
-                "interference",
-                &table,
-                serde_json::to_string_pretty(&res).ok(),
-            )?;
-        }
-        "extrapolate" => {
-            let (res, table) = run_extrapolation::run()?;
-            emit(
-                opts,
-                "extrapolate",
-                &table,
-                serde_json::to_string_pretty(&res).ok(),
-            )?;
-        }
-        other => unreachable!("target '{other}' was validated up front"),
     }
     Ok(())
 }
 
+fn serve_usage() {
+    println!("usage: repro serve [--socket PATH | --listen tcp:PORT|tcp:HOST:PORT]");
+    println!("                   [--max-inflight N] [--queue N] [--conn-limit N]");
+    println!("                   [--store DIR] [--checkpoint-dir DIR]");
+    println!("                   [--jobs N] [--mem-budget MB] [--read-timeout-ms N]");
+    println!("Resident daemon speaking newline-delimited JSON requests");
+    println!("  {{\"target\":\"table7\",\"scale\":\"small\",\"sweep\":\"stack\",");
+    println!("    \"audit\":\"warn\",\"deadline_ms\":0,\"priority\":0}}");
+    println!("over a Unix socket (default results/membw.sock) or TCP.");
+    println!("--max-inflight N requests render concurrently (default 2; each still");
+    println!("parallelizes its own job matrix under --jobs); --queue N more wait");
+    println!("FIFO-within-priority before clients get a busy response.");
+    println!("Completed renders persist (checksummed, tmp+fsync+rename) under");
+    println!("--store (default results/.serve-store): a killed-and-restarted");
+    println!("daemon answers warm requests from the store without recomputing.");
+    println!("SIGTERM drains gracefully: in-flight work checkpoints under");
+    println!("--checkpoint-dir, new clients get a draining response, exit 0.");
+}
+
+fn cmd_serve(argv: &[String]) -> i32 {
+    let mut endpoint = Endpoint::Unix(PathBuf::from("results/membw.sock"));
+    let mut config = ServeConfig::default();
+    let mut store_dir = PathBuf::from("results/.serve-store");
+    let mut checkpoint_dir = PathBuf::from("results/.checkpoint");
+    let mut mem_budget_mb: Option<u64> = None;
+    let mut args = argv.iter();
+    let parsed = (|| -> Result<(), String> {
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--socket" => {
+                    let v = args.next().ok_or("--socket needs a path")?;
+                    endpoint = Endpoint::Unix(PathBuf::from(v));
+                }
+                "--listen" => {
+                    let v = args.next().ok_or("--listen needs tcp:PORT or tcp:HOST:PORT")?;
+                    endpoint = Endpoint::parse(v)?;
+                }
+                "--max-inflight" => {
+                    let v = args.next().ok_or("--max-inflight needs a count")?;
+                    config.max_inflight = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| format!("--max-inflight needs a positive integer, got '{v}'"))?;
+                }
+                "--queue" => {
+                    let v = args.next().ok_or("--queue needs a count")?;
+                    config.queue_bound = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| format!("--queue needs a positive integer, got '{v}'"))?;
+                }
+                "--conn-limit" => {
+                    let v = args.next().ok_or("--conn-limit needs a count")?;
+                    config.conn_limit = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| format!("--conn-limit needs a positive integer, got '{v}'"))?;
+                }
+                "--read-timeout-ms" => {
+                    let v = args.next().ok_or("--read-timeout-ms needs milliseconds")?;
+                    let ms = v
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| format!("--read-timeout-ms needs positive milliseconds, got '{v}'"))?;
+                    config.read_timeout = Duration::from_millis(ms);
+                }
+                "--store" => {
+                    let v = args.next().ok_or("--store needs a directory")?;
+                    store_dir = PathBuf::from(v);
+                }
+                "--checkpoint-dir" => {
+                    let v = args.next().ok_or("--checkpoint-dir needs a directory")?;
+                    checkpoint_dir = PathBuf::from(v);
+                }
+                "--jobs" => {
+                    let v = args.next().ok_or("--jobs needs a count")?;
+                    let n = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| format!("--jobs needs a positive integer, got '{v}'"))?;
+                    runner::set_jobs(n);
+                }
+                "--mem-budget" => {
+                    let v = args.next().ok_or("--mem-budget needs whole MiB")?;
+                    let mb = runner::parse_mem_budget_mb(v)
+                        .map_err(|e| e.replace(runner::MEM_BUDGET_MB_ENV, "--mem-budget"))?;
+                    mem_budget_mb = Some(mb);
+                }
+                "--help" | "-h" => {
+                    serve_usage();
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown serve flag {other}")),
+            }
+        }
+        if let Ok(v) = std::env::var(runner::JOBS_ENV) {
+            runner::parse_jobs(&v)?;
+        }
+        runner::validate_fault_env()?;
+        if let Ok(v) = std::env::var(runner::MEM_BUDGET_MB_ENV) {
+            let mb = runner::parse_mem_budget_mb(&v)?;
+            if mem_budget_mb.is_none() {
+                mem_budget_mb = Some(mb);
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("error: {e}");
+        return 2;
+    }
+    if let Some(mb) = mem_budget_mb {
+        runner::set_mem_budget(Some(mb));
+    }
+    // SIGINT/SIGTERM request the drain; a second signal force-exits.
+    runner::install_signal_drain();
+    // Requests always resume from checkpoints: an interrupted render
+    // picks up where the drained daemon left off.
+    runner::set_checkpoint(Some(CheckpointConfig {
+        root: checkpoint_dir,
+        resume: true,
+    }));
+    let store = match ResultStore::open(&store_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot open result store {}: {e}", store_dir.display());
+            return 1;
+        }
+    };
+    let listener = match endpoint.listen() {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot listen on {}: {e}", endpoint.display());
+            return 1;
+        }
+    };
+    eprintln!(
+        "serve: listening on {} (max-inflight {}, queue {}, store {})",
+        endpoint.display(),
+        config.max_inflight,
+        config.queue_bound,
+        store_dir.display()
+    );
+    let server = Arc::new(Server::new(config, store));
+    let cancel = runner::global_cancel_token();
+    let served = match serve(&server, listener, &cancel) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: serve loop failed: {e}");
+            return 1;
+        }
+    };
+    if let Some(path) = endpoint.socket_path() {
+        let _ = std::fs::remove_file(path);
+    }
+    eprintln!("serve: drained cleanly after {served} connection(s)");
+    0
+}
+
+fn query_usage() {
+    println!("usage: repro query [--socket PATH|tcp:HOST:PORT] [--scale test|small|full]");
+    println!("                   [--sweep stack|direct] [--audit off|warn|strict]");
+    println!("                   [--deadline-ms N] [--priority P] <target>...");
+    println!("Sends one request per target to a repro serve daemon and prints each");
+    println!("ok response's stdout payload (byte-identical to the CLI run);");
+    println!("source/job accounting goes to stderr.");
+    println!("exit codes: 0 ok, 1 error response or transport failure,");
+    println!("            2 usage error, 3 busy, 4 draining.");
+}
+
+fn cmd_query(argv: &[String]) -> i32 {
+    let mut endpoint_spec = "results/membw.sock".to_string();
+    let mut template = ServiceRequest::new("");
+    let mut targets_req: Vec<String> = Vec::new();
+    let mut args = argv.iter();
+    let parsed = (|| -> Result<(), String> {
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--socket" => {
+                    endpoint_spec = args.next().ok_or("--socket needs a path or tcp: spec")?.clone();
+                }
+                "--scale" => {
+                    template.scale = args.next().ok_or("--scale needs a value")?.clone();
+                }
+                "--sweep" => {
+                    template.sweep = args.next().ok_or("--sweep needs a mode")?.clone();
+                }
+                "--audit" => {
+                    template.audit = args.next().ok_or("--audit needs a level")?.clone();
+                }
+                "--deadline-ms" => {
+                    let v = args.next().ok_or("--deadline-ms needs milliseconds")?;
+                    template.deadline_ms = v
+                        .parse::<u64>()
+                        .map_err(|_| format!("--deadline-ms needs milliseconds, got '{v}'"))?;
+                }
+                "--priority" => {
+                    let v = args.next().ok_or("--priority needs 0-255")?;
+                    template.priority = v
+                        .parse::<u8>()
+                        .map_err(|_| format!("--priority needs 0-255, got '{v}'"))?;
+                }
+                "--help" | "-h" => {
+                    query_usage();
+                    std::process::exit(0);
+                }
+                t if !t.starts_with('-') => targets_req.push(t.to_string()),
+                other => return Err(format!("unknown query flag {other}")),
+            }
+        }
+        if targets_req.is_empty() {
+            return Err("query needs at least one target".to_string());
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("error: {e}");
+        return 2;
+    }
+    let endpoint = match Endpoint::parse(&endpoint_spec) {
+        Ok(ep) => ep,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    for target in &targets_req {
+        let mut req = template.clone();
+        req.target = target.clone();
+        let resp = match client::query(&endpoint, &req, None) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: query '{target}' against {}: {e}", endpoint.display());
+                return 1;
+            }
+        };
+        match resp {
+            ServiceResponse::Ok {
+                source,
+                fnv64,
+                jobs,
+                resumed,
+                stdout,
+                ..
+            } => {
+                let actual = format!("{:016x}", persist::fnv64(&stdout));
+                if actual != fnv64 {
+                    eprintln!(
+                        "error: query '{target}': response checksum mismatch \
+                         (claimed {fnv64}, payload hashes to {actual})"
+                    );
+                    return 1;
+                }
+                print!("{stdout}");
+                eprintln!(
+                    "query: {target}: source: {source} ({jobs} job(s), {resumed} resumed)"
+                );
+            }
+            ServiceResponse::Busy { queued, bound } => {
+                eprintln!("query: {target}: busy ({queued} queued, bound {bound}); retry later");
+                return 3;
+            }
+            ServiceResponse::Draining => {
+                eprintln!("query: {target}: daemon is draining; retry after restart");
+                return 4;
+            }
+            ServiceResponse::Error {
+                kind,
+                message,
+                cell,
+            } => {
+                match cell {
+                    Some(cell) => {
+                        eprintln!("error: query '{target}': [{kind}] {message} (cell: {cell})");
+                    }
+                    None => eprintln!("error: query '{target}': [{kind}] {message}"),
+                }
+                return 1;
+            }
+        }
+    }
+    0
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => std::process::exit(cmd_serve(&argv[1..])),
+        Some("query") => std::process::exit(cmd_query(&argv[1..])),
+        _ => {}
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {

@@ -8,177 +8,11 @@
 //! * the **criterion benches** (`cargo bench -p membw-bench`) time the
 //!   simulators themselves, one bench group per table/figure, so
 //!   regressions in the instruments are caught.
+//!
+//! The target registry (names, validation, the `all` expansion) and the
+//! shared renderer moved to [`membw_core::targets`] so the `membw
+//! serve` daemon can use them without depending on this crate; the
+//! historical exports below are kept so embedders and the benches keep
+//! compiling unchanged.
 
-use membw_core::workloads::Scale;
-
-/// Parse a `--scale` argument value.
-///
-/// # Errors
-///
-/// Returns the offending string if it is not `test`, `small`, or
-/// `full`.
-pub fn parse_scale(s: &str) -> Result<Scale, String> {
-    match s {
-        "test" => Ok(Scale::Test),
-        "small" => Ok(Scale::Small),
-        "full" => Ok(Scale::Full),
-        other => Err(format!(
-            "unknown scale '{other}' (expected test|small|full)"
-        )),
-    }
-}
-
-/// All targets `repro` understands, including the `all` meta-target.
-pub const TARGETS: [&str; 20] = [
-    "fig1",
-    "table1",
-    "fig2",
-    "table2",
-    "table3",
-    "params",
-    "fig3",
-    "table6",
-    "table7",
-    "table8",
-    "fig4",
-    "table9",
-    "epin",
-    "extrapolate",
-    "ablation",
-    "interference",
-    "dram",
-    "speculation",
-    "swprefetch",
-    "dump",
-];
-
-/// The leaf targets the `all` meta-target expands to, in `repro`'s
-/// output order (fig3 runs last: it is by far the slowest). This is the
-/// single source of truth — the `repro` binary imports it rather than
-/// maintaining its own copy, and a test pins it against [`TARGETS`].
-pub const ALL_TARGETS: [&str; 18] = [
-    "fig1",
-    "table1",
-    "fig2",
-    "table2",
-    "table3",
-    "params",
-    "table7",
-    "table8",
-    "fig4",
-    "table9",
-    "epin",
-    "extrapolate",
-    "ablation",
-    "interference",
-    "dram",
-    "speculation",
-    "swprefetch",
-    "fig3",
-];
-
-/// Levenshtein edit distance (iterative two-row form) — small inputs
-/// only, used for the "did you mean" hint.
-fn edit_distance(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur = vec![0usize; b.len() + 1];
-    for (i, &ca) in a.iter().enumerate() {
-        cur[0] = i + 1;
-        for (j, &cb) in b.iter().enumerate() {
-            let sub = prev[j] + usize::from(ca != cb);
-            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
-        }
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    prev[b.len()]
-}
-
-/// Validate a CLI target name up front.
-///
-/// # Errors
-///
-/// For an unknown target, returns an error message that includes a
-/// "did you mean" suggestion when some known target is within edit
-/// distance 3.
-pub fn validate_target(target: &str) -> Result<(), String> {
-    if target == "all" || TARGETS.contains(&target) {
-        return Ok(());
-    }
-    let best = TARGETS
-        .iter()
-        .map(|t| (edit_distance(target, t), *t))
-        .min()
-        .filter(|(d, _)| *d <= 3);
-    match best {
-        Some((_, suggestion)) => Err(format!(
-            "unknown target '{target}' (did you mean '{suggestion}'?)"
-        )),
-        None => Err(format!(
-            "unknown target '{target}' (run with --help for the list)"
-        )),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_scales() {
-        assert_eq!(parse_scale("test").unwrap(), Scale::Test);
-        assert_eq!(parse_scale("small").unwrap(), Scale::Small);
-        assert_eq!(parse_scale("full").unwrap(), Scale::Full);
-        assert!(parse_scale("huge").is_err());
-    }
-
-    #[test]
-    fn edit_distance_basics() {
-        assert_eq!(edit_distance("", ""), 0);
-        assert_eq!(edit_distance("abc", "abc"), 0);
-        assert_eq!(edit_distance("abc", "abd"), 1);
-        assert_eq!(edit_distance("table8", "tabel8"), 2);
-        assert_eq!(edit_distance("kitten", "sitting"), 3);
-    }
-
-    #[test]
-    fn unknown_targets_get_suggestions() {
-        assert!(validate_target("table8").is_ok());
-        assert!(validate_target("all").is_ok());
-        let e = validate_target("tabel8").unwrap_err();
-        assert!(e.contains("did you mean 'table8'"), "{e}");
-        let e = validate_target("figg4").unwrap_err();
-        assert!(e.contains("did you mean 'fig4'"), "{e}");
-        // Nothing close: no misleading suggestion.
-        let e = validate_target("zzzzzzzzzzzz").unwrap_err();
-        assert!(!e.contains("did you mean"), "{e}");
-    }
-
-    #[test]
-    fn target_list_covers_the_all_expansion() {
-        // `all` must only expand to known leaf targets.
-        for t in TARGETS {
-            assert!(validate_target(t).is_ok(), "{t}");
-        }
-    }
-
-    #[test]
-    fn all_expansion_and_target_list_are_consistent() {
-        // Every `all` leaf is a known target, no leaf repeats, and the
-        // only targets outside the expansion are the non-default ones
-        // (`table6` is folded into `fig3`; `dump` is a utility).
-        for t in ALL_TARGETS {
-            assert!(TARGETS.contains(&t), "'{t}' missing from TARGETS");
-        }
-        for (i, t) in ALL_TARGETS.iter().enumerate() {
-            assert!(!ALL_TARGETS[..i].contains(t), "'{t}' duplicated");
-        }
-        let extras: Vec<&str> = TARGETS
-            .iter()
-            .copied()
-            .filter(|t| !ALL_TARGETS.contains(t))
-            .collect();
-        assert_eq!(extras, ["table6", "dump"]);
-    }
-}
+pub use membw_core::targets::{parse_scale, validate_target, ALL_TARGETS, TARGETS};

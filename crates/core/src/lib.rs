@@ -57,6 +57,8 @@ pub mod run_table3;
 pub mod run_table7;
 pub mod run_table8;
 pub mod run_table9;
+pub mod service;
+pub mod targets;
 
 pub use audit::{AuditLevel, Auditor};
 pub use error::{FailedJob, MembwError};

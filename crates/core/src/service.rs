@@ -1,0 +1,481 @@
+//! Wire types for the `membw serve` newline-delimited JSON protocol.
+//!
+//! One request per line, one response per line. Requests name a
+//! renderable target plus the run parameters the CLI would take as
+//! flags; responses are tagged by a `"status"` field so clients can
+//! dispatch without guessing:
+//!
+//! ```text
+//! -> {"target":"table7","scale":"test","priority":3}
+//! <- {"status":"ok","target":"table7", ... ,"stdout":"Table 7 ..."}
+//!
+//! -> {"target":"fig3","deadline_ms":10}
+//! <- {"status":"error","kind":"deadline","message":"..."}
+//!
+//! -> {"target":"table8"}          (while the queue is at its bound)
+//! <- {"status":"busy","queued":8,"bound":8}
+//! ```
+//!
+//! These types live in `membw-core` (not the serve crate) so the
+//! `repro query` client, the daemon, and the tests all speak the same
+//! schema from one definition. Serialization goes through the vendored
+//! serde shim's [`json::Value`] tree; every field is written in a fixed
+//! order so responses are byte-stable — the dedupe fan-out and the
+//! result store both rely on "same request, same bytes".
+
+use crate::audit::AuditLevel;
+use crate::error::MembwError;
+use serde::json::Value;
+use serde::{DeError, Deserialize, Serialize};
+
+/// One client request: which target to render, and how.
+///
+/// Every field except `target` is optional on the wire and defaults to
+/// the CLI's defaults (`scale small`, `sweep stack`, `audit warn`, no
+/// deadline, priority 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceRequest {
+    /// Target name (must be renderable: no `dump`, no `all`).
+    pub target: String,
+    /// Workload scale: `test` | `small` | `full`.
+    pub scale: String,
+    /// Capacity-axis engine: `stack` | `direct`.
+    pub sweep: String,
+    /// Invariant-audit level: `off` | `warn` | `strict`.
+    pub audit: String,
+    /// Per-request response deadline in milliseconds (0 = none). The
+    /// computation itself continues past the deadline and lands in the
+    /// result store; only the *reply* gives up.
+    pub deadline_ms: u64,
+    /// Dispatch priority: higher runs first, FIFO within a priority.
+    pub priority: u8,
+}
+
+impl ServiceRequest {
+    /// A request for `target` with every optional field at its default.
+    pub fn new(target: impl Into<String>) -> Self {
+        ServiceRequest {
+            target: target.into(),
+            scale: "small".to_string(),
+            sweep: "stack".to_string(),
+            audit: "warn".to_string(),
+            deadline_ms: 0,
+            priority: 0,
+        }
+    }
+
+    /// The dedupe / result-store key: everything the rendered bytes
+    /// depend on. Audit level, deadline, and priority are deliberately
+    /// excluded — they change *how* the answer is produced or awaited,
+    /// never the answer's bytes (a strict-audit failure is an error
+    /// response, which is never stored or deduped onto).
+    pub fn coalesce_key(&self) -> String {
+        format!("v1|{}|{}|{}", self.target, self.scale, self.sweep)
+    }
+
+    /// Validate field values against the registries the CLI uses.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the bad field (the daemon wraps
+    /// it in a `bad-request` / `unknown-target` error response).
+    pub fn validate(&self) -> Result<(), String> {
+        if !crate::targets::renderable(&self.target) {
+            crate::targets::validate_target(&self.target)?;
+            return Err(format!(
+                "target '{}' is not servable (renderable targets only: no 'dump', no 'all')",
+                self.target
+            ));
+        }
+        crate::targets::parse_scale(&self.scale)?;
+        crate::sweep::SweepMode::parse(&self.sweep)?;
+        self.audit
+            .parse::<AuditLevel>()
+            .map_err(|e| e.to_string())?;
+        Ok(())
+    }
+}
+
+impl Serialize for ServiceRequest {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("target".to_string(), Value::Str(self.target.clone())),
+            ("scale".to_string(), Value::Str(self.scale.clone())),
+            ("sweep".to_string(), Value::Str(self.sweep.clone())),
+            ("audit".to_string(), Value::Str(self.audit.clone())),
+            ("deadline_ms".to_string(), Value::UInt(self.deadline_ms)),
+            ("priority".to_string(), Value::UInt(u64::from(self.priority))),
+        ])
+    }
+}
+
+/// Extract an optional field, defaulting when absent (requests omit
+/// what they don't override; `null` means "default" too).
+fn opt_field<T: Deserialize>(v: &Value, field: &str, default: T) -> Result<T, DeError> {
+    match v.get(field) {
+        None | Some(Value::Null) => Ok(default),
+        Some(fv) => {
+            T::from_value(fv).map_err(|e| DeError(format!("ServiceRequest.{field}: {e}")))
+        }
+    }
+}
+
+impl Deserialize for ServiceRequest {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if !matches!(v, Value::Object(_)) {
+            return Err(DeError::expected("request object", v));
+        }
+        let target: String = serde::__field(v, "target", "ServiceRequest")?;
+        Ok(ServiceRequest {
+            target,
+            scale: opt_field(v, "scale", "small".to_string())?,
+            sweep: opt_field(v, "sweep", "stack".to_string())?,
+            audit: opt_field(v, "audit", "warn".to_string())?,
+            deadline_ms: opt_field(v, "deadline_ms", 0)?,
+            priority: opt_field(v, "priority", 0)?,
+        })
+    }
+}
+
+/// Machine-readable error kinds (`ServiceResponse::Error::kind`).
+pub mod error_kind {
+    /// The request line was not valid JSON / not a request object.
+    pub const BAD_REQUEST: &str = "bad-request";
+    /// The target name is unknown or not servable.
+    pub const UNKNOWN_TARGET: &str = "unknown-target";
+    /// The request line exceeded the frame size bound.
+    pub const FRAME_TOO_LONG: &str = "frame-too-long";
+    /// The job panicked; the daemon survived.
+    pub const PANIC: &str = "panic";
+    /// Strict-audit invariant violation; `cell` names the matrix cell.
+    pub const INVARIANT: &str = "invariant";
+    /// One or more run-engine jobs ultimately failed.
+    pub const JOBS_FAILED: &str = "jobs-failed";
+    /// The per-request `deadline_ms` elapsed before the result.
+    pub const DEADLINE: &str = "deadline";
+    /// The job was cancelled (daemon drain).
+    pub const CANCELLED: &str = "cancelled";
+    /// Target I/O or other internal failure.
+    pub const INTERNAL: &str = "internal";
+}
+
+/// Where an `ok` response's bytes came from.
+pub mod source {
+    /// Rendered by a simulation run in this daemon process.
+    pub const COMPUTED: &str = "computed";
+    /// Served from the crash-safe result store (checksum verified).
+    pub const STORE: &str = "store";
+}
+
+/// One response line, tagged by `status`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceResponse {
+    /// The rendered target.
+    Ok {
+        /// Echo of the request target.
+        target: String,
+        /// Echo of the effective scale.
+        scale: String,
+        /// Echo of the effective sweep mode.
+        sweep: String,
+        /// [`source::COMPUTED`] or [`source::STORE`]. Deduped followers
+        /// report the same source as the leader — the response bytes
+        /// must be identical for every coalesced client.
+        source: String,
+        /// FNV-1a 64 of `stdout`, zero-padded hex — clients can verify
+        /// the payload survived the wire.
+        fnv64: String,
+        /// Run-engine jobs this request executed (0 on a store hit).
+        jobs: u64,
+        /// Jobs replayed from checkpoints instead of executing.
+        resumed: u64,
+        /// Exactly the bytes `repro <target>` prints on stdout.
+        stdout: String,
+    },
+    /// The wait queue is at its bound; retry later (429 analogue).
+    Busy {
+        /// Requests waiting when this one was refused.
+        queued: u64,
+        /// The configured queue bound.
+        bound: u64,
+    },
+    /// The daemon is draining (SIGTERM); no new work is admitted.
+    Draining,
+    /// The request failed; the daemon is fine.
+    Error {
+        /// One of [`error_kind`]'s constants.
+        kind: String,
+        /// Human-readable description.
+        message: String,
+        /// For [`error_kind::INVARIANT`]: the auditor's matrix cell
+        /// (`"compress @ 16KB"`).
+        cell: Option<String>,
+    },
+}
+
+impl ServiceResponse {
+    /// Build the error response for a failed render, classifying the
+    /// [`MembwError`] and surfacing the auditor's cell name.
+    pub fn from_error(err: &MembwError) -> Self {
+        let (kind, cell) = match err {
+            MembwError::InvariantViolation { violations } => (
+                error_kind::INVARIANT,
+                violations.first().map(|v| v.cell.clone()),
+            ),
+            MembwError::Jobs { .. } => (error_kind::JOBS_FAILED, None),
+            MembwError::Io { .. } | MembwError::Trace { .. } => (error_kind::INTERNAL, None),
+        };
+        ServiceResponse::Error {
+            kind: kind.to_string(),
+            message: err.to_string(),
+            cell,
+        }
+    }
+
+    /// The `status` tag this response serializes under.
+    pub fn status(&self) -> &'static str {
+        match self {
+            ServiceResponse::Ok { .. } => "ok",
+            ServiceResponse::Busy { .. } => "busy",
+            ServiceResponse::Draining => "draining",
+            ServiceResponse::Error { .. } => "error",
+        }
+    }
+}
+
+impl Serialize for ServiceResponse {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![(
+            "status".to_string(),
+            Value::Str(self.status().to_string()),
+        )];
+        match self {
+            ServiceResponse::Ok {
+                target,
+                scale,
+                sweep,
+                source,
+                fnv64,
+                jobs,
+                resumed,
+                stdout,
+            } => {
+                fields.push(("target".to_string(), Value::Str(target.clone())));
+                fields.push(("scale".to_string(), Value::Str(scale.clone())));
+                fields.push(("sweep".to_string(), Value::Str(sweep.clone())));
+                fields.push(("source".to_string(), Value::Str(source.clone())));
+                fields.push(("fnv64".to_string(), Value::Str(fnv64.clone())));
+                fields.push(("jobs".to_string(), Value::UInt(*jobs)));
+                fields.push(("resumed".to_string(), Value::UInt(*resumed)));
+                fields.push(("stdout".to_string(), Value::Str(stdout.clone())));
+            }
+            ServiceResponse::Busy { queued, bound } => {
+                fields.push(("queued".to_string(), Value::UInt(*queued)));
+                fields.push(("bound".to_string(), Value::UInt(*bound)));
+            }
+            ServiceResponse::Draining => {}
+            ServiceResponse::Error {
+                kind,
+                message,
+                cell,
+            } => {
+                fields.push(("kind".to_string(), Value::Str(kind.clone())));
+                fields.push(("message".to_string(), Value::Str(message.clone())));
+                fields.push((
+                    "cell".to_string(),
+                    match cell {
+                        Some(c) => Value::Str(c.clone()),
+                        None => Value::Null,
+                    },
+                ));
+            }
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for ServiceResponse {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let status: String = serde::__field(v, "status", "ServiceResponse")?;
+        match status.as_str() {
+            "ok" => Ok(ServiceResponse::Ok {
+                target: serde::__field(v, "target", "ServiceResponse")?,
+                scale: serde::__field(v, "scale", "ServiceResponse")?,
+                sweep: serde::__field(v, "sweep", "ServiceResponse")?,
+                source: serde::__field(v, "source", "ServiceResponse")?,
+                fnv64: serde::__field(v, "fnv64", "ServiceResponse")?,
+                jobs: serde::__field(v, "jobs", "ServiceResponse")?,
+                resumed: serde::__field(v, "resumed", "ServiceResponse")?,
+                stdout: serde::__field(v, "stdout", "ServiceResponse")?,
+            }),
+            "busy" => Ok(ServiceResponse::Busy {
+                queued: serde::__field(v, "queued", "ServiceResponse")?,
+                bound: serde::__field(v, "bound", "ServiceResponse")?,
+            }),
+            "draining" => Ok(ServiceResponse::Draining),
+            "error" => Ok(ServiceResponse::Error {
+                kind: serde::__field(v, "kind", "ServiceResponse")?,
+                message: serde::__field(v, "message", "ServiceResponse")?,
+                cell: opt_field(v, "cell", None)?,
+            }),
+            other => Err(DeError(format!("unknown response status {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_defaults_fill_missing_fields() {
+        let r: ServiceRequest =
+            serde_json::from_str(r#"{"target":"table7"}"#).expect("minimal request");
+        assert_eq!(r, ServiceRequest::new("table7"));
+        assert_eq!(r.scale, "small");
+        assert_eq!(r.sweep, "stack");
+        assert_eq!(r.audit, "warn");
+        assert_eq!(r.deadline_ms, 0);
+        assert_eq!(r.priority, 0);
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let mut r = ServiceRequest::new("fig4");
+        r.scale = "test".to_string();
+        r.sweep = "direct".to_string();
+        r.audit = "strict".to_string();
+        r.deadline_ms = 1500;
+        r.priority = 9;
+        let line = serde_json::to_string(&r).unwrap();
+        let back: ServiceRequest = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn request_rejects_wrong_shapes() {
+        assert!(serde_json::from_str::<ServiceRequest>("42").is_err());
+        assert!(serde_json::from_str::<ServiceRequest>(r#"{"scale":"test"}"#).is_err());
+        assert!(
+            serde_json::from_str::<ServiceRequest>(r#"{"target":"t","priority":300}"#).is_err(),
+            "priority must fit u8"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_unservable_targets() {
+        assert!(ServiceRequest::new("table7").validate().is_ok());
+        let e = ServiceRequest::new("dump").validate().unwrap_err();
+        assert!(e.contains("not servable"), "{e}");
+        let e = ServiceRequest::new("all").validate().unwrap_err();
+        assert!(e.contains("not servable"), "{e}");
+        let e = ServiceRequest::new("tabel7").validate().unwrap_err();
+        assert!(e.contains("did you mean"), "{e}");
+        let mut r = ServiceRequest::new("table7");
+        r.scale = "huge".to_string();
+        assert!(r.validate().is_err());
+        let mut r = ServiceRequest::new("table7");
+        r.sweep = "sideways".to_string();
+        assert!(r.validate().is_err());
+        let mut r = ServiceRequest::new("table7");
+        r.audit = "loud".to_string();
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn coalesce_key_ignores_delivery_parameters() {
+        let mut a = ServiceRequest::new("table7");
+        let mut b = ServiceRequest::new("table7");
+        a.priority = 5;
+        a.deadline_ms = 100;
+        a.audit = "off".to_string();
+        b.priority = 0;
+        assert_eq!(a.coalesce_key(), b.coalesce_key());
+        b.scale = "test".to_string();
+        assert_ne!(a.coalesce_key(), b.coalesce_key());
+    }
+
+    #[test]
+    fn responses_round_trip_every_variant() {
+        let cases = vec![
+            ServiceResponse::Ok {
+                target: "table7".into(),
+                scale: "test".into(),
+                sweep: "stack".into(),
+                source: source::COMPUTED.into(),
+                fnv64: "00000000deadbeef".into(),
+                jobs: 12,
+                resumed: 3,
+                stdout: "Table 7\nline \"two\"\n".into(),
+            },
+            ServiceResponse::Busy {
+                queued: 8,
+                bound: 8,
+            },
+            ServiceResponse::Draining,
+            ServiceResponse::Error {
+                kind: error_kind::INVARIANT.into(),
+                message: "1 paper invariant(s) violated".into(),
+                cell: Some("compress @ 16KB".into()),
+            },
+            ServiceResponse::Error {
+                kind: error_kind::PANIC.into(),
+                message: "job panicked".into(),
+                cell: None,
+            },
+        ];
+        for resp in cases {
+            let line = serde_json::to_string(&resp).unwrap();
+            assert!(!line.contains('\n'), "one response = one line: {line:?}");
+            let back: ServiceResponse = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn serialization_is_byte_stable() {
+        let r = ServiceResponse::Busy {
+            queued: 1,
+            bound: 2,
+        };
+        assert_eq!(
+            serde_json::to_string(&r).unwrap(),
+            serde_json::to_string(&r).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&r).unwrap(),
+            r#"{"status":"busy","queued":1,"bound":2}"#
+        );
+    }
+
+    #[test]
+    fn errors_classify_with_auditor_cell() {
+        let e = MembwError::InvariantViolation {
+            violations: vec![crate::audit::Violation {
+                target: "table8".to_string(),
+                cell: "compress @ 16KB".to_string(),
+                invariant: "inefficiency",
+                detail: "G = 0.7 < 1".to_string(),
+            }],
+        };
+        match ServiceResponse::from_error(&e) {
+            ServiceResponse::Error { kind, cell, .. } => {
+                assert_eq!(kind, error_kind::INVARIANT);
+                assert_eq!(cell.as_deref(), Some("compress @ 16KB"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let e = MembwError::io(
+            "write result",
+            "/tmp/x",
+            std::io::Error::from(std::io::ErrorKind::PermissionDenied),
+        );
+        match ServiceResponse::from_error(&e) {
+            ServiceResponse::Error { kind, cell, .. } => {
+                assert_eq!(kind, error_kind::INTERNAL);
+                assert_eq!(cell, None);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

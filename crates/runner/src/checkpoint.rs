@@ -41,8 +41,8 @@
 //! floats), a resumed run's merged output is byte-identical to an
 //! uninterrupted one at any thread count.
 
+use crate::persist;
 use serde::{Deserialize, Serialize};
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -65,39 +65,6 @@ static QUARANTINED: AtomicU64 = AtomicU64::new(0);
 /// How many corrupt checkpoint artifacts this process has quarantined.
 pub fn quarantined_artifacts() -> u64 {
     QUARANTINED.load(Ordering::Relaxed)
-}
-
-/// 64-bit FNV-1a — stable across runs and platforms (unlike
-/// `DefaultHasher`, which makes no cross-version promise).
-pub(crate) fn fnv64(s: &str) -> u64 {
-    fnv64_bytes(s.as_bytes())
-}
-
-/// FNV-1a over raw bytes (the content checksum of archived results).
-pub(crate) fn fnv64_bytes(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in bytes {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// The checksum header prefix of an archived job result.
-const CKPT_HEADER: &str = "#membw-ckpt fnv64=";
-
-/// Prefix `body` with its content checksum header.
-fn seal(body: &str) -> String {
-    format!("{CKPT_HEADER}{:016x}\n{body}", fnv64_bytes(body.as_bytes()))
-}
-
-/// Split a sealed artifact into its verified body, or `None` if the
-/// header is missing/malformed or the checksum does not match.
-fn unseal(text: &str) -> Option<&str> {
-    let rest = text.strip_prefix(CKPT_HEADER)?;
-    let (hex, body) = rest.split_once('\n')?;
-    let stored = u64::from_str_radix(hex, 16).ok()?;
-    (stored == fnv64_bytes(body.as_bytes())).then_some(body)
 }
 
 /// Keep only filesystem-safe characters from a batch label.
@@ -135,7 +102,9 @@ impl Store {
         key: &str,
         jobs: usize,
     ) -> Option<Store> {
-        let dir = cfg.root.join(format!("{}-{:016x}", slug(label), fnv64(key)));
+        let dir = cfg
+            .root
+            .join(format!("{}-{:016x}", slug(label), persist::fnv64(key)));
         let meta = serde_json::to_string(&Meta {
             key: key.to_string(),
             jobs: jobs as u64,
@@ -152,7 +121,8 @@ impl Store {
             }
             Err(_) => write_meta(&dir, &meta_path, &meta)?,
         }
-        sweep_orphaned_tmp(&dir);
+        persist::sweep_orphaned_tmp(&dir);
+        persist::sweep_corrupt_retention(&dir, persist::CORRUPT_KEEP_DEFAULT);
         Some(Store {
             dir,
             resume: cfg.resume,
@@ -173,19 +143,19 @@ impl Store {
         }
         let path = self.dir.join(format!("{i}.json"));
         let text = std::fs::read_to_string(&path).ok()?;
-        let parsed = unseal(&text).and_then(|body| serde_json::from_str(body).ok());
+        let parsed = persist::unseal(&text).and_then(|body| serde_json::from_str(body).ok());
         if parsed.is_none() {
             self.quarantine(&path);
         }
         parsed
     }
 
-    /// Rename a failed-verification artifact to `<path>.corrupt` so it
-    /// is preserved for inspection but never consulted again.
+    /// Rename a failed-verification artifact aside (`<path>.corrupt`,
+    /// `<path>.corrupt-2`, …) so it is preserved for inspection but
+    /// never consulted again; the retention sweep on the next open
+    /// bounds how many generations accumulate.
     fn quarantine(&self, path: &Path) {
-        let mut corrupt = path.as_os_str().to_owned();
-        corrupt.push(".corrupt");
-        let corrupt = PathBuf::from(corrupt);
+        let corrupt = persist::quarantine_path(path);
         QUARANTINED.fetch_add(1, Ordering::Relaxed);
         match std::fs::rename(path, &corrupt) {
             Ok(()) => eprintln!(
@@ -213,11 +183,9 @@ impl Store {
     /// fails the job.
     pub(crate) fn save<T: Serialize>(&self, i: usize, value: &T) {
         let body = serde_json::to_string_pretty(value).expect("job result serializes");
-        let sealed = seal(&body);
-        let tmp = self.dir.join(format!("{i}.json.tmp"));
+        let sealed = persist::seal(&body);
         let fin = self.dir.join(format!("{i}.json"));
-        if let Err((context, path, e)) = write_durable(&tmp, &fin, sealed.as_bytes()) {
-            let _ = std::fs::remove_file(&tmp);
+        if let Err((context, path, e)) = persist::write_atomic(&fin, sealed.as_bytes()) {
             let mut warned = self.write_warned.lock().expect("warn flag");
             if !*warned {
                 *warned = true;
@@ -226,40 +194,6 @@ impl Store {
                     path.display()
                 );
             }
-        }
-    }
-}
-
-/// Write `bytes` to `tmp`, fsync, and rename onto `fin`. On failure the
-/// returned triple names the failed operation and path, in the same
-/// shape `MembwError::Io` renders.
-fn write_durable(
-    tmp: &Path,
-    fin: &Path,
-    bytes: &[u8],
-) -> Result<(), (&'static str, PathBuf, std::io::Error)> {
-    let mut f = std::fs::File::create(tmp)
-        .map_err(|e| ("create checkpoint temp file", tmp.to_path_buf(), e))?;
-    f.write_all(bytes)
-        .map_err(|e| ("write checkpoint", tmp.to_path_buf(), e))?;
-    // fsync before rename: otherwise a crash can leave a renamed but
-    // empty/short file, which is exactly the torn artifact the rename
-    // is meant to rule out.
-    f.sync_all()
-        .map_err(|e| ("fsync checkpoint", tmp.to_path_buf(), e))?;
-    drop(f);
-    std::fs::rename(tmp, fin).map_err(|e| ("publish checkpoint", fin.to_path_buf(), e))
-}
-
-/// Remove `*.tmp` leftovers from a run that was killed mid-save.
-fn sweep_orphaned_tmp(dir: &Path) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.extension().is_some_and(|e| e == "tmp") {
-            let _ = std::fs::remove_file(&path);
         }
     }
 }
@@ -409,23 +343,56 @@ mod tests {
     }
 
     #[test]
-    fn seal_unseal_roundtrip_and_reject() {
-        let sealed = seal("{\"x\": 1}");
-        assert!(sealed.starts_with(CKPT_HEADER));
-        assert_eq!(unseal(&sealed), Some("{\"x\": 1}"));
-        // Any body flip is caught.
-        let tampered = sealed.replace('1', "2");
-        assert_eq!(unseal(&tampered), None);
-        // Header damage is caught.
-        assert_eq!(unseal("#membw-ckpt fnv64=zz\nbody"), None);
-        assert_eq!(unseal("no header at all"), None);
+    fn labels_are_slugged() {
+        assert_eq!(slug("fig3/SPEC92 (test)"), "fig3_SPEC92__test_");
     }
 
     #[test]
-    fn fnv_is_stable() {
-        // Pinned: the on-disk layout depends on this value never moving.
-        assert_eq!(fnv64(""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv64("a"), 0xaf63_dc4c_8601_ec8c);
-        assert_eq!(slug("fig3/SPEC92 (test)"), "fig3_SPEC92__test_");
+    fn repeated_quarantines_keep_distinct_generations() {
+        let root = tmp("regen");
+        let cfg = CheckpointConfig {
+            root: root.clone(),
+            resume: true,
+        };
+        let store = Store::open(&cfg, "x", "v1/regen", 1).expect("open");
+        for gen in ["first bad", "second bad"] {
+            std::fs::write(store.dir.join("0.json"), gen).unwrap();
+            assert_eq!(store.load::<u64>(0), None);
+        }
+        assert!(store.dir.join("0.json.corrupt").exists());
+        assert!(
+            store.dir.join("0.json.corrupt-2").exists(),
+            "second failure must not overwrite the first generation"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reopen_bounds_the_quarantine_backlog() {
+        let root = tmp("rebound");
+        let cfg = CheckpointConfig {
+            root: root.clone(),
+            resume: true,
+        };
+        let store = Store::open(&cfg, "x", "v1/rebound", 1).expect("open");
+        for gen in 0..6 {
+            std::fs::write(store.dir.join("0.json"), format!("bad {gen}")).unwrap();
+            assert_eq!(store.load::<u64>(0), None);
+        }
+        let count = |dir: &std::path::Path| {
+            std::fs::read_dir(dir)
+                .unwrap()
+                .flatten()
+                .filter(|e| e.path().to_string_lossy().contains(".corrupt"))
+                .count()
+        };
+        assert_eq!(count(&store.dir), 6);
+        let store = Store::open(&cfg, "x", "v1/rebound", 1).expect("reopen");
+        assert_eq!(
+            count(&store.dir),
+            crate::persist::CORRUPT_KEEP_DEFAULT,
+            "reopen trims the backlog to the newest generations"
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -64,13 +64,16 @@ mod cancel;
 mod checkpoint;
 mod failure;
 mod governor;
+mod handle;
 mod inject;
+pub mod persist;
 
 pub use cancel::{
     ambient_cancel_token, global_cancel_token, install_signal_drain, with_cancel_token,
     CancelReason, CancelToken, CancelUnwind,
 };
 pub use checkpoint::{quarantined_artifacts, CheckpointConfig};
+pub use handle::{Dispatcher, JobHandle, JobOutcome, SubmitError};
 pub use failure::{JobError, JobFailure};
 pub use governor::{
     ambient_governor, global_governor, parse_mem_budget_mb, set_mem_budget, with_governor,

@@ -1,0 +1,189 @@
+//! Protocol chaos hooks: adversarial clients for the soak test.
+//!
+//! `MEMBW_SERVE_FAULT` selects which misbehaviors the soak harness
+//! throws at a daemon (comma-separated; unset means *all* of them):
+//!
+//! * `torn` — half a request frame, then hang up;
+//! * `disconnect` — a full request, then hang up before the reply
+//!   (the render still completes server-side and lands in the store);
+//! * `slowloris` — drip bytes slower than any human typist until the
+//!   server's frame deadline closes the connection;
+//! * `dupburst[:N]` — N concurrent identical requests (default 8),
+//!   which must coalesce onto one computation and produce N
+//!   byte-identical response lines.
+//!
+//! These are *client-side* faults: the daemon under test runs
+//! completely unmodified, which is the point — the soak criterion is
+//! that no client behavior, however broken, changes a well-formed
+//! client's bytes or brings the process down.
+
+use crate::net::Endpoint;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::time::Duration;
+
+/// Environment variable selecting chaos modes for the soak harness.
+pub const SERVE_FAULT_ENV: &str = "MEMBW_SERVE_FAULT";
+
+/// One adversarial client behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Send half a frame, disconnect.
+    Torn,
+    /// Send a full request, disconnect before the reply.
+    Disconnect,
+    /// Drip bytes slower than the server's frame deadline.
+    SlowLoris,
+    /// N concurrent identical requests.
+    DupBurst(usize),
+}
+
+/// Every mode, at default intensities (the unset-env default).
+pub const ALL_MODES: [FaultMode; 4] = [
+    FaultMode::Torn,
+    FaultMode::Disconnect,
+    FaultMode::SlowLoris,
+    FaultMode::DupBurst(8),
+];
+
+/// Strictly parse a [`SERVE_FAULT_ENV`] spec.
+///
+/// # Errors
+///
+/// Names the variable and the offending entry, like the engine's other
+/// fault-env validators.
+pub fn parse_spec(spec: &str) -> Result<Vec<FaultMode>, String> {
+    let mut modes = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        let mode = match entry {
+            "torn" => FaultMode::Torn,
+            "disconnect" => FaultMode::Disconnect,
+            "slowloris" => FaultMode::SlowLoris,
+            "dupburst" => FaultMode::DupBurst(8),
+            _ => match entry.strip_prefix("dupburst:") {
+                Some(n) => match n.parse::<usize>() {
+                    Ok(n) if n > 0 => FaultMode::DupBurst(n),
+                    _ => {
+                        return Err(format!(
+                            "invalid {SERVE_FAULT_ENV} entry {entry:?}: dupburst needs a positive count"
+                        ))
+                    }
+                },
+                None => {
+                    return Err(format!(
+                        "invalid {SERVE_FAULT_ENV} entry {entry:?} \
+                         (expected torn|disconnect|slowloris|dupburst[:N])"
+                    ))
+                }
+            },
+        };
+        modes.push(mode);
+    }
+    Ok(modes)
+}
+
+/// The chaos modes the environment selects: unset → [`ALL_MODES`].
+///
+/// # Errors
+///
+/// A malformed spec (strict, like every other fault env).
+pub fn modes_from_env() -> Result<Vec<FaultMode>, String> {
+    match std::env::var(SERVE_FAULT_ENV) {
+        Ok(spec) => parse_spec(&spec),
+        Err(_) => Ok(ALL_MODES.to_vec()),
+    }
+}
+
+/// Throw one chaos client at the daemon. Returns any response lines
+/// received (`dupburst` returns one per burst client that got an
+/// answer; the hang-up modes return none).
+///
+/// Never returns an error: a connection the daemon slams shut *is* the
+/// expected outcome for several modes, so transport failures are
+/// swallowed — the soak test's assertions live on the daemon side
+/// (still alive, well-formed clients unaffected).
+pub fn apply(endpoint: &Endpoint, mode: FaultMode, request_line: &str) -> Vec<String> {
+    match mode {
+        FaultMode::Torn => {
+            if let Ok(mut s) = endpoint.connect() {
+                let half = &request_line.as_bytes()[..request_line.len() / 2];
+                let _ = s.write_all(half);
+                let _ = s.flush();
+            }
+            Vec::new()
+        }
+        FaultMode::Disconnect => {
+            if let Ok(mut s) = endpoint.connect() {
+                let _ = s.write_all(request_line.as_bytes());
+                let _ = s.write_all(b"\n");
+                let _ = s.flush();
+            }
+            Vec::new()
+        }
+        FaultMode::SlowLoris => {
+            if let Ok(mut s) = endpoint.connect() {
+                let _ = s.set_read_timeout(Some(Duration::from_millis(100)));
+                // Drip one byte at a time; stop when the server closes
+                // on us (write error) or after bounded effort.
+                for b in request_line.as_bytes().iter().take(32) {
+                    if s.write_all(std::slice::from_ref(b)).is_err() {
+                        break;
+                    }
+                    let _ = s.flush();
+                    std::thread::sleep(Duration::from_millis(40));
+                    // Probe for the server closing the connection.
+                    let mut probe = [0u8; 1];
+                    if let Ok(0) = s.read(&mut probe) {
+                        break; // server hung up: defense worked
+                    }
+                }
+            }
+            Vec::new()
+        }
+        FaultMode::DupBurst(n) => {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    let ep = endpoint.clone();
+                    let line = request_line.to_string();
+                    std::thread::spawn(move || -> Option<String> {
+                        let mut s = ep.connect().ok()?;
+                        s.write_all(line.as_bytes()).ok()?;
+                        s.write_all(b"\n").ok()?;
+                        s.flush().ok()?;
+                        let mut reader = BufReader::new(s);
+                        let mut reply = String::new();
+                        reader.read_line(&mut reply).ok()?;
+                        (!reply.is_empty()).then(|| reply.trim_end().to_string())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().ok().flatten())
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_strictly() {
+        assert_eq!(
+            parse_spec("torn,disconnect,slowloris,dupburst").unwrap(),
+            vec![
+                FaultMode::Torn,
+                FaultMode::Disconnect,
+                FaultMode::SlowLoris,
+                FaultMode::DupBurst(8)
+            ]
+        );
+        assert_eq!(parse_spec("dupburst:3").unwrap(), vec![FaultMode::DupBurst(3)]);
+        for bad in ["", "tornn", "dupburst:0", "dupburst:x", "torn;disconnect"] {
+            let e = parse_spec(bad).unwrap_err();
+            assert!(e.contains(SERVE_FAULT_ENV), "{bad:?} -> {e}");
+        }
+    }
+}

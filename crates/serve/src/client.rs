@@ -1,0 +1,54 @@
+//! The `repro query` client: one request, one parsed response.
+
+use crate::net::Endpoint;
+use membw_core::service::{ServiceRequest, ServiceResponse};
+use std::io::{BufRead, BufReader, Write};
+use std::time::Duration;
+
+/// Send `req` to the daemon at `endpoint` and wait for its response
+/// line. `timeout` bounds each read on the reply (None = wait
+/// indefinitely, e.g. for a long cold render).
+///
+/// # Errors
+///
+/// Connection/transport failures, a daemon that closed without
+/// replying, or an unparseable response line.
+pub fn query(
+    endpoint: &Endpoint,
+    req: &ServiceRequest,
+    timeout: Option<Duration>,
+) -> std::io::Result<ServiceResponse> {
+    let mut stream = endpoint.connect()?;
+    stream.set_read_timeout(timeout)?;
+    let mut line = serde_json::to_string(req)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    let n = reader.read_line(&mut reply)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "daemon closed the connection without replying",
+        ));
+    }
+    serde_json::from_str::<ServiceResponse>(reply.trim_end())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Wait until a daemon accepts connections at `endpoint` (startup
+/// race in tests and CI), up to `timeout`.
+pub fn wait_ready(endpoint: &Endpoint, timeout: Duration) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        if endpoint.connect().is_ok() {
+            return true;
+        }
+        if std::time::Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}

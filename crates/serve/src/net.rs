@@ -1,0 +1,246 @@
+//! Transport: Unix-domain sockets (default) and TCP (`--listen
+//! tcp:PORT`), behind one pair of enums so the protocol layer is
+//! transport-blind.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Where the daemon listens / the client connects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+    /// A TCP host:port.
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parse an endpoint spec: `tcp:PORT`, `tcp:HOST:PORT`, or a Unix
+    /// socket path (anything else).
+    ///
+    /// # Errors
+    ///
+    /// An empty spec, or a `tcp:` spec without a port.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if spec.is_empty() {
+            return Err("empty endpoint spec".to_string());
+        }
+        match spec.strip_prefix("tcp:") {
+            None => Ok(Endpoint::Unix(PathBuf::from(spec))),
+            Some("") => {
+                Err("tcp endpoint needs a port: tcp:PORT or tcp:HOST:PORT".to_string())
+            }
+            Some(rest) => {
+                let addr = if rest.contains(':') {
+                    rest.to_string()
+                } else {
+                    rest.parse::<u16>().map_err(|_| {
+                        format!("invalid tcp port '{rest}' (expected tcp:PORT or tcp:HOST:PORT)")
+                    })?;
+                    format!("127.0.0.1:{rest}")
+                };
+                Ok(Endpoint::Tcp(addr))
+            }
+        }
+    }
+
+    /// Connect as a client.
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket error.
+    pub fn connect(&self) -> std::io::Result<Stream> {
+        match self {
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(Stream::Tcp),
+        }
+    }
+
+    /// Bind as a server. A stale Unix socket file (left by a killed
+    /// daemon — exactly the crash-restart path the store exists for) is
+    /// detected by probing it: if nothing answers, the file is removed
+    /// and the address rebound; if a live daemon answers, binding fails.
+    ///
+    /// # Errors
+    ///
+    /// The underlying bind error, or "address in use" when a live
+    /// daemon already answers on a Unix socket.
+    pub fn listen(&self) -> std::io::Result<Listener> {
+        match self {
+            Endpoint::Unix(path) => match UnixListener::bind(path) {
+                Ok(l) => Ok(Listener::Unix(l)),
+                Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                    if UnixStream::connect(path).is_ok() {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::AddrInUse,
+                            format!("a daemon is already serving on {}", path.display()),
+                        ));
+                    }
+                    std::fs::remove_file(path)?;
+                    UnixListener::bind(path).map(Listener::Unix)
+                }
+                Err(e) => Err(e),
+            },
+            Endpoint::Tcp(addr) => TcpListener::bind(addr.as_str()).map(Listener::Tcp),
+        }
+    }
+
+    /// Human-readable address for log lines.
+    pub fn display(&self) -> String {
+        match self {
+            Endpoint::Unix(path) => path.display().to_string(),
+            Endpoint::Tcp(addr) => format!("tcp:{addr}"),
+        }
+    }
+
+    /// The socket file to unlink on clean shutdown (Unix only).
+    pub fn socket_path(&self) -> Option<&Path> {
+        match self {
+            Endpoint::Unix(path) => Some(path),
+            Endpoint::Tcp(_) => None,
+        }
+    }
+}
+
+/// One accepted or dialed connection.
+pub enum Stream {
+    /// Unix-domain stream.
+    Unix(UnixStream),
+    /// TCP stream.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Bound every blocking read (slow-loris defense, client response
+    /// waits).
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket error.
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(d),
+            Stream::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// The daemon's listening socket.
+#[derive(Debug)]
+pub enum Listener {
+    /// Unix-domain listener.
+    Unix(UnixListener),
+    /// TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Non-blocking accept so the serve loop can poll the drain token.
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket error.
+    pub fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    /// Accept one connection (the accepted stream is switched back to
+    /// blocking; per-read timeouts bound it instead).
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` when non-blocking and idle; otherwise the socket
+    /// error.
+    pub fn accept(&self) -> std::io::Result<Stream> {
+        let stream = match self {
+            Listener::Unix(l) => Stream::Unix(l.accept()?.0),
+            Listener::Tcp(l) => Stream::Tcp(l.accept()?.0),
+        };
+        match &stream {
+            Stream::Unix(s) => s.set_nonblocking(false)?,
+            Stream::Tcp(s) => s.set_nonblocking(false)?,
+        }
+        Ok(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_specs_parse() {
+        assert_eq!(
+            Endpoint::parse("/tmp/membw.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/membw.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("tcp:7070").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7070".to_string())
+        );
+        assert_eq!(
+            Endpoint::parse("tcp:0.0.0.0:7070").unwrap(),
+            Endpoint::Tcp("0.0.0.0:7070".to_string())
+        );
+        assert!(Endpoint::parse("").is_err());
+        assert!(Endpoint::parse("tcp:").is_err());
+        assert!(Endpoint::parse("tcp:notaport").is_err());
+    }
+
+    #[test]
+    fn stale_unix_socket_is_rebound() {
+        let path = std::env::temp_dir().join(format!("membw_net_stale_{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let ep = Endpoint::Unix(path.clone());
+        // First bind, then drop the listener WITHOUT unlinking — the
+        // socket file stays behind, as after SIGKILL.
+        drop(ep.listen().unwrap());
+        assert!(path.exists(), "stale socket file left behind");
+        // Rebinding must probe, unlink, and succeed.
+        let l2 = ep.listen().expect("stale socket rebinds");
+        drop(l2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn live_unix_socket_refuses_second_daemon() {
+        let path = std::env::temp_dir().join(format!("membw_net_live_{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let ep = Endpoint::Unix(path.clone());
+        let _live = ep.listen().unwrap();
+        let err = ep.listen().expect_err("second daemon must be refused");
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -144,6 +144,21 @@ pub fn __field<T: Deserialize>(v: &Value, field: &str, ty: &str) -> Result<T, De
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
 
+// A raw `Value` serializes as itself — upstream serde_json's
+// `Value: Serialize + Deserialize` equivalent, used by code that
+// builds or inspects JSON trees directly (the serve result store).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
