@@ -8,7 +8,9 @@
 //! * [`qualitative`] — Table 1's direction-of-change predictions;
 //! * [`extrapolate`] — the §4.3 ten-year package projection;
 //! * [`epin`] — effective pin bandwidth (Eq. 5) and its traffic-
-//!   inefficiency upper bound (Eq. 7).
+//!   inefficiency upper bound (Eq. 7);
+//! * [`ecm`] — the ECM-style execution/traffic predictor with explicit
+//!   error bounds (the PR 8 analytic fast path).
 //!
 //! # Example
 //!
@@ -21,6 +23,7 @@
 //! ```
 
 pub mod compression;
+pub mod ecm;
 pub mod epin;
 pub mod extrapolate;
 pub mod growth;
@@ -29,6 +32,10 @@ pub mod pins;
 pub mod qualitative;
 
 pub use compression::CompressionScheme;
+pub use ecm::{
+    AnalyticMode, BlockReuse, EcmConfig, EcmPrediction, KernelSignature, TrafficGeometry,
+    TrafficPrediction, MODEL_VERSION,
+};
 pub use epin::{effective_pin_bandwidth, upper_bound_epin};
 pub use extrapolate::{project, Projection};
 pub use growth::Algorithm;

@@ -1,0 +1,62 @@
+//! Analytic fast-path bench: single-query predictor latency (the
+//! microsecond claim), full analytic target renders, and the simulated
+//! render they replace — the triage speedup is the ratio of the last
+//! two.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use membw_core::analytic::ecm::{self, TrafficGeometry};
+use membw_core::fastpath::{self, ANALYTIC_TARGETS};
+use membw_core::sim::{Experiment, MachineSpec};
+use membw_core::sweep::SweepMode;
+use membw_core::targets;
+use membw_core::trace::signature::compute_signature;
+use membw_core::workloads::{suite92, Scale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictor");
+    g.sample_size(20);
+
+    // One real signature, computed once: predictions are pure
+    // histogram arithmetic from here on.
+    let suite = suite92(Scale::Test);
+    let b0 = suite.first().expect("suite nonempty");
+    let sig = compute_signature(b0.name(), "Test", b0.workload());
+    let cfg = fastpath::ecm_config(&MachineSpec::spec92(Experiment::C));
+
+    g.bench_function("predict_time_single_query", |b| {
+        b.iter(|| black_box(ecm::predict_time(black_box(&sig.kernel), &cfg)))
+    });
+    g.bench_function("predict_traffic_single_query", |b| {
+        b.iter(|| {
+            black_box(ecm::predict_traffic(
+                black_box(&sig.kernel),
+                32,
+                64 * 1024,
+                TrafficGeometry::Assoc { ways: 1 },
+            ))
+        })
+    });
+
+    // Whole-target latency, analytic vs simulated: the serve fast
+    // lane's warm win is the gap between these (plus the memoized
+    // cache, which makes the analytic side even cheaper).
+    for target in ANALYTIC_TARGETS {
+        g.bench_function(format!("render_{target}_analytic"), |b| {
+            b.iter(|| black_box(fastpath::render_target_analytic(target, Scale::Test)))
+        });
+    }
+    g.bench_function("render_table7_simulated", |b| {
+        b.iter(|| {
+            black_box(targets::render_target(
+                "table7",
+                Scale::Test,
+                SweepMode::Stack,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

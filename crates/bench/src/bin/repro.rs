@@ -6,7 +6,7 @@
 //!       [--retries N] [--job-timeout SECS] [--deadline SECS]
 //!       [--mem-budget MB] [--resume | --no-resume]
 //!       [--checkpoint-dir DIR] [--audit off|warn|strict]
-//!       [--sweep stack|direct] <target>...
+//!       [--sweep stack|direct] [--analytic off|assist|only] <target>...
 //!
 //! repro serve [--socket PATH | --listen tcp:PORT] [--max-inflight N]
 //!             [--queue N] [--store DIR] [--checkpoint-dir DIR]
@@ -35,6 +35,16 @@
 //! `stack` run recompute every swept cell directly and report any
 //! divergence through the auditor.
 //!
+//! `--analytic` selects the ECM fast path's role: `off` (default)
+//! never consults the model and is byte-identical to earlier releases;
+//! `assist` runs the normal simulation and additionally checks every
+//! simulated cell of `fig3`/`table7`/`fig4` against the model's
+//! prediction and error bound through the `analytic-bound` auditor
+//! invariant (fatal under `--audit strict`; stdout unchanged); `only`
+//! answers supported targets from trace signatures alone in
+//! microseconds, with the model version and bounds printed in the
+//! output (not byte-compatible with simulation, by design).
+//!
 //! `--jobs N` (or the `MEMBW_JOBS` environment variable) sets the run
 //! engine's thread count. Experiment output on stdout is byte-identical
 //! at every setting; wall-clock and throughput accounting goes to
@@ -60,7 +70,9 @@
 //! budgeted run, prints exactly what an undisturbed run prints.
 
 use membw_bench::{parse_scale, validate_target, ALL_TARGETS};
+use membw_core::analytic::ecm::{self, AnalyticMode};
 use membw_core::audit;
+use membw_core::fastpath;
 use membw_core::report::{self, TargetTiming};
 use membw_core::runner;
 use membw_core::runner::persist;
@@ -83,6 +95,7 @@ struct Options {
     checkpoint_dir: PathBuf,
     deadline: Option<Duration>,
     sweep: SweepMode,
+    analytic: AnalyticMode,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -94,6 +107,7 @@ fn parse_args() -> Result<Options, String> {
     let mut deadline = None;
     let mut mem_budget_mb: Option<u64> = None;
     let mut sweep = SweepMode::default();
+    let mut analytic = AnalyticMode::Off;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -149,13 +163,21 @@ fn parse_args() -> Result<Options, String> {
                 mem_budget_mb = Some(mb);
             }
             "--audit" => {
-                let v = args.next().ok_or("--audit needs a level (off|warn|strict)")?;
+                let v = args
+                    .next()
+                    .ok_or("--audit needs a level (off|warn|strict)")?;
                 let level: audit::AuditLevel = v.parse()?;
                 audit::set_level(level);
             }
             "--sweep" => {
                 let v = args.next().ok_or("--sweep needs a mode (stack|direct)")?;
                 sweep = SweepMode::parse(&v)?;
+            }
+            "--analytic" => {
+                let v = args
+                    .next()
+                    .ok_or("--analytic needs a mode (off|assist|only)")?;
+                analytic = v.parse()?;
             }
             "--resume" => resume = true,
             "--no-resume" => resume = false,
@@ -168,7 +190,8 @@ fn parse_args() -> Result<Options, String> {
                 println!("             [--retries N] [--job-timeout SECS] [--deadline SECS]");
                 println!("             [--mem-budget MB] [--resume|--no-resume]");
                 println!("             [--checkpoint-dir DIR] [--audit off|warn|strict]");
-                println!("             [--sweep stack|direct] <target>...");
+                println!("             [--sweep stack|direct] [--analytic off|assist|only]");
+                println!("             <target>...");
                 println!("       repro serve [--socket PATH|--listen tcp:PORT] ... (see repro serve --help)");
                 println!("       repro query [--socket PATH] <target>...         (see repro query --help)");
                 println!("targets: fig1 table1 table2 table3 params fig3 table6 table7");
@@ -185,7 +208,9 @@ fn parse_args() -> Result<Options, String> {
                     "--mem-budget MB (or {}) bounds memory by degrading",
                     runner::MEM_BUDGET_MB_ENV
                 );
-                println!("(cache shrink -> record-streaming -> throttled admission; 0 = strictest);");
+                println!(
+                    "(cache shrink -> record-streaming -> throttled admission; 0 = strictest);"
+                );
                 println!("--resume replays completed jobs archived under --checkpoint-dir");
                 println!("(default results/.checkpoint) by a previous, possibly interrupted run.");
                 println!("--audit LEVEL checks the paper's invariants on every target:");
@@ -199,6 +224,11 @@ fn parse_args() -> Result<Options, String> {
                     membw_core::sweep::SWEEP_VERIFY_ENV
                 );
                 println!("run recompute every swept cell directly through the auditor.");
+                println!("--analytic MODE sets the ECM fast path's role: off (default) never");
+                println!("consults the model; assist also checks each simulated fig3/table7/fig4");
+                println!("cell against the model's bound (analytic-bound invariant, fatal under");
+                println!("--audit strict; stdout unchanged); only answers those targets from");
+                println!("trace signatures in microseconds, bounds printed, no simulation.");
                 println!(
                     "{} caps the in-memory trace cache (whole MiB; 0 disables caching).",
                     membw_core::trace::replay::TRACE_CACHE_MB_ENV
@@ -241,6 +271,19 @@ fn parse_args() -> Result<Options, String> {
     for t in &targets {
         validate_target(t)?;
     }
+    if analytic == AnalyticMode::Only {
+        // Reject up front: an analytic-only run must never silently
+        // fall back to simulation for a target the model cannot answer.
+        for t in &targets {
+            if !fastpath::analytic_supported(t) {
+                return Err(format!(
+                    "--analytic only cannot answer target '{t}'; supported targets: {}",
+                    fastpath::ANALYTIC_TARGETS.join(" ")
+                ));
+            }
+        }
+    }
+    ecm::set_mode(analytic);
     Ok(Options {
         scale,
         json_dir,
@@ -249,6 +292,7 @@ fn parse_args() -> Result<Options, String> {
         checkpoint_dir,
         deadline,
         sweep,
+        analytic,
     })
 }
 
@@ -274,6 +318,21 @@ fn run_target(
 }
 
 fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
+    if opts.analytic == AnalyticMode::Only {
+        // Microsecond path: answer from the ECM predictor and trace
+        // signatures alone — no simulation, no trace arena. The output
+        // is labelled with the model version and carries error bounds;
+        // it is intentionally NOT byte-compatible with a simulated run.
+        let render = fastpath::render_target_analytic(target, opts.scale)
+            .expect("unsupported targets were rejected at argument parsing");
+        print!("{}", render.rendered.stdout);
+        eprintln!(
+            "analytic: {target}: model {}, worst relative bound {:.2}",
+            ecm::MODEL_VERSION,
+            render.worst_rel
+        );
+        return Ok(());
+    }
     if target == "dump" {
         // Dump every benchmark's reference stream as .mwtr files — the
         // one target with filesystem side effects instead of a
@@ -319,6 +378,7 @@ fn serve_usage() {
     println!("                   [--max-inflight N] [--queue N] [--conn-limit N]");
     println!("                   [--store DIR] [--checkpoint-dir DIR]");
     println!("                   [--jobs N] [--mem-budget MB] [--read-timeout-ms N]");
+    println!("                   [--analytic off|assist]");
     println!("Resident daemon speaking newline-delimited JSON requests");
     println!("  {{\"target\":\"table7\",\"scale\":\"small\",\"sweep\":\"stack\",");
     println!("    \"audit\":\"warn\",\"deadline_ms\":0,\"priority\":0}}");
@@ -331,6 +391,13 @@ fn serve_usage() {
     println!("daemon answers warm requests from the store without recomputing.");
     println!("SIGTERM drains gracefully: in-flight work checkpoints under");
     println!("--checkpoint-dir, new clients get a draining response, exit 0.");
+    println!("--analytic assist turns on the ECM fast lane: requests whose model");
+    println!("bound fits the client's tolerance (analytic_rel_permille, default");
+    println!("600; 0 opts out) are answered in microseconds with provenance");
+    println!("(source=analytic, model, bound) instead of queueing a simulation,");
+    println!("and simulated renders audit the model via analytic-bound. The");
+    println!("daemon always keeps the simulation fallback, so there is no");
+    println!("'only' mode. Query target 'stats' for triage counters.");
 }
 
 fn cmd_serve(argv: &[String]) -> i32 {
@@ -348,40 +415,37 @@ fn cmd_serve(argv: &[String]) -> i32 {
                     endpoint = Endpoint::Unix(PathBuf::from(v));
                 }
                 "--listen" => {
-                    let v = args.next().ok_or("--listen needs tcp:PORT or tcp:HOST:PORT")?;
+                    let v = args
+                        .next()
+                        .ok_or("--listen needs tcp:PORT or tcp:HOST:PORT")?;
                     endpoint = Endpoint::parse(v)?;
                 }
                 "--max-inflight" => {
                     let v = args.next().ok_or("--max-inflight needs a count")?;
-                    config.max_inflight = v
-                        .parse::<usize>()
-                        .ok()
-                        .filter(|n| *n > 0)
-                        .ok_or_else(|| format!("--max-inflight needs a positive integer, got '{v}'"))?;
+                    config.max_inflight =
+                        v.parse::<usize>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                            format!("--max-inflight needs a positive integer, got '{v}'")
+                        })?;
                 }
                 "--queue" => {
                     let v = args.next().ok_or("--queue needs a count")?;
-                    config.queue_bound = v
-                        .parse::<usize>()
-                        .ok()
-                        .filter(|n| *n > 0)
-                        .ok_or_else(|| format!("--queue needs a positive integer, got '{v}'"))?;
+                    config.queue_bound =
+                        v.parse::<usize>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                            format!("--queue needs a positive integer, got '{v}'")
+                        })?;
                 }
                 "--conn-limit" => {
                     let v = args.next().ok_or("--conn-limit needs a count")?;
-                    config.conn_limit = v
-                        .parse::<usize>()
-                        .ok()
-                        .filter(|n| *n > 0)
-                        .ok_or_else(|| format!("--conn-limit needs a positive integer, got '{v}'"))?;
+                    config.conn_limit =
+                        v.parse::<usize>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                            format!("--conn-limit needs a positive integer, got '{v}'")
+                        })?;
                 }
                 "--read-timeout-ms" => {
                     let v = args.next().ok_or("--read-timeout-ms needs milliseconds")?;
-                    let ms = v
-                        .parse::<u64>()
-                        .ok()
-                        .filter(|n| *n > 0)
-                        .ok_or_else(|| format!("--read-timeout-ms needs positive milliseconds, got '{v}'"))?;
+                    let ms = v.parse::<u64>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                        format!("--read-timeout-ms needs positive milliseconds, got '{v}'")
+                    })?;
                     config.read_timeout = Duration::from_millis(ms);
                 }
                 "--store" => {
@@ -406,6 +470,21 @@ fn cmd_serve(argv: &[String]) -> i32 {
                     let mb = runner::parse_mem_budget_mb(v)
                         .map_err(|e| e.replace(runner::MEM_BUDGET_MB_ENV, "--mem-budget"))?;
                     mem_budget_mb = Some(mb);
+                }
+                "--analytic" => {
+                    let v = args.next().ok_or("--analytic needs a mode (off|assist)")?;
+                    config.analytic = match v.as_str() {
+                        "off" => false,
+                        "assist" => true,
+                        // The daemon must always be able to fall back to a
+                        // real simulation for loose bounds and unsupported
+                        // targets, so `only` is not a serve mode.
+                        other => {
+                            return Err(format!(
+                                "serve --analytic supports off|assist, got '{other}'"
+                            ))
+                        }
+                    };
                 }
                 "--help" | "-h" => {
                     serve_usage();
@@ -433,6 +512,15 @@ fn cmd_serve(argv: &[String]) -> i32 {
     if let Some(mb) = mem_budget_mb {
         runner::set_mem_budget(Some(mb));
     }
+    if config.analytic {
+        // Simulated renders on an assist daemon carry the same
+        // analytic-bound audits as `repro --analytic assist` runs.
+        ecm::set_mode(AnalyticMode::Assist);
+        eprintln!(
+            "serve: analytic fast lane enabled (model {})",
+            ecm::MODEL_VERSION
+        );
+    }
     // SIGINT/SIGTERM request the drain; a second signal force-exits.
     runner::install_signal_drain();
     // Requests always resume from checkpoints: an interrupted render
@@ -444,7 +532,10 @@ fn cmd_serve(argv: &[String]) -> i32 {
     let store = match ResultStore::open(&store_dir) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot open result store {}: {e}", store_dir.display());
+            eprintln!(
+                "error: cannot open result store {}: {e}",
+                store_dir.display()
+            );
             return 1;
         }
     };
@@ -481,10 +572,16 @@ fn cmd_serve(argv: &[String]) -> i32 {
 fn query_usage() {
     println!("usage: repro query [--socket PATH|tcp:HOST:PORT] [--scale test|small|full]");
     println!("                   [--sweep stack|direct] [--audit off|warn|strict]");
-    println!("                   [--deadline-ms N] [--priority P] <target>...");
+    println!("                   [--deadline-ms N] [--priority P]");
+    println!("                   [--analytic-rel PERMILLE] <target>...");
     println!("Sends one request per target to a repro serve daemon and prints each");
     println!("ok response's stdout payload (byte-identical to the CLI run);");
-    println!("source/job accounting goes to stderr.");
+    println!("source/job accounting goes to stderr. Analytic answers also report");
+    println!("their model version and error bound on stderr.");
+    println!("--analytic-rel PERMILLE is the widest model bound (permille of the");
+    println!("prediction) this client accepts from the daemon's analytic fast");
+    println!("lane; 0 demands real simulation (default 600).");
+    println!("The pseudo-target 'stats' returns the daemon's triage counters.");
     println!("exit codes: 0 ok, 1 error response or transport failure,");
     println!("            2 usage error, 3 busy, 4 draining.");
 }
@@ -498,7 +595,10 @@ fn cmd_query(argv: &[String]) -> i32 {
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--socket" => {
-                    endpoint_spec = args.next().ok_or("--socket needs a path or tcp: spec")?.clone();
+                    endpoint_spec = args
+                        .next()
+                        .ok_or("--socket needs a path or tcp: spec")?
+                        .clone();
                 }
                 "--scale" => {
                     template.scale = args.next().ok_or("--scale needs a value")?.clone();
@@ -520,6 +620,14 @@ fn cmd_query(argv: &[String]) -> i32 {
                     template.priority = v
                         .parse::<u8>()
                         .map_err(|_| format!("--priority needs 0-255, got '{v}'"))?;
+                }
+                "--analytic-rel" => {
+                    let v = args
+                        .next()
+                        .ok_or("--analytic-rel needs permille (0 = simulate)")?;
+                    template.analytic_rel_permille = v
+                        .parse::<u32>()
+                        .map_err(|_| format!("--analytic-rel needs permille, got '{v}'"))?;
                 }
                 "--help" | "-h" => {
                     query_usage();
@@ -551,7 +659,10 @@ fn cmd_query(argv: &[String]) -> i32 {
         let resp = match client::query(&endpoint, &req, None) {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("error: query '{target}' against {}: {e}", endpoint.display());
+                eprintln!(
+                    "error: query '{target}' against {}: {e}",
+                    endpoint.display()
+                );
                 return 1;
             }
         };
@@ -561,6 +672,8 @@ fn cmd_query(argv: &[String]) -> i32 {
                 fnv64,
                 jobs,
                 resumed,
+                model,
+                bound_rel_permille,
                 stdout,
                 ..
             } => {
@@ -573,8 +686,26 @@ fn cmd_query(argv: &[String]) -> i32 {
                     return 1;
                 }
                 print!("{stdout}");
-                eprintln!(
-                    "query: {target}: source: {source} ({jobs} job(s), {resumed} resumed)"
+                match (model, bound_rel_permille) {
+                    (Some(model), Some(bound)) => eprintln!(
+                        "query: {target}: source: {source} (model {model}, \
+                         bound {bound} permille)"
+                    ),
+                    _ => eprintln!(
+                        "query: {target}: source: {source} ({jobs} job(s), {resumed} resumed)"
+                    ),
+                }
+            }
+            ServiceResponse::Stats(stats) => {
+                println!(
+                    "stats: analytic {} simulated {} store {} coalesced {} rejected {} \
+                     store-hit {} permille",
+                    stats.analytic,
+                    stats.simulated,
+                    stats.store,
+                    stats.coalesced,
+                    stats.rejected,
+                    stats.store_hit_permille()
                 );
             }
             ServiceResponse::Busy { queued, bound } => {
@@ -671,7 +802,9 @@ fn main() {
     let audit_summary = audit::summary();
     if audit_summary.targets > 0 || audit::configured_level() != audit::AuditLevel::Off {
         let quarantined = runner::quarantined_artifacts();
-        let trace_failures = membw_core::trace::TraceCache::global().stats().verify_failures;
+        let trace_failures = membw_core::trace::TraceCache::global()
+            .stats()
+            .verify_failures;
         eprintln!(
             "audit[{}]: {} check(s) across {} target(s), {} violation(s); \
              {} artifact(s) quarantined, {} cached trace(s) failed verification",

@@ -103,7 +103,10 @@ fn sigkill_restart_serves_warm_hits_and_resumes_checkpointed_work() {
 
     // --- First life: answer one request, die mid-way through another.
     let mut daemon = spawn_daemon(&base, &sock);
-    assert!(client::wait_ready(&endpoint, Duration::from_secs(30)), "daemon never came up");
+    assert!(
+        client::wait_ready(&endpoint, Duration::from_secs(30)),
+        "daemon never came up"
+    );
 
     let (src, warm_stdout, _) = query_ok(&endpoint, WARM_TARGET);
     assert_eq!(src, source::COMPUTED, "first answer is a cold compute");
@@ -126,22 +129,34 @@ fn sigkill_restart_serves_warm_hits_and_resumes_checkpointed_work() {
 
     // --- Second life: same directories, stale socket file and all.
     let mut daemon = spawn_daemon(&base, &sock);
-    assert!(client::wait_ready(&endpoint, Duration::from_secs(30)), "restart never came up");
+    assert!(
+        client::wait_ready(&endpoint, Duration::from_secs(30)),
+        "restart never came up"
+    );
 
     // Warm hit: served from the sealed store, byte-identical.
     let (src, stdout, _) = query_ok(&endpoint, WARM_TARGET);
     assert_eq!(src, source::STORE, "restart must answer from the store");
-    assert_eq!(stdout, warm_stdout, "store hit must be byte-identical to the pre-crash answer");
+    assert_eq!(
+        stdout, warm_stdout,
+        "store hit must be byte-identical to the pre-crash answer"
+    );
 
     // Interrupted render: recomputed, resuming the checkpointed jobs,
     // and byte-identical to an undisturbed CLI render.
     let (src, stdout, resumed) = query_ok(&endpoint, LONG_TARGET);
     assert_eq!(src, source::COMPUTED, "the killed render was never stored");
-    assert!(resumed > 0, "restarted render must resume checkpointed jobs (resumed={resumed})");
+    assert!(
+        resumed > 0,
+        "restarted render must resume checkpointed jobs (resumed={resumed})"
+    );
     let reference = targets::render_target(LONG_TARGET, Scale::Test, SweepMode::Stack)
         .expect("reference render")
         .stdout;
-    assert_eq!(stdout, reference, "resumed render must be byte-identical to a fresh one");
+    assert_eq!(
+        stdout, reference,
+        "resumed render must be byte-identical to a fresh one"
+    );
 
     // --- SIGTERM drain: exit 0, no temp files anywhere.
     let pid = daemon.id();
@@ -157,7 +172,10 @@ fn sigkill_restart_serves_warm_hits_and_resumes_checkpointed_work() {
         if let Ok(entries) = std::fs::read_dir(&dir) {
             for e in entries.flatten() {
                 let name = e.file_name().to_string_lossy().into_owned();
-                assert!(!name.ends_with(".tmp"), "stray temp file after drain: {name}");
+                assert!(
+                    !name.ends_with(".tmp"),
+                    "stray temp file after drain: {name}"
+                );
             }
         }
     }

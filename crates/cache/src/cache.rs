@@ -807,9 +807,9 @@ mod tests {
             .build()
             .unwrap();
         let mut c = Cache::new(c_cfg); // two blocks, direct-mapped
-        // Write-through lines are never dirty, so each straddle piece
-        // caps at allocate fetch + write-through (the dirty-victim
-        // worst case is exercised by the prefetch test below).
+                                       // Write-through lines are never dirty, so each straddle piece
+                                       // caps at allocate fetch + write-through (the dirty-victim
+                                       // worst case is exercised by the prefetch test below).
         c.access(MemRef::write(0, 4));
         c.access(MemRef::write(32, 4));
         let o = c.access(MemRef::write(94, 4)); // straddles blocks 2 and 3
@@ -821,7 +821,11 @@ mod tests {
             .filter(|b| b.kind == BelowKind::WriteThrough)
             .count();
         let fetches = o.below().iter().filter(|b| b.is_fetch()).count();
-        assert_eq!((throughs, fetches), (2, 2), "each piece allocates + writes through");
+        assert_eq!(
+            (throughs, fetches),
+            (2, 2),
+            "each piece allocates + writes through"
+        );
     }
 
     #[test]
@@ -835,8 +839,8 @@ mod tests {
             .build()
             .unwrap();
         let mut c = Cache::new(c_cfg); // two blocks, direct-mapped
-        // Dirty every line the straddling read (and its prefetches)
-        // will displace.
+                                       // Dirty every line the straddling read (and its prefetches)
+                                       // will displace.
         for set in 0..2u64 {
             c.access(MemRef::write(set * 32, 4));
         }
@@ -845,7 +849,11 @@ mod tests {
         assert!(!o.hit);
         assert!(o.below().len() <= MAX_BELOW, "{}", o.below().len());
         assert!(
-            o.below().iter().filter(|b| b.kind == BelowKind::Writeback).count() >= 2,
+            o.below()
+                .iter()
+                .filter(|b| b.kind == BelowKind::Writeback)
+                .count()
+                >= 2,
             "dirty victims write back"
         );
         assert!(o.bytes_below() >= 4 * 32, "at least four block moves");

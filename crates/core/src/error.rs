@@ -71,11 +71,7 @@ impl std::fmt::Display for MembwError {
                 write!(f, "trace file {}: {source}", path.display())
             }
             MembwError::Jobs { failures } => {
-                write!(
-                    f,
-                    "{} job(s) failed",
-                    failures.len(),
-                )?;
+                write!(f, "{} job(s) failed", failures.len(),)?;
                 if let Some(first) = failures.first() {
                     write!(
                         f,
@@ -108,7 +104,11 @@ impl std::error::Error for MembwError {
 
 impl MembwError {
     /// An [`MembwError::Io`] with its context and path filled in.
-    pub fn io(context: impl Into<String>, path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+    pub fn io(
+        context: impl Into<String>,
+        path: impl Into<PathBuf>,
+        source: std::io::Error,
+    ) -> Self {
         MembwError::Io {
             context: context.into(),
             path: path.into(),

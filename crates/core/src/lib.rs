@@ -38,6 +38,7 @@
 
 pub mod audit;
 pub mod error;
+pub mod fastpath;
 pub mod plot;
 pub mod report;
 pub mod run_ablation;

@@ -120,7 +120,11 @@ pub fn run(scale: Scale, cache_bytes: u64) -> Result<(AblationResult, Table), Me
     // One run-engine job per (benchmark, technique) cell,
     // benchmark-major; each job replays the shared recorded trace.
     let n_t = TECHNIQUES.len();
-    let key = format!("v1/ablation/{scale:?}/{cache_bytes}/{}x{}", suite.len(), n_t);
+    let key = format!(
+        "v1/ablation/{scale:?}/{cache_bytes}/{}x{}",
+        suite.len(),
+        n_t
+    );
     let raw = Runner::from_env().checkpointed("ablation", &key, suite.len() * n_t, |k| {
         let b = &suite[k / n_t];
         let t = TECHNIQUES[k % n_t];

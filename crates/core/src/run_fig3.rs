@@ -180,6 +180,13 @@ pub fn run_suite(
         audit.decomposition(&cell, &c.decomposition);
         audit.positive(&cell, "normalized time", c.normalized_time);
     }
+    // Under `--analytic assist`, replay every simulated cell through
+    // the ECM predictor and assert the prediction's error bound. Runs
+    // in this serial post-collect section so checkpoint keys and
+    // stdout are untouched.
+    if crate::fastpath::assist_enabled() {
+        crate::fastpath::assist_fig3(&mut audit, suite, &benchmarks, &cells);
+    }
     audit.finish()?;
     Ok(Fig3Result { cells })
 }
@@ -290,7 +297,8 @@ mod tests {
 
     #[test]
     fn tables_render() {
-        let r = run_suite(Suite::Spec92, Scale::Test, &[Experiment::A]).expect("no faults injected");
+        let r =
+            run_suite(Suite::Spec92, Scale::Test, &[Experiment::A]).expect("no faults injected");
         let t = render(&r, "Figure 3 (SPEC92)");
         assert_eq!(t.num_rows(), 7);
         let t6 = render_table6(&r);

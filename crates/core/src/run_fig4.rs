@@ -208,7 +208,11 @@ pub fn run_with(scale: Scale, mode: SweepMode) -> Result<(Vec<Fig4Panel>, Vec<Ta
                         .find(|(d, s)| d != s)
                         .map(|(d, s)| format!("direct {d:?} vs swept {s:?}"))
                         .unwrap_or_else(|| {
-                            format!("{} direct vs {} swept points", direct.len(), curve.points.len())
+                            format!(
+                                "{} direct vs {} swept points",
+                                direct.len(),
+                                curve.points.len()
+                            )
                         });
                     format!("stack sweep diverged from direct simulation: {diff}")
                 },
@@ -218,9 +222,8 @@ pub fn run_with(scale: Scale, mode: SweepMode) -> Result<(Vec<Fig4Panel>, Vec<Ta
     let mut panels = Vec::new();
     let mut tables = Vec::new();
     for (pi, name) in panel_names.iter().enumerate() {
-        let curves: Vec<Curve> = all_curves
-            [pi * curve_specs.len()..(pi + 1) * curve_specs.len()]
-            .to_vec();
+        let curves: Vec<Curve> =
+            all_curves[pi * curve_specs.len()..(pi + 1) * curve_specs.len()].to_vec();
 
         // §5: at every shared capacity, the write-validate MTC moves no
         // more bytes than any real cache curve.
@@ -260,6 +263,12 @@ pub fn run_with(scale: Scale, mode: SweepMode) -> Result<(Vec<Fig4Panel>, Vec<Ta
             name: name.to_string(),
             curves,
         });
+    }
+    // Under `--analytic assist`, check every simulated traffic point
+    // against the ECM prediction and its bound (serial section;
+    // checkpoint keys and stdout are untouched).
+    if crate::fastpath::assist_enabled() {
+        crate::fastpath::assist_fig4(&mut audit, &suite, &panels);
     }
     audit.finish()?;
     Ok((panels, tables))

@@ -84,7 +84,14 @@ fn row_for(b: &membw_workloads::Benchmark, refs: &[MemRef], mode: SweepMode) -> 
         .zip(sweep_stats(refs, mode))
         .map(|(&size, stats)| {
             let oversized = size >= b.footprint_bytes;
-            (size, if oversized { None } else { stats.traffic_ratio() })
+            (
+                size,
+                if oversized {
+                    None
+                } else {
+                    stats.traffic_ratio()
+                },
+            )
         })
         .collect();
     Table7Row {
@@ -136,9 +143,11 @@ pub fn run_with(scale: Scale, mode: SweepMode) -> Result<(Table7Result, Table), 
             let refs = b.replayable().collect_mem_refs();
             let want = row_for(b, &refs, SweepMode::Direct);
             let ok = want.ratios.len() == row.ratios.len()
-                && want.ratios.iter().zip(&row.ratios).all(|(w, g)| {
-                    w.0 == g.0 && w.1.map(f64::to_bits) == g.1.map(f64::to_bits)
-                });
+                && want
+                    .ratios
+                    .iter()
+                    .zip(&row.ratios)
+                    .all(|(w, g)| w.0 == g.0 && w.1.map(f64::to_bits) == g.1.map(f64::to_bits));
             audit.sweep_exact(&row.name, ok, || {
                 format!(
                     "stack sweep diverged from direct simulation: {:?} vs {:?}",
@@ -153,6 +162,12 @@ pub fn run_with(scale: Scale, mode: SweepMode) -> Result<(Table7Result, Table), 
                 audit.traffic_ratio(&format!("{} @ {}", r.name, size_label(*size)), *ratio);
             }
         }
+    }
+    // Under `--analytic assist`, check every in-range traffic-ratio
+    // cell against the ECM traffic prediction and its bound (serial
+    // section; checkpoint keys and stdout are untouched).
+    if crate::fastpath::assist_enabled() {
+        crate::fastpath::assist_table7(&mut audit, &suite, &rows);
     }
 
     let reasonable: Vec<f64> = rows
@@ -247,7 +262,12 @@ mod tests {
             assert_eq!(a.name, b.name);
             for ((sa, ra), (sb, rb)) in a.ratios.iter().zip(&b.ratios) {
                 assert_eq!(sa, sb);
-                assert_eq!(ra.map(f64::to_bits), rb.map(f64::to_bits), "{} @ {sa}", a.name);
+                assert_eq!(
+                    ra.map(f64::to_bits),
+                    rb.map(f64::to_bits),
+                    "{} @ {sa}",
+                    a.name
+                );
             }
         }
     }

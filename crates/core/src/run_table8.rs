@@ -56,8 +56,7 @@ fn row_traffic(refs: &[MemRef], included: &[u64], mode: SweepMode) -> Vec<(u64, 
                     cache.access(r);
                 }
                 let cache_traffic = cache.flush().traffic_below();
-                let mtc_traffic =
-                    MinCache::simulate(&MinConfig::mtc(size), refs).traffic_below();
+                let mtc_traffic = MinCache::simulate(&MinConfig::mtc(size), refs).traffic_below();
                 (cache_traffic, mtc_traffic)
             })
             .collect(),
@@ -244,7 +243,12 @@ mod tests {
             assert_eq!(a.name, b.name);
             for ((sa, ga), (sb, gb)) in a.inefficiencies.iter().zip(&b.inefficiencies) {
                 assert_eq!(sa, sb);
-                assert_eq!(ga.map(f64::to_bits), gb.map(f64::to_bits), "{} @ {sa}", a.name);
+                assert_eq!(
+                    ga.map(f64::to_bits),
+                    gb.map(f64::to_bits),
+                    "{} @ {sa}",
+                    a.name
+                );
             }
         }
     }

@@ -74,7 +74,11 @@ pub fn run_with(scale: Scale, mode: SweepMode) -> Result<(Table9Result, Vec<Tabl
                 factor_gap(spec, &b.replayable(), capacity_for(b.name()))
             });
             collect_jobs("table9", raw, |k| {
-                format!("{}/{}", suite[k / n_f].name(), TABLE10_FACTORS[k % n_f].name)
+                format!(
+                    "{}/{}",
+                    suite[k / n_f].name(),
+                    TABLE10_FACTORS[k % n_f].name
+                )
             })?
             .into_iter()
             .flatten()
@@ -107,8 +111,7 @@ pub fn run_with(scale: Scale, mode: SweepMode) -> Result<(Table9Result, Vec<Tabl
                 .expect("gap names a suite benchmark");
             let want = factor_gap(spec, &b.replayable(), g.capacity_bytes);
             let ok = want.as_ref().is_some_and(|w| {
-                w.g_exp1.to_bits() == g.g_exp1.to_bits()
-                    && w.g_exp2.to_bits() == g.g_exp2.to_bits()
+                w.g_exp1.to_bits() == g.g_exp1.to_bits() && w.g_exp2.to_bits() == g.g_exp2.to_bits()
             });
             audit.sweep_exact(&format!("{}/{}", g.workload, g.factor), ok, || {
                 format!(

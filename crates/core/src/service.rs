@@ -49,7 +49,18 @@ pub struct ServiceRequest {
     pub deadline_ms: u64,
     /// Dispatch priority: higher runs first, FIFO within a priority.
     pub priority: u8,
+    /// Widest relative error bound (in permille) this client accepts
+    /// from the analytic fast lane; the daemon answers analytically
+    /// only when the fast lane is enabled *and* the prediction's worst
+    /// relative bound fits. `0` opts out entirely. Ignored by daemons
+    /// without the fast lane.
+    pub analytic_rel_permille: u32,
 }
+
+/// Default [`ServiceRequest::analytic_rel_permille`]: the serve-triage
+/// tightness threshold ([`crate::analytic::ecm::TRIAGE_MAX_REL`] as
+/// permille).
+pub const DEFAULT_ANALYTIC_REL_PERMILLE: u32 = 600;
 
 impl ServiceRequest {
     /// A request for `target` with every optional field at its default.
@@ -61,6 +72,7 @@ impl ServiceRequest {
             audit: "warn".to_string(),
             deadline_ms: 0,
             priority: 0,
+            analytic_rel_permille: DEFAULT_ANALYTIC_REL_PERMILLE,
         }
     }
 
@@ -98,14 +110,26 @@ impl ServiceRequest {
 
 impl Serialize for ServiceRequest {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("target".to_string(), Value::Str(self.target.clone())),
             ("scale".to_string(), Value::Str(self.scale.clone())),
             ("sweep".to_string(), Value::Str(self.sweep.clone())),
             ("audit".to_string(), Value::Str(self.audit.clone())),
             ("deadline_ms".to_string(), Value::UInt(self.deadline_ms)),
-            ("priority".to_string(), Value::UInt(u64::from(self.priority))),
-        ])
+            (
+                "priority".to_string(),
+                Value::UInt(u64::from(self.priority)),
+            ),
+        ];
+        // Written only when overridden, so pre-fast-lane request
+        // bytes are unchanged.
+        if self.analytic_rel_permille != DEFAULT_ANALYTIC_REL_PERMILLE {
+            fields.push((
+                "analytic_rel_permille".to_string(),
+                Value::UInt(u64::from(self.analytic_rel_permille)),
+            ));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -114,9 +138,7 @@ impl Serialize for ServiceRequest {
 fn opt_field<T: Deserialize>(v: &Value, field: &str, default: T) -> Result<T, DeError> {
     match v.get(field) {
         None | Some(Value::Null) => Ok(default),
-        Some(fv) => {
-            T::from_value(fv).map_err(|e| DeError(format!("ServiceRequest.{field}: {e}")))
-        }
+        Some(fv) => T::from_value(fv).map_err(|e| DeError(format!("ServiceRequest.{field}: {e}"))),
     }
 }
 
@@ -133,6 +155,11 @@ impl Deserialize for ServiceRequest {
             audit: opt_field(v, "audit", "warn".to_string())?,
             deadline_ms: opt_field(v, "deadline_ms", 0)?,
             priority: opt_field(v, "priority", 0)?,
+            analytic_rel_permille: opt_field(
+                v,
+                "analytic_rel_permille",
+                DEFAULT_ANALYTIC_REL_PERMILLE,
+            )?,
         })
     }
 }
@@ -165,6 +192,36 @@ pub mod source {
     pub const COMPUTED: &str = "computed";
     /// Served from the crash-safe result store (checksum verified).
     pub const STORE: &str = "store";
+    /// Answered by the ECM analytic fast lane (no simulation ran);
+    /// the response carries the model version and its error bound.
+    pub const ANALYTIC: &str = "analytic";
+}
+
+/// The target name answered with daemon counters instead of a render.
+pub const STATS_TARGET: &str = "stats";
+
+/// Daemon triage counters (the `stats` response payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests answered by the analytic fast lane.
+    pub analytic: u64,
+    /// Requests answered by a simulation render in this process.
+    pub simulated: u64,
+    /// Requests answered from the crash-safe result store.
+    pub store: u64,
+    /// Requests that joined an identical in-flight computation.
+    pub coalesced: u64,
+    /// Requests refused (queue at bound, or daemon draining).
+    pub rejected: u64,
+}
+
+impl ServeStats {
+    /// Store hits per thousand answered requests (store + analytic +
+    /// simulated + coalesced); 0 when nothing was answered yet.
+    pub fn store_hit_permille(&self) -> u64 {
+        let answered = self.analytic + self.simulated + self.store + self.coalesced;
+        (self.store * 1000).checked_div(answered).unwrap_or(0)
+    }
 }
 
 /// One response line, tagged by `status`.
@@ -189,9 +246,18 @@ pub enum ServiceResponse {
         jobs: u64,
         /// Jobs replayed from checkpoints instead of executing.
         resumed: u64,
-        /// Exactly the bytes `repro <target>` prints on stdout.
+        /// For [`source::ANALYTIC`]: the predictor's model version.
+        /// `None` (and omitted on the wire) for simulated sources.
+        model: Option<String>,
+        /// For [`source::ANALYTIC`]: the prediction's worst relative
+        /// error bound across the rendered cells, in permille.
+        bound_rel_permille: Option<u64>,
+        /// Exactly the bytes `repro <target>` prints on stdout (for
+        /// [`source::ANALYTIC`], the analytic rendering of it).
         stdout: String,
     },
+    /// Daemon triage counters (reply to [`STATS_TARGET`]).
+    Stats(ServeStats),
     /// The wait queue is at its bound; retry later (429 analogue).
     Busy {
         /// Requests waiting when this one was refused.
@@ -236,6 +302,7 @@ impl ServiceResponse {
     pub fn status(&self) -> &'static str {
         match self {
             ServiceResponse::Ok { .. } => "ok",
+            ServiceResponse::Stats(_) => "stats",
             ServiceResponse::Busy { .. } => "busy",
             ServiceResponse::Draining => "draining",
             ServiceResponse::Error { .. } => "error",
@@ -245,10 +312,7 @@ impl ServiceResponse {
 
 impl Serialize for ServiceResponse {
     fn to_value(&self) -> Value {
-        let mut fields = vec![(
-            "status".to_string(),
-            Value::Str(self.status().to_string()),
-        )];
+        let mut fields = vec![("status".to_string(), Value::Str(self.status().to_string()))];
         match self {
             ServiceResponse::Ok {
                 target,
@@ -258,6 +322,8 @@ impl Serialize for ServiceResponse {
                 fnv64,
                 jobs,
                 resumed,
+                model,
+                bound_rel_permille,
                 stdout,
             } => {
                 fields.push(("target".to_string(), Value::Str(target.clone())));
@@ -267,7 +333,26 @@ impl Serialize for ServiceResponse {
                 fields.push(("fnv64".to_string(), Value::Str(fnv64.clone())));
                 fields.push(("jobs".to_string(), Value::UInt(*jobs)));
                 fields.push(("resumed".to_string(), Value::UInt(*resumed)));
+                // Provenance fields appear only on analytic answers so
+                // simulated response bytes are unchanged.
+                if let Some(m) = model {
+                    fields.push(("model".to_string(), Value::Str(m.clone())));
+                }
+                if let Some(b) = bound_rel_permille {
+                    fields.push(("bound_rel_permille".to_string(), Value::UInt(*b)));
+                }
                 fields.push(("stdout".to_string(), Value::Str(stdout.clone())));
+            }
+            ServiceResponse::Stats(s) => {
+                fields.push(("analytic".to_string(), Value::UInt(s.analytic)));
+                fields.push(("simulated".to_string(), Value::UInt(s.simulated)));
+                fields.push(("store".to_string(), Value::UInt(s.store)));
+                fields.push(("coalesced".to_string(), Value::UInt(s.coalesced)));
+                fields.push(("rejected".to_string(), Value::UInt(s.rejected)));
+                fields.push((
+                    "store_hit_permille".to_string(),
+                    Value::UInt(s.store_hit_permille()),
+                ));
             }
             ServiceResponse::Busy { queued, bound } => {
                 fields.push(("queued".to_string(), Value::UInt(*queued)));
@@ -306,8 +391,17 @@ impl Deserialize for ServiceResponse {
                 fnv64: serde::__field(v, "fnv64", "ServiceResponse")?,
                 jobs: serde::__field(v, "jobs", "ServiceResponse")?,
                 resumed: serde::__field(v, "resumed", "ServiceResponse")?,
+                model: opt_field(v, "model", None)?,
+                bound_rel_permille: opt_field(v, "bound_rel_permille", None)?,
                 stdout: serde::__field(v, "stdout", "ServiceResponse")?,
             }),
+            "stats" => Ok(ServiceResponse::Stats(ServeStats {
+                analytic: serde::__field(v, "analytic", "ServiceResponse")?,
+                simulated: serde::__field(v, "simulated", "ServiceResponse")?,
+                store: serde::__field(v, "store", "ServiceResponse")?,
+                coalesced: serde::__field(v, "coalesced", "ServiceResponse")?,
+                rejected: serde::__field(v, "rejected", "ServiceResponse")?,
+            })),
             "busy" => Ok(ServiceResponse::Busy {
                 queued: serde::__field(v, "queued", "ServiceResponse")?,
                 bound: serde::__field(v, "bound", "ServiceResponse")?,
@@ -406,8 +500,29 @@ mod tests {
                 fnv64: "00000000deadbeef".into(),
                 jobs: 12,
                 resumed: 3,
+                model: None,
+                bound_rel_permille: None,
                 stdout: "Table 7\nline \"two\"\n".into(),
             },
+            ServiceResponse::Ok {
+                target: "fig4".into(),
+                scale: "test".into(),
+                sweep: "stack".into(),
+                source: source::ANALYTIC.into(),
+                fnv64: "00000000deadbeef".into(),
+                jobs: 0,
+                resumed: 0,
+                model: Some("ecm-1".into()),
+                bound_rel_permille: Some(412),
+                stdout: "Figure 4 (analytic)\n".into(),
+            },
+            ServiceResponse::Stats(ServeStats {
+                analytic: 5,
+                simulated: 2,
+                store: 3,
+                coalesced: 1,
+                rejected: 4,
+            }),
             ServiceResponse::Busy {
                 queued: 8,
                 bound: 8,
@@ -446,6 +561,40 @@ mod tests {
             serde_json::to_string(&r).unwrap(),
             r#"{"status":"busy","queued":1,"bound":2}"#
         );
+    }
+
+    #[test]
+    fn analytic_tolerance_defaults_and_round_trips() {
+        // The default matches the predictor's triage threshold.
+        assert_eq!(
+            DEFAULT_ANALYTIC_REL_PERMILLE,
+            (crate::analytic::ecm::TRIAGE_MAX_REL * 1000.0) as u32
+        );
+        // Absent on the wire at the default; defaulted when parsing.
+        let r = ServiceRequest::new("fig4");
+        assert!(!serde_json::to_string(&r).unwrap().contains("analytic"));
+        let back: ServiceRequest =
+            serde_json::from_str(r#"{"target":"fig4"}"#).expect("minimal request");
+        assert_eq!(back.analytic_rel_permille, DEFAULT_ANALYTIC_REL_PERMILLE);
+        // Overrides survive a round trip.
+        let mut r = ServiceRequest::new("fig4");
+        r.analytic_rel_permille = 5000;
+        let line = serde_json::to_string(&r).unwrap();
+        assert!(line.contains("analytic_rel_permille"), "{line}");
+        let back: ServiceRequest = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn store_hit_rate_counts_answered_requests_only() {
+        let mut s = ServeStats::default();
+        assert_eq!(s.store_hit_permille(), 0);
+        s.store = 1;
+        s.analytic = 1;
+        s.simulated = 1;
+        s.coalesced = 1;
+        s.rejected = 100; // refusals are not answers
+        assert_eq!(s.store_hit_permille(), 250);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod reference;
 pub use factors::{FactorExperiment, FactorGap, FactorSpec, TABLE10_FACTORS};
 pub use inefficiency::{traffic_inefficiency, InefficiencyReport};
 pub use min::{MinCache, MinConfig, MinWritePolicy};
-pub use nextuse::NextUseIndex;
 pub use minsweep::min_sweep;
-pub use reference::ReferenceMinCache;
+pub use nextuse::NextUseIndex;
 pub use optstack::OptProfile;
+pub use reference::ReferenceMinCache;

@@ -482,7 +482,12 @@ mod tests {
             .collect();
         let swept = min_sweep(&cfgs, &refs);
         for (cfg, got) in cfgs.iter().zip(&swept) {
-            assert_eq!(*got, MinCache::simulate(cfg, &refs), "cap {}", cfg.capacity_bytes);
+            assert_eq!(
+                *got,
+                MinCache::simulate(cfg, &refs),
+                "cap {}",
+                cfg.capacity_bytes
+            );
         }
     }
 

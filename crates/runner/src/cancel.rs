@@ -154,10 +154,7 @@ pub struct CancelToken {
 impl std::fmt::Debug for CancelToken {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CancelToken")
-            .field(
-                "global",
-                &matches!(self.core, Core::Global),
-            )
+            .field("global", &matches!(self.core, Core::Global))
             .field("reason", &self.cancel_reason())
             .finish()
     }

@@ -170,11 +170,7 @@ impl<T> JobHandle<T> {
             if left.is_zero() {
                 return None;
             }
-            let (guard, _) = self
-                .state
-                .done
-                .wait_timeout(slot, left)
-                .expect("job slot");
+            let (guard, _) = self.state.done.wait_timeout(slot, left).expect("job slot");
             slot = guard;
         }
     }
@@ -304,7 +300,12 @@ impl<T: Send + Sync + 'static> Dispatcher<T> {
 
     /// Jobs waiting in the queue.
     pub fn queued(&self) -> usize {
-        self.shared.state.lock().expect("dispatcher state").queue.len()
+        self.shared
+            .state
+            .lock()
+            .expect("dispatcher state")
+            .queue
+            .len()
     }
 
     /// Stop admission and cancel everything: queued jobs resolve as
@@ -402,9 +403,7 @@ fn run_one<T>(ctx: &AmbientCtx, token: &CancelToken, job: Job<T>) -> JobOutcome<
             with_retries(ctx.retries, || {
                 with_job_timeout(ctx.timeout, || {
                     with_checkpoint(ctx.checkpoint.clone(), || {
-                        with_governor(Arc::clone(&ctx.governor), || {
-                            with_cancel_token(tok, job)
-                        })
+                        with_governor(Arc::clone(&ctx.governor), || with_cancel_token(tok, job))
                     })
                 })
             })
@@ -456,9 +455,19 @@ mod tests {
         let mut handles = Vec::new();
         // (priority, tag) in scrambled submission order; expected
         // execution: p2 before p1 before p0, FIFO within each.
-        for (prio, tag) in [(1u8, "b1"), (0, "c1"), (2, "a1"), (1, "b2"), (2, "a2"), (0, "c2")] {
+        for (prio, tag) in [
+            (1u8, "b1"),
+            (0, "c1"),
+            (2, "a1"),
+            (1, "b2"),
+            (2, "a2"),
+            (0, "c2"),
+        ] {
             let order = Arc::clone(&order);
-            handles.push(d.submit(prio, move || order.lock().unwrap().push(tag)).unwrap());
+            handles.push(
+                d.submit(prio, move || order.lock().unwrap().push(tag))
+                    .unwrap(),
+            );
         }
         {
             let (lock, cv) = &*gate;
@@ -469,7 +478,10 @@ mod tests {
         for h in &handles {
             h.wait();
         }
-        assert_eq!(*order.lock().unwrap(), vec!["a1", "a2", "b1", "b2", "c1", "c2"]);
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["a1", "a2", "b1", "b2", "c1", "c2"]
+        );
         d.close();
     }
 
@@ -510,7 +522,9 @@ mod tests {
     #[test]
     fn panicking_job_resolves_its_own_handle_only() {
         let d = Dispatcher::new(2, 8);
-        let bad = d.submit(0, || -> u32 { panic!("request 7 exploded") }).unwrap();
+        let bad = d
+            .submit(0, || -> u32 { panic!("request 7 exploded") })
+            .unwrap();
         let good = d.submit(0, || 5u32).unwrap();
         match bad.wait() {
             JobOutcome::Panicked(m) => assert!(m.contains("request 7 exploded"), "{m}"),

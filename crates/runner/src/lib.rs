@@ -73,12 +73,12 @@ pub use cancel::{
     CancelReason, CancelToken, CancelUnwind,
 };
 pub use checkpoint::{quarantined_artifacts, CheckpointConfig};
-pub use handle::{Dispatcher, JobHandle, JobOutcome, SubmitError};
 pub use failure::{JobError, JobFailure};
 pub use governor::{
     ambient_governor, global_governor, parse_mem_budget_mb, set_mem_budget, with_governor,
     AdmissionGuard, Governor, GovernorStats, MEM_BUDGET_MB_ENV,
 };
+pub use handle::{Dispatcher, JobHandle, JobOutcome, SubmitError};
 pub use inject::{
     validate_env as validate_fault_env, validate_selector_spec, validate_slow_spec,
     FAULT_CANCEL_ENV, FAULT_INJECT_ENV, FAULT_SLOW_ENV,
@@ -416,8 +416,7 @@ impl Runner {
                 .map(|i| {
                     let t0 = Instant::now();
                     let v = f(i);
-                    METRIC_BUSY_NANOS
-                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    METRIC_BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     v
                 })
                 .collect();
@@ -434,8 +433,7 @@ impl Runner {
                     }
                     let t0 = Instant::now();
                     let v = f(i);
-                    METRIC_BUSY_NANOS
-                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    METRIC_BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     *slots[i].lock().expect("job slot poisoned") = Some(v);
                 });
             }
@@ -486,8 +484,8 @@ impl Runner {
         T: Send + Serialize + Deserialize,
         F: Fn(usize) -> T + Sync,
     {
-        let store = configured_checkpoint()
-            .and_then(|cfg| checkpoint::Store::open(&cfg, label, key, n));
+        let store =
+            configured_checkpoint().and_then(|cfg| checkpoint::Store::open(&cfg, label, key, n));
         match store {
             Some(store) => self.exec(label, Some(&JsonCkpt { store }), n, f),
             None => self.exec(label, None::<&NoCkpt>, n, f),
@@ -959,7 +957,10 @@ mod tests {
                     }
                 }
             }
-            assert!(out[3].is_err(), "the in-flight job is cancelled, not completed");
+            assert!(
+                out[3].is_err(),
+                "the in-flight job is cancelled, not completed"
+            );
             if threads == 1 {
                 // Serial dispatch is fully deterministic: the prefix
                 // completes, everything from the trigger drains.
@@ -976,14 +977,16 @@ mod tests {
         let trigger = token.clone();
         let calls = &calls;
         let out = with_cancel_token(token, || {
-            Runner::new(1).retries(5).try_run("cancel-noretry", 2, move |i| {
-                calls[i].fetch_add(1, Ordering::SeqCst);
-                if i == 0 {
-                    trigger.cancel(CancelReason::DeadlineExceeded);
-                    ambient_cancel_token().check();
-                }
-                i
-            })
+            Runner::new(1)
+                .retries(5)
+                .try_run("cancel-noretry", 2, move |i| {
+                    calls[i].fetch_add(1, Ordering::SeqCst);
+                    if i == 0 {
+                        trigger.cancel(CancelReason::DeadlineExceeded);
+                        ambient_cancel_token().check();
+                    }
+                    i
+                })
         });
         let err = out[0].as_ref().unwrap_err();
         assert!(matches!(
@@ -992,17 +995,19 @@ mod tests {
         ));
         assert_eq!(err.attempts, 1);
         assert_eq!(calls[0].load(Ordering::SeqCst), 1, "no retry after cancel");
-        assert_eq!(calls[1].load(Ordering::SeqCst), 0, "sibling never dispatched");
+        assert_eq!(
+            calls[1].load(Ordering::SeqCst),
+            0,
+            "sibling never dispatched"
+        );
     }
 
     #[test]
     fn cancelled_batch_resumes_byte_identically() {
         // The PR's headline guarantee at engine level: cancel mid-batch,
         // resume with the same checkpoint, get the uninterrupted result.
-        let root = std::env::temp_dir().join(format!(
-            "membw_runner_ckpt_cancel_{}",
-            std::process::id()
-        ));
+        let root =
+            std::env::temp_dir().join(format!("membw_runner_ckpt_cancel_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         let cfg = Some(CheckpointConfig {
             root: root.clone(),
@@ -1039,7 +1044,11 @@ mod tests {
                 .collect::<Vec<_>>(),
             (0..8).map(|i| i * 7).collect::<Vec<u64>>()
         );
-        assert_eq!(executed.load(Ordering::SeqCst), 4, "only cancelled slots re-ran");
+        assert_eq!(
+            executed.load(Ordering::SeqCst),
+            4,
+            "only cancelled slots re-ran"
+        );
         let _ = std::fs::remove_dir_all(&root);
     }
 
@@ -1048,9 +1057,7 @@ mod tests {
         let before = metrics();
         let token = CancelToken::new();
         token.cancel(CancelReason::Interrupted);
-        let out = with_cancel_token(token, || {
-            Runner::new(2).try_run("all-cancelled", 5, |i| i)
-        });
+        let out = with_cancel_token(token, || Runner::new(2).try_run("all-cancelled", 5, |i| i));
         assert!(out.iter().all(Result::is_err));
         // Every slot reports Cancelled with attempts 0 — none of them
         // count as failures (metrics are process-global and other tests
@@ -1113,10 +1120,7 @@ mod tests {
 
     #[test]
     fn checkpoint_resume_replays_archived_results() {
-        let root = std::env::temp_dir().join(format!(
-            "membw_runner_ckpt_{}",
-            std::process::id()
-        ));
+        let root = std::env::temp_dir().join(format!("membw_runner_ckpt_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         let cfg = Some(CheckpointConfig {
             root: root.clone(),
@@ -1133,7 +1137,10 @@ mod tests {
             })
         });
         assert_eq!(
-            second.iter().map(|r| *r.as_ref().unwrap()).collect::<Vec<_>>(),
+            second
+                .iter()
+                .map(|r| *r.as_ref().unwrap())
+                .collect::<Vec<_>>(),
             vec![0, 3, 6, 9, 12, 15]
         );
         let _ = std::fs::remove_dir_all(&root);
@@ -1141,10 +1148,8 @@ mod tests {
 
     #[test]
     fn checkpoint_without_resume_recomputes() {
-        let root = std::env::temp_dir().join(format!(
-            "membw_runner_ckpt_nr_{}",
-            std::process::id()
-        ));
+        let root =
+            std::env::temp_dir().join(format!("membw_runner_ckpt_nr_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         let mk = |resume| {
             Some(CheckpointConfig {
@@ -1169,10 +1174,8 @@ mod tests {
 
     #[test]
     fn failed_jobs_are_not_checkpointed_and_retry_on_resume() {
-        let root = std::env::temp_dir().join(format!(
-            "membw_runner_ckpt_fail_{}",
-            std::process::id()
-        ));
+        let root =
+            std::env::temp_dir().join(format!("membw_runner_ckpt_fail_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         let cfg = Some(CheckpointConfig {
             root: root.clone(),
@@ -1195,7 +1198,11 @@ mod tests {
             })
         });
         assert!(second.iter().all(Result::is_ok));
-        assert_eq!(executed.load(Ordering::SeqCst), 1, "only the failed job re-ran");
+        assert_eq!(
+            executed.load(Ordering::SeqCst),
+            1,
+            "only the failed job re-ran"
+        );
         let _ = std::fs::remove_dir_all(&root);
     }
 

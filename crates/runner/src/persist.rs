@@ -141,7 +141,11 @@ pub fn quarantine_path(path: &Path) -> PathBuf {
 fn corrupt_base(path: &Path) -> Option<String> {
     let name = path.file_name()?.to_str()?;
     let (base, suffix) = name.rsplit_once(".corrupt")?;
-    if suffix.is_empty() || suffix.strip_prefix('-').is_some_and(|n| n.parse::<u64>().is_ok()) {
+    if suffix.is_empty()
+        || suffix
+            .strip_prefix('-')
+            .is_some_and(|n| n.parse::<u64>().is_ok())
+    {
         Some(base.to_string())
     } else {
         None
@@ -273,7 +277,10 @@ mod tests {
 
     #[test]
     fn corrupt_base_groups_generations() {
-        assert_eq!(corrupt_base(Path::new("/x/3.json.corrupt")), Some("3.json".into()));
+        assert_eq!(
+            corrupt_base(Path::new("/x/3.json.corrupt")),
+            Some("3.json".into())
+        );
         assert_eq!(
             corrupt_base(Path::new("/x/3.json.corrupt-12")),
             Some("3.json".into())

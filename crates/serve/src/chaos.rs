@@ -180,7 +180,10 @@ mod tests {
                 FaultMode::DupBurst(8)
             ]
         );
-        assert_eq!(parse_spec("dupburst:3").unwrap(), vec![FaultMode::DupBurst(3)]);
+        assert_eq!(
+            parse_spec("dupburst:3").unwrap(),
+            vec![FaultMode::DupBurst(3)]
+        );
         for bad in ["", "tornn", "dupburst:0", "dupburst:x", "torn;disconnect"] {
             let e = parse_spec(bad).unwrap_err();
             assert!(e.contains(SERVE_FAULT_ENV), "{bad:?} -> {e}");

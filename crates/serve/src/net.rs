@@ -30,9 +30,7 @@ impl Endpoint {
         }
         match spec.strip_prefix("tcp:") {
             None => Ok(Endpoint::Unix(PathBuf::from(spec))),
-            Some("") => {
-                Err("tcp endpoint needs a port: tcp:PORT or tcp:HOST:PORT".to_string())
-            }
+            Some("") => Err("tcp endpoint needs a port: tcp:PORT or tcp:HOST:PORT".to_string()),
             Some(rest) => {
                 let addr = if rest.contains(':') {
                     rest.to_string()
@@ -220,7 +218,8 @@ mod tests {
 
     #[test]
     fn stale_unix_socket_is_rebound() {
-        let path = std::env::temp_dir().join(format!("membw_net_stale_{}.sock", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("membw_net_stale_{}.sock", std::process::id()));
         let _ = std::fs::remove_file(&path);
         let ep = Endpoint::Unix(path.clone());
         // First bind, then drop the listener WITHOUT unlinking — the

@@ -28,16 +28,17 @@
 use crate::net::{Listener, Stream};
 use crate::store::ResultStore;
 use membw_core::audit::{self, AuditLevel};
+use membw_core::fastpath::{self, AnalyticRender};
 use membw_core::runner::persist;
-use membw_core::runner::{
-    self, CancelToken, Dispatcher, JobHandle, JobOutcome, SubmitError,
+use membw_core::runner::{self, CancelToken, Dispatcher, JobHandle, JobOutcome, SubmitError};
+use membw_core::service::{
+    error_kind, source, ServeStats, ServiceRequest, ServiceResponse, STATS_TARGET,
 };
-use membw_core::service::{error_kind, source, ServiceRequest, ServiceResponse};
 use membw_core::sweep::SweepMode;
 use membw_core::targets;
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -54,6 +55,10 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Longest accepted request line in bytes.
     pub max_frame: usize,
+    /// Enable the ECM analytic fast lane (`repro serve --analytic
+    /// assist`). Off by default: a daemon without it answers byte-for-
+    /// byte like the seed.
+    pub analytic: bool,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +69,7 @@ impl Default for ServeConfig {
             conn_limit: 64,
             read_timeout: Duration::from_secs(10),
             max_frame: 64 * 1024,
+            analytic: false,
         }
     }
 }
@@ -85,6 +91,29 @@ impl Drop for DedupeGuard {
     }
 }
 
+/// Triage counters behind the `stats` request, updated lock-free on
+/// every answered or refused request.
+#[derive(Default)]
+struct Counters {
+    analytic: AtomicU64,
+    simulated: AtomicU64,
+    store: AtomicU64,
+    coalesced: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            analytic: self.analytic.load(Ordering::Relaxed),
+            simulated: self.simulated.load(Ordering::Relaxed),
+            store: self.store.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// See the [module docs](self).
 pub struct Server {
     config: ServeConfig,
@@ -93,6 +122,11 @@ pub struct Server {
     dedupe: Arc<Dedupe>,
     draining: AtomicBool,
     connections: Arc<AtomicUsize>,
+    counters: Arc<Counters>,
+    /// Memoized analytic renders keyed by `target|scale`: the first
+    /// fast-lane answer for a key pays the signature computation, every
+    /// later one is histogram arithmetic + a map lookup (microseconds).
+    analytic_cache: Mutex<HashMap<String, Arc<AnalyticRender>>>,
 }
 
 impl Server {
@@ -109,6 +143,8 @@ impl Server {
             dedupe: Arc::new(Mutex::new(HashMap::new())),
             draining: AtomicBool::new(false),
             connections: Arc::new(AtomicUsize::new(0)),
+            counters: Arc::new(Counters::default()),
+            analytic_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -131,7 +167,13 @@ impl Server {
         self.dispatcher.wait_idle(timeout)
     }
 
-    fn ok_response(req: &ServiceRequest, src: &str, jobs: u64, resumed: u64, stdout: String) -> ServiceResponse {
+    fn ok_response(
+        req: &ServiceRequest,
+        src: &str,
+        jobs: u64,
+        resumed: u64,
+        stdout: String,
+    ) -> ServiceResponse {
         ServiceResponse::Ok {
             target: req.target.clone(),
             scale: req.scale.clone(),
@@ -140,8 +182,55 @@ impl Server {
             fnv64: format!("{:016x}", persist::fnv64(&stdout)),
             jobs,
             resumed,
+            model: None,
+            bound_rel_permille: None,
             stdout,
         }
+    }
+
+    /// The analytic fast-lane answer for `req`, if the lane is enabled,
+    /// the target is predictable, and the prediction's worst relative
+    /// bound fits the client's tolerance. The render is memoized per
+    /// `(target, scale)`: only the first answer for a key pays the
+    /// signature pass.
+    fn analytic_answer(&self, req: &ServiceRequest) -> Option<ServiceResponse> {
+        if !self.config.analytic
+            || req.analytic_rel_permille == 0
+            || !fastpath::analytic_supported(&req.target)
+        {
+            return None;
+        }
+        let key = format!("{}|{}", req.target, req.scale);
+        let render = {
+            let mut cache = self.analytic_cache.lock().expect("analytic cache");
+            match cache.get(&key) {
+                Some(r) => Arc::clone(r),
+                None => {
+                    let scale = targets::parse_scale(&req.scale).expect("scale validated");
+                    let r = Arc::new(fastpath::render_target_analytic(&req.target, scale)?);
+                    cache.insert(key, Arc::clone(&r));
+                    r
+                }
+            }
+        };
+        let bound_permille = (render.worst_rel * 1000.0).ceil() as u64;
+        if bound_permille > u64::from(req.analytic_rel_permille) {
+            return None; // too loose for this client: simulate instead
+        }
+        self.counters.analytic.fetch_add(1, Ordering::Relaxed);
+        let stdout = render.rendered.stdout.clone();
+        Some(ServiceResponse::Ok {
+            target: req.target.clone(),
+            scale: req.scale.clone(),
+            sweep: req.sweep.clone(),
+            source: source::ANALYTIC.to_string(),
+            fnv64: format!("{:016x}", persist::fnv64(&stdout)),
+            jobs: 0,
+            resumed: 0,
+            model: Some(render.model.to_string()),
+            bound_rel_permille: Some(bound_permille),
+            stdout,
+        })
     }
 
     fn error(kind: &str, message: impl Into<String>) -> ServiceResponse {
@@ -163,6 +252,7 @@ impl Server {
     ) -> impl FnOnce() -> ServiceResponse + Send + 'static {
         let store = Arc::clone(&self.store);
         let dedupe = Arc::clone(&self.dedupe);
+        let counters = Arc::clone(&self.counters);
         let req = req.clone();
         move || {
             let _cleanup = DedupeGuard {
@@ -174,10 +264,12 @@ impl Server {
             let sweep = SweepMode::parse(&req.sweep).expect("sweep validated");
             let level: AuditLevel = req.audit.parse().expect("audit validated");
             let before = runner::metrics();
-            let result = audit::with_level(level, || targets::render_target(&req.target, scale, sweep));
+            let result =
+                audit::with_level(level, || targets::render_target(&req.target, scale, sweep));
             let delta = runner::metrics_delta(before, runner::metrics());
             match result {
                 Ok(rendered) => {
+                    counters.simulated.fetch_add(1, Ordering::Relaxed);
                     if let Err((step, path, e)) = store.save(&key, &rendered.stdout) {
                         // The client still gets its answer; only the
                         // warm-restart cache misses out.
@@ -186,7 +278,13 @@ impl Server {
                             path.display()
                         );
                     }
-                    Self::ok_response(&req, source::COMPUTED, delta.jobs, delta.resumed, rendered.stdout)
+                    Self::ok_response(
+                        &req,
+                        source::COMPUTED,
+                        delta.jobs,
+                        delta.resumed,
+                        rendered.stdout,
+                    )
                 }
                 Err(e) => ServiceResponse::from_error(&e),
             }
@@ -197,6 +295,10 @@ impl Server {
     /// whole protocol semantics in one function; connection handling
     /// is just framing around it.
     pub fn handle_request(&self, req: &ServiceRequest) -> ServiceResponse {
+        // `stats` is answered from counters, never dispatched.
+        if req.target == STATS_TARGET {
+            return ServiceResponse::Stats(self.counters.snapshot());
+        }
         if let Err(msg) = req.validate() {
             let kind = if targets::renderable(&req.target) {
                 error_kind::BAD_REQUEST
@@ -206,30 +308,47 @@ impl Server {
             return Self::error(kind, msg);
         }
         if self.draining.load(Ordering::SeqCst) {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
             return ServiceResponse::Draining;
         }
         let key = req.coalesce_key();
+        // Triage order: exact stored bytes beat an analytic answer;
+        // a tight-enough analytic answer beats queueing a simulation.
         if let Some(stdout) = self.store.load(&key) {
+            self.counters.store.fetch_add(1, Ordering::Relaxed);
             return Self::ok_response(req, source::STORE, 0, 0, stdout);
+        }
+        if let Some(resp) = self.analytic_answer(req) {
+            return resp;
         }
         let handle = {
             // Hold the dedupe lock across the submit so two identical
             // requests can never both miss the map and double-compute.
             let mut map = self.dedupe.lock().expect("dedupe map");
             match map.get(&key) {
-                Some(h) => h.clone(),
-                None => match self.dispatcher.submit(req.priority, self.make_job(req, key.clone())) {
+                Some(h) => {
+                    self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                    h.clone()
+                }
+                None => match self
+                    .dispatcher
+                    .submit(req.priority, self.make_job(req, key.clone()))
+                {
                     Ok(h) => {
                         map.insert(key, h.clone());
                         h
                     }
                     Err(SubmitError::QueueFull { bound }) => {
+                        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
                         return ServiceResponse::Busy {
                             queued: self.dispatcher.queued() as u64,
                             bound: bound as u64,
-                        }
+                        };
                     }
-                    Err(SubmitError::Draining) => return ServiceResponse::Draining,
+                    Err(SubmitError::Draining) => {
+                        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        return ServiceResponse::Draining;
+                    }
                 },
             }
         };
@@ -283,7 +402,9 @@ impl Server {
                 }
                 let resp = match serde_json::from_str::<ServiceRequest>(line) {
                     Ok(req) => self.handle_request(&req),
-                    Err(e) => Self::error(error_kind::BAD_REQUEST, format!("unparseable request: {e}")),
+                    Err(e) => {
+                        Self::error(error_kind::BAD_REQUEST, format!("unparseable request: {e}"))
+                    }
                 };
                 if write_response(&mut stream, &resp).is_err() {
                     return; // client went away mid-reply
@@ -344,12 +465,23 @@ fn write_response(stream: &mut Stream, resp: &ServiceResponse) -> std::io::Resul
 /// Only setup errors (making the listener non-blocking); accept errors
 /// are logged and survived — a misbehaving client must never stop the
 /// daemon.
-pub fn serve(server: &Arc<Server>, listener: Listener, cancel: &CancelToken) -> std::io::Result<u64> {
+pub fn serve(
+    server: &Arc<Server>,
+    listener: Listener,
+    cancel: &CancelToken,
+) -> std::io::Result<u64> {
     listener.set_nonblocking(true)?;
     let mut served: u64 = 0;
+    // Admission latency is part of the analytic fast lane's budget: a
+    // coarse idle sleep would put a ~25 ms floor under every answer,
+    // including the microsecond ones. Poll eagerly while traffic is
+    // flowing (request trains, benchmark loops, bursts), and only doze
+    // once the socket has stayed quiet.
+    let mut last_activity = std::time::Instant::now();
     while !cancel.is_cancelled() {
         match listener.accept() {
             Ok(stream) => {
+                last_activity = std::time::Instant::now();
                 served += 1;
                 let active = Arc::clone(&server.connections);
                 if active.fetch_add(1, Ordering::SeqCst) >= server.config.conn_limit {
@@ -371,7 +503,11 @@ pub fn serve(server: &Arc<Server>, listener: Listener, cancel: &CancelToken) -> 
                 });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(25));
+                if last_activity.elapsed() < Duration::from_millis(2) {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(500));
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => {

@@ -97,10 +97,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "membw_serve_store_{tag}_{}",
-            std::process::id()
-        ));
+        let d =
+            std::env::temp_dir().join(format!("membw_serve_store_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }

@@ -1,0 +1,168 @@
+//! Serve-side triage of the analytic fast lane, exercised directly
+//! through `Server::handle_request` (no sockets):
+//!
+//! * a client whose tolerance admits the model's bound gets a
+//!   microsecond `source=analytic` answer with full provenance (model
+//!   version + bound), and the memoized prediction cache answers the
+//!   repeat without recomputing;
+//! * a client that opts out (`analytic_rel_permille: 0`), a target
+//!   without a model, or a bound looser than the tolerance all fall
+//!   back to real simulation — byte-identical to the CLI render;
+//! * with the fast lane disabled (the default), responses are
+//!   byte-identical to a no-fast-lane server's;
+//! * the `stats` pseudo-target reports the triage counters.
+
+use membw_core::fastpath;
+use membw_core::service::{source, ServiceRequest, ServiceResponse, STATS_TARGET};
+use membw_core::sweep::SweepMode;
+use membw_core::targets;
+use membw_core::workloads::Scale;
+use membw_serve::{ResultStore, ServeConfig, Server};
+use std::path::PathBuf;
+
+const ANALYTIC_TARGET: &str = "fig4";
+const SIMULATED_TARGET: &str = "table8"; // no analytic model: always simulates
+/// Generous tolerance: every analytic render at test scale fits.
+const WIDE_TOLERANCE: u32 = 100_000;
+
+fn request(target: &str, tolerance: u32) -> ServiceRequest {
+    let mut req = ServiceRequest::new(target);
+    req.scale = "test".to_string();
+    req.analytic_rel_permille = tolerance;
+    req
+}
+
+fn server(tag: &str, analytic: bool) -> (Server, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "membw_triage_{tag}_{}_{}",
+        if analytic { "on" } else { "off" },
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServeConfig {
+        analytic,
+        ..ServeConfig::default()
+    };
+    let store = ResultStore::open(&dir).expect("open store");
+    (Server::new(config, store), dir)
+}
+
+fn stats(server: &Server) -> membw_core::service::ServeStats {
+    match server.handle_request(&ServiceRequest::new(STATS_TARGET)) {
+        ServiceResponse::Stats(s) => s,
+        other => panic!("stats request must get a stats response, got {other:?}"),
+    }
+}
+
+#[test]
+fn tolerant_clients_get_analytic_answers_with_provenance() {
+    let (server, dir) = server("hit", true);
+    let expected = fastpath::render_target_analytic(ANALYTIC_TARGET, Scale::Test)
+        .expect("supported target")
+        .rendered
+        .stdout;
+
+    for round in 0..2 {
+        // Round 0 computes the prediction; round 1 must be served from
+        // the memoized cache — same counters either way.
+        match server.handle_request(&request(ANALYTIC_TARGET, WIDE_TOLERANCE)) {
+            ServiceResponse::Ok {
+                source: s,
+                model,
+                bound_rel_permille,
+                stdout,
+                jobs,
+                ..
+            } => {
+                assert_eq!(s, source::ANALYTIC, "round {round}");
+                assert_eq!(
+                    model.as_deref(),
+                    Some(membw_core::analytic::ecm::MODEL_VERSION),
+                    "round {round}: analytic answer must name its model"
+                );
+                let bound = bound_rel_permille.expect("analytic answer must carry its bound");
+                assert!(
+                    0 < bound && bound <= u64::from(WIDE_TOLERANCE),
+                    "round {round}: bound {bound} must fit the client tolerance"
+                );
+                assert_eq!(stdout, expected, "round {round}: analytic bytes");
+                assert_eq!(jobs, 0, "round {round}: no simulation jobs ran");
+            }
+            other => panic!("round {round}: expected analytic ok, got {other:?}"),
+        }
+    }
+    let s = stats(&server);
+    assert_eq!((s.analytic, s.simulated), (2, 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn opt_outs_loose_bounds_and_unmodelled_targets_simulate() {
+    let (server, dir) = server("fallback", true);
+    let reference = targets::render_target(ANALYTIC_TARGET, Scale::Test, SweepMode::Stack)
+        .expect("reference render")
+        .stdout;
+
+    // analytic_rel_permille: 0 is an explicit opt-out.
+    match server.handle_request(&request(ANALYTIC_TARGET, 0)) {
+        ServiceResponse::Ok {
+            source: s,
+            model,
+            stdout,
+            ..
+        } => {
+            assert_eq!(s, source::COMPUTED);
+            assert_eq!(model, None, "simulated answers carry no model");
+            assert_eq!(
+                stdout, reference,
+                "simulation must be byte-identical to the CLI"
+            );
+        }
+        other => panic!("expected simulated ok, got {other:?}"),
+    }
+
+    // A tolerance tighter than the model's bound forces simulation too
+    // (every analytic render at test scale has a bound over 1 permille);
+    // the store now answers this repeat — still a real result.
+    match server.handle_request(&request(ANALYTIC_TARGET, 1)) {
+        ServiceResponse::Ok { source: s, .. } => assert_eq!(s, source::STORE),
+        other => panic!("expected store ok, got {other:?}"),
+    }
+
+    // No analytic model at all: simulate, whatever the tolerance says.
+    match server.handle_request(&request(SIMULATED_TARGET, WIDE_TOLERANCE)) {
+        ServiceResponse::Ok { source: s, .. } => assert_eq!(s, source::COMPUTED),
+        other => panic!("expected simulated ok, got {other:?}"),
+    }
+
+    let s = stats(&server);
+    assert_eq!(s.analytic, 0, "no analytic answers were admissible");
+    assert_eq!(s.simulated, 2);
+    assert_eq!(s.store, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disabled_fast_lane_is_byte_identical_to_a_plain_server() {
+    let (plain, plain_dir) = server("plain", false);
+    let (disabled, disabled_dir) = server("disabled", false);
+    for target in [ANALYTIC_TARGET, SIMULATED_TARGET] {
+        let req = request(target, WIDE_TOLERANCE);
+        let a = plain.handle_request(&req);
+        let b = disabled.handle_request(&req);
+        let (a, b) = (
+            serde_json::to_string(&a).expect("serialize"),
+            serde_json::to_string(&b).expect("serialize"),
+        );
+        assert_eq!(
+            a, b,
+            "{target}: fast-lane-off servers must agree byte-for-byte"
+        );
+        assert!(
+            a.contains("\"computed\""),
+            "{target}: both must have simulated"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&plain_dir);
+    let _ = std::fs::remove_dir_all(&disabled_dir);
+}

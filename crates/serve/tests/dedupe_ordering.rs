@@ -31,7 +31,8 @@ const BLOCKER_TARGET: &str = "table8";
 /// `--jobs` setting (no store, no dispatcher — the reference cost).
 fn solo_jobs(target: &str) -> (u64, String) {
     let before = runner::metrics();
-    let rendered = targets::render_target(target, Scale::Test, SweepMode::Stack).expect("solo render");
+    let rendered =
+        targets::render_target(target, Scale::Test, SweepMode::Stack).expect("solo render");
     let delta = runner::metrics_delta(before, runner::metrics());
     (delta.jobs, rendered.stdout)
 }
@@ -67,9 +68,14 @@ fn response_bytes(resp: &ServiceResponse) -> String {
 
 fn assert_ok_with(resp: &ServiceResponse, want_source: &str, want_stdout: &str) {
     match resp {
-        ServiceResponse::Ok { source: s, stdout, .. } => {
+        ServiceResponse::Ok {
+            source: s, stdout, ..
+        } => {
             assert_eq!(s, want_source, "unexpected source");
-            assert_eq!(stdout, want_stdout, "stdout must be byte-identical to the CLI render");
+            assert_eq!(
+                stdout, want_stdout,
+                "stdout must be byte-identical to the CLI render"
+            );
         }
         other => panic!("expected ok response, got {}", response_bytes(other)),
     }
@@ -77,11 +83,7 @@ fn assert_ok_with(resp: &ServiceResponse, want_source: &str, want_stdout: &str) 
 
 /// One full phase at the current ambient `--jobs` setting.
 fn run_phase(phase: &str) {
-    let dir = std::env::temp_dir().join(format!(
-        "membw_dedupe_{}_{}",
-        phase,
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("membw_dedupe_{}_{}", phase, std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let (jobs_blocker, blocker_stdout) = solo_jobs(BLOCKER_TARGET);
     let (jobs_burst, want_stdout) = solo_jobs(BURST_TARGET);
@@ -131,7 +133,10 @@ fn run_phase(phase: &str) {
     let before = runner::metrics();
     let warm = burst(&server, &request(BURST_TARGET), N);
     let delta = runner::metrics_delta(before, runner::metrics());
-    assert_eq!(delta.jobs, 0, "warm burst must not run any job (phase {phase})");
+    assert_eq!(
+        delta.jobs, 0,
+        "warm burst must not run any job (phase {phase})"
+    );
     let first = response_bytes(&warm[0]);
     for resp in &warm {
         assert_ok_with(resp, source::STORE, &want_stdout);
@@ -145,10 +150,7 @@ fn run_phase(phase: &str) {
 fn concurrent_identical_requests_coalesce_at_jobs_1_and_8() {
     // The whole proof lives in one #[test]: the job counter is
     // process-global, so concurrent tests would pollute the deltas.
-    std::env::set_var(
-        runner::FAULT_SLOW_ENV,
-        format!("{BLOCKER_TARGET}:0:700"),
-    );
+    std::env::set_var(runner::FAULT_SLOW_ENV, format!("{BLOCKER_TARGET}:0:700"));
     runner::set_jobs(1);
     run_phase("jobs1");
     runner::set_jobs(8);

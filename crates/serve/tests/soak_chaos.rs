@@ -24,7 +24,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Cheap, distinct targets the well-formed clients rotate through.
-const GOOD_TARGETS: [&str; 6] = ["fig1", "table1", "table2", "table3", "params", "extrapolate"];
+const GOOD_TARGETS: [&str; 6] = [
+    "fig1",
+    "table1",
+    "table2",
+    "table3",
+    "params",
+    "extrapolate",
+];
 /// The render the chaos clients keep poking at.
 const CHAOS_TARGET: &str = "table7";
 /// The render `MEMBW_FAULT_INJECT` makes panic inside the engine.
@@ -51,26 +58,37 @@ fn expected_stdout() -> HashMap<&'static str, String> {
 /// A response a well-formed client may legitimately see: a byte-exact
 /// result, or a well-formed busy/structured error. Anything else fails
 /// the soak.
-fn check_well_formed(target: &str, resp: &ServiceResponse, expected: &HashMap<&'static str, String>) {
+fn check_well_formed(
+    target: &str,
+    resp: &ServiceResponse,
+    expected: &HashMap<&'static str, String>,
+) {
     match resp {
         ServiceResponse::Ok { stdout, fnv64, .. } => {
             assert_eq!(
-                stdout,
-                &expected[target],
+                stdout, &expected[target],
                 "target {target}: ok response must be byte-exact CLI output"
             );
             let actual = format!("{:016x}", runner::persist::fnv64(stdout));
-            assert_eq!(&actual, fnv64, "target {target}: response checksum must match payload");
+            assert_eq!(
+                &actual, fnv64,
+                "target {target}: response checksum must match payload"
+            );
         }
         ServiceResponse::Busy { bound, .. } => {
             assert!(*bound > 0, "busy response must carry its bound");
         }
         ServiceResponse::Error { kind, message, .. } => {
-            assert!(!kind.is_empty() && !message.is_empty(),
-                "structured error must carry kind and message");
+            assert!(
+                !kind.is_empty() && !message.is_empty(),
+                "structured error must carry kind and message"
+            );
         }
         ServiceResponse::Draining => {
             panic!("target {target}: got draining before the drain started");
+        }
+        ServiceResponse::Stats(_) => {
+            panic!("target {target}: stats response to a non-stats request");
         }
     }
 }
@@ -107,6 +125,7 @@ fn soak_daemon_survives_chaos_and_drains_clean() {
         conn_limit: 32,
         read_timeout: Duration::from_millis(400), // quick slow-loris verdicts
         max_frame: 2048,
+        analytic: false,
     };
     let store = ResultStore::open(&store_dir).expect("open store");
     let server = Arc::new(Server::new(config, store));
@@ -117,7 +136,10 @@ fn soak_daemon_survives_chaos_and_drains_clean() {
         let token = cancel.clone();
         std::thread::spawn(move || serve(&srv, listener, &token))
     };
-    assert!(client::wait_ready(&endpoint, Duration::from_secs(10)), "daemon never came up");
+    assert!(
+        client::wait_ready(&endpoint, Duration::from_secs(10)),
+        "daemon never came up"
+    );
 
     // --- Chaos + well-formed traffic, concurrently. -------------------
     let chaos_line = serde_json::to_string(&request(CHAOS_TARGET)).unwrap();
@@ -144,7 +166,13 @@ fn soak_daemon_survives_chaos_and_drains_clean() {
             let ep = endpoint.clone();
             std::thread::spawn(move || -> Vec<(&'static str, ServiceResponse)> {
                 (0..4)
-                    .map(|_| (*t, client::query(&ep, &request(t), Some(Duration::from_secs(60))).expect("query")))
+                    .map(|_| {
+                        (
+                            *t,
+                            client::query(&ep, &request(t), Some(Duration::from_secs(60)))
+                                .expect("query"),
+                        )
+                    })
                     .collect()
             })
         })
@@ -159,8 +187,7 @@ fn soak_daemon_survives_chaos_and_drains_clean() {
     assert!(!dup_replies.is_empty(), "dupburst mode must have run");
     for (round, replies) in &dup_replies {
         for line in replies {
-            let resp: ServiceResponse =
-                serde_json::from_str(line).expect("dupburst reply parses");
+            let resp: ServiceResponse = serde_json::from_str(line).expect("dupburst reply parses");
             check_well_formed(CHAOS_TARGET, &resp, &expected);
         }
         // Burst clients that got answers must all have the same bytes
@@ -170,7 +197,10 @@ fn soak_daemon_survives_chaos_and_drains_clean() {
             .filter(|l| l.contains("\"status\":\"ok\""))
             .collect();
         for l in &oks {
-            assert_eq!(*l, oks[0], "dupburst round {round}: ok replies must be byte-identical");
+            assert_eq!(
+                *l, oks[0],
+                "dupburst round {round}: ok replies must be byte-identical"
+            );
         }
     }
 
@@ -200,13 +230,25 @@ fn soak_daemon_survives_chaos_and_drains_clean() {
 
     // --- Fault isolation end to end: the injected target fails with a
     // structured error; the daemon and everyone else are unaffected. --
-    match raw_exchange(&endpoint, &serde_json::to_string(&request(FAILING_TARGET)).unwrap()) {
+    match raw_exchange(
+        &endpoint,
+        &serde_json::to_string(&request(FAILING_TARGET)).unwrap(),
+    ) {
         ServiceResponse::Error { kind, message, .. } => {
-            assert_eq!(kind, error_kind::JOBS_FAILED, "injected engine faults surface as jobs-failed: {message}");
+            assert_eq!(
+                kind,
+                error_kind::JOBS_FAILED,
+                "injected engine faults surface as jobs-failed: {message}"
+            );
         }
         other => panic!("fault-injected render should fail structurally, got {other:?}"),
     }
-    let resp = client::query(&endpoint, &request(CHAOS_TARGET), Some(Duration::from_secs(60))).unwrap();
+    let resp = client::query(
+        &endpoint,
+        &request(CHAOS_TARGET),
+        Some(Duration::from_secs(60)),
+    )
+    .unwrap();
     check_well_formed(CHAOS_TARGET, &resp, &expected);
     std::env::remove_var(runner::FAULT_INJECT_ENV);
 
@@ -218,7 +260,10 @@ fn soak_daemon_survives_chaos_and_drains_clean() {
         .expect("serve loop exits cleanly");
     assert!(served > 0, "the soak must have served connections");
     assert!(
-        matches!(server.handle_request(&request(CHAOS_TARGET)), ServiceResponse::Draining),
+        matches!(
+            server.handle_request(&request(CHAOS_TARGET)),
+            ServiceResponse::Draining
+        ),
         "post-drain requests must be refused as draining"
     );
 
@@ -228,7 +273,10 @@ fn soak_daemon_survives_chaos_and_drains_clean() {
     for e in std::fs::read_dir(&store_dir).unwrap() {
         let name = e.unwrap().file_name().to_string_lossy().into_owned();
         assert!(!name.ends_with(".tmp"), "stray temp file in store: {name}");
-        assert!(!name.contains(".corrupt"), "quarantined entry in a crash-free soak: {name}");
+        assert!(
+            !name.contains(".corrupt"),
+            "quarantined entry in a crash-free soak: {name}"
+        );
         if name.ends_with(".json") {
             entries += 1;
         }

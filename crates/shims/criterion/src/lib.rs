@@ -123,7 +123,12 @@ impl Bencher {
     }
 }
 
-fn run_bench(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+fn run_bench(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
     let sample_size = if quick_mode() { 1 } else { sample_size };
     let batch_target = batch_target();
     // Warm-up: find an iteration count that fills the batch target.

@@ -140,7 +140,10 @@ pub mod prop {
         impl From<::std::ops::Range<usize>> for SizeRange {
             fn from(r: ::std::ops::Range<usize>) -> Self {
                 assert!(r.start < r.end, "empty vec size range");
-                Self { lo: r.start, hi: r.end }
+                Self {
+                    lo: r.start,
+                    hi: r.end,
+                }
             }
         }
 

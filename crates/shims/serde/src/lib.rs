@@ -43,9 +43,7 @@ pub mod json {
         /// Look up a key in an object value.
         pub fn get(&self, key: &str) -> Option<&Value> {
             match self {
-                Value::Object(entries) => {
-                    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-                }
+                Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
                 _ => None,
             }
         }
@@ -302,8 +300,9 @@ impl_tuple! {
 fn value_as_i64(v: &Value) -> Result<i64, DeError> {
     match v {
         Value::Int(n) => Ok(*n),
-        Value::UInt(n) => i64::try_from(*n)
-            .map_err(|_| DeError(format!("integer {n} out of i64 range"))),
+        Value::UInt(n) => {
+            i64::try_from(*n).map_err(|_| DeError(format!("integer {n} out of i64 range")))
+        }
         other => Err(DeError::expected("integer", other)),
     }
 }
@@ -311,8 +310,9 @@ fn value_as_i64(v: &Value) -> Result<i64, DeError> {
 fn value_as_u64(v: &Value) -> Result<u64, DeError> {
     match v {
         Value::UInt(n) => Ok(*n),
-        Value::Int(n) => u64::try_from(*n)
-            .map_err(|_| DeError(format!("integer {n} out of unsigned range"))),
+        Value::Int(n) => {
+            u64::try_from(*n).map_err(|_| DeError(format!("integer {n} out of unsigned range")))
+        }
         other => Err(DeError::expected("integer", other)),
     }
 }

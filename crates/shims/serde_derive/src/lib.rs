@@ -24,8 +24,12 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse(input) {
-        Ok(item) => emit_serialize(&item).parse().expect("generated impl parses"),
-        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error parses"),
+        Ok(item) => emit_serialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
     }
 }
 
@@ -35,7 +39,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Ok(item) => emit_deserialize(&item)
             .parse()
             .expect("generated impl parses"),
-        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
     }
 }
 
@@ -284,10 +290,7 @@ fn emit_deserialize(item: &Item) -> String {
                 .iter()
                 .map(|f| format!("{f}: ::serde::__field(v, {f:?}, {name:?})?"))
                 .collect();
-            format!(
-                "::std::result::Result::Ok(Self {{ {} }})",
-                inits.join(", ")
-            )
+            format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
         }
         Kind::UnitStruct => format!(
             "match v {{\n\
@@ -299,9 +302,7 @@ fn emit_deserialize(item: &Item) -> String {
             let unit_arms: Vec<String> = variants
                 .iter()
                 .filter(|(_, arity)| *arity == 0)
-                .map(|(v, _)| {
-                    format!("{v:?} => ::std::result::Result::Ok({name}::{v}),")
-                })
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
                 .collect();
             let tuple_arms: Vec<String> = variants
                 .iter()

@@ -229,20 +229,12 @@ impl Parser<'_> {
                                 .and_then(|h| std::str::from_utf8(h).ok())
                                 .and_then(|h| u32::from_str_radix(h, 16).ok())
                                 .ok_or_else(|| {
-                                    Error::parse(format!(
-                                        "bad \\u escape at byte {}",
-                                        self.pos
-                                    ))
+                                    Error::parse(format!("bad \\u escape at byte {}", self.pos))
                                 })?;
                             out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
                             self.pos += 4;
                         }
-                        _ => {
-                            return Err(Error::parse(format!(
-                                "bad escape at byte {}",
-                                self.pos
-                            )))
-                        }
+                        _ => return Err(Error::parse(format!("bad escape at byte {}", self.pos))),
                     }
                     self.pos += 1;
                 }
@@ -250,8 +242,7 @@ impl Parser<'_> {
                     // Consume one UTF-8 scalar (the input is a &str, so
                     // boundaries are trustworthy).
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| Error::parse("invalid utf-8"))?;
+                    let s = std::str::from_utf8(rest).map_err(|_| Error::parse("invalid utf-8"))?;
                     let c = s.chars().next().expect("non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -276,8 +267,7 @@ impl Parser<'_> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("ascii number text");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number text");
         if float {
             text.parse::<f64>()
                 .map(Value::Float)
@@ -302,17 +292,33 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
         Value::Int(n) => out.push_str(&n.to_string()),
         Value::Float(x) => out.push_str(&format_float(*x)),
         Value::Str(s) => write_string(out, s),
-        Value::Array(items) => write_seq(out, items.iter(), items.len(), indent, depth, ('[', ']'), |out, item, ind, d| {
-            write_value(out, item, ind, d);
-        }),
-        Value::Object(entries) => write_seq(out, entries.iter(), entries.len(), indent, depth, ('{', '}'), |out, (k, val), ind, d| {
-            write_string(out, k);
-            out.push(':');
-            if ind.is_some() {
-                out.push(' ');
-            }
-            write_value(out, val, ind, d);
-        }),
+        Value::Array(items) => write_seq(
+            out,
+            items.iter(),
+            items.len(),
+            indent,
+            depth,
+            ('[', ']'),
+            |out, item, ind, d| {
+                write_value(out, item, ind, d);
+            },
+        ),
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter(),
+            entries.len(),
+            indent,
+            depth,
+            ('{', '}'),
+            |out, (k, val), ind, d| {
+                write_string(out, k);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, ind, d);
+            },
+        ),
     }
 }
 
@@ -426,7 +432,10 @@ mod tests {
     #[test]
     fn parser_round_trips_the_serializer_output() {
         let v = Value::Object(vec![
-            ("name".to_string(), Value::Str("compress \"x\"\n".to_string())),
+            (
+                "name".to_string(),
+                Value::Str("compress \"x\"\n".to_string()),
+            ),
             ("count".to_string(), Value::UInt(u64::MAX)),
             ("delta".to_string(), Value::Int(-42)),
             (
@@ -446,7 +455,10 @@ mod tests {
                 Ok(W(v.clone()))
             }
         }
-        for text in [to_string(&W(v.clone())).unwrap(), to_string_pretty(&W(v.clone())).unwrap()] {
+        for text in [
+            to_string(&W(v.clone())).unwrap(),
+            to_string_pretty(&W(v.clone())).unwrap(),
+        ] {
             let back: W = from_str(&text).unwrap();
             assert_eq!(back.0, v);
         }

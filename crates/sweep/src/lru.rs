@@ -402,11 +402,7 @@ fn direct_point(spec: &SweepSpec, capacity: u64, refs: &[MemRef]) -> Option<Cach
 /// Specs outside the stack model fall back **loudly** to per-capacity
 /// direct simulation — a stderr line names the reason — so the result
 /// is exact either way.
-pub fn sweep_lru(
-    spec: &SweepSpec,
-    capacities: &[u64],
-    refs: &[MemRef],
-) -> Vec<Option<CacheStats>> {
+pub fn sweep_lru(spec: &SweepSpec, capacities: &[u64], refs: &[MemRef]) -> Vec<Option<CacheStats>> {
     match LruSweep::new(spec, capacities) {
         Ok(engine) => engine.run(refs),
         Err(unsupported) => {

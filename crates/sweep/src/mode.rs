@@ -30,7 +30,9 @@ impl SweepMode {
         match s {
             "stack" => Ok(SweepMode::Stack),
             "direct" => Ok(SweepMode::Direct),
-            other => Err(format!("unknown sweep mode '{other}' (expected stack|direct)")),
+            other => Err(format!(
+                "unknown sweep mode '{other}' (expected stack|direct)"
+            )),
         }
     }
 }
@@ -56,9 +58,7 @@ pub fn parse_verify(s: &str) -> Result<bool, String> {
     match s {
         "1" => Ok(true),
         "0" => Ok(false),
-        other => Err(format!(
-            "{SWEEP_VERIFY_ENV} must be 0 or 1, got '{other}'"
-        )),
+        other => Err(format!("{SWEEP_VERIFY_ENV} must be 0 or 1, got '{other}'")),
     }
 }
 

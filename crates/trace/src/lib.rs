@@ -34,6 +34,7 @@ pub mod pattern;
 pub mod record;
 pub mod replay;
 pub mod reuse;
+pub mod signature;
 pub mod sink;
 pub mod squash;
 pub mod stats;
@@ -44,6 +45,7 @@ pub use fasthash::{FastBuildHasher, FastHashMap, FastHasher};
 pub use interleave::Interleave;
 pub use record::{AccessKind, MemRef};
 pub use replay::{RecordedTrace, RecordingSink, TraceCache};
+pub use signature::{SignatureCache, SignatureStore, TraceSignature};
 pub use sink::{CollectSink, CountSink, FnSink, MemRefFnSink, TraceSink};
 pub use squash::Squashing;
 pub use swprefetch::SoftwarePrefetch;

@@ -140,6 +140,12 @@ impl ReuseProfile {
         self.histogram.get(&d).copied().unwrap_or(0)
     }
 
+    /// Iterate the `(distance, count)` pairs of the histogram, in
+    /// unspecified order (cold accesses are not included).
+    pub fn distances(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.histogram.iter().map(|(&d, &c)| (d, c))
+    }
+
     /// Misses of a fully-associative LRU cache holding `capacity_blocks`.
     ///
     /// An access hits iff its stack distance is strictly less than the

@@ -5,7 +5,7 @@ use crate::{
     Applu, Compress, Dnasa2, Eqntott, Espresso, Hydro2d, Li, Perl, Su2cor, Swm, Tomcatv, Vortex,
 };
 use membw_trace::replay::{RecordedTrace, TraceCache};
-use membw_trace::{MemRef, TraceSink, Workload};
+use membw_trace::{MemRef, SignatureCache, TraceSink, Workload};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -78,15 +78,29 @@ impl Benchmark {
     /// regeneration when caching is disabled (`MEMBW_TRACE_CACHE_MB=0`);
     /// both paths emit the identical stream.
     pub fn replayable(&self) -> BenchWorkload<'_> {
-        let variant = match self.scale {
-            Scale::Test => "Test",
-            Scale::Small => "Small",
-            Scale::Full => "Full",
-        };
-        match TraceCache::global().get_or_record(self.name, variant, self.workload.as_ref()) {
+        match TraceCache::global().get_or_record(self.name, self.variant(), self.workload.as_ref())
+        {
             Some(trace) => BenchWorkload::Recorded(trace),
             None => BenchWorkload::Direct(self.workload.as_ref()),
         }
+    }
+
+    /// The scale's stable variant label (the trace-cache and
+    /// signature-store key component).
+    pub fn variant(&self) -> &'static str {
+        match self.scale {
+            Scale::Test => "Test",
+            Scale::Small => "Small",
+            Scale::Full => "Full",
+        }
+    }
+
+    /// This benchmark's trace signature, via the process-wide
+    /// [`SignatureCache`]: loaded from the sealed store when present,
+    /// computed once from the recorded trace otherwise. The analytic
+    /// fast path reads only this — never the trace arena.
+    pub fn signature(&self) -> Arc<membw_trace::TraceSignature> {
+        SignatureCache::global().get_or_compute(self.name, self.variant(), &self.replayable())
     }
 }
 

@@ -49,7 +49,10 @@ fn every_suite_workload_replays_its_direct_generation_exactly() {
 
 #[test]
 fn cached_replayable_matches_direct_generation() {
-    for b in suite92(Scale::Test).iter().chain(suite95(Scale::Test).iter()) {
+    for b in suite92(Scale::Test)
+        .iter()
+        .chain(suite95(Scale::Test).iter())
+    {
         let mut direct = CollectSink::new();
         b.workload().generate(&mut direct);
 

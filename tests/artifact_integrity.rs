@@ -3,10 +3,10 @@
 //! recomputed, with the final output byte-identical to a cold run —
 //! at `--jobs 1` and `--jobs 8` alike.
 
+use membw::run_table8;
 use membw::runner::{self, CheckpointConfig};
 use membw::trace::replay::TraceCache;
 use membw::workloads::{suite92, Scale};
-use membw::run_table8;
 use std::fs;
 use std::path::{Path, PathBuf};
 

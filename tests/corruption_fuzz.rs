@@ -13,10 +13,12 @@
 //! Seeds are fixed (`SmallRng::seed_from_u64`), so a failure reproduces
 //! exactly; the CI fuzz-smoke job runs this same harness.
 
+use membw::analytic::ecm::{self, TrafficGeometry};
 use membw::runner::{with_checkpoint, CheckpointConfig, Runner};
 use membw::trace::io::{read_refs, write_refs};
 use membw::trace::pattern::Zipf;
 use membw::trace::replay::TraceCache;
+use membw::trace::signature::{compute_signature, SignatureCache, SignatureStore};
 use membw::trace::{MemRef, Workload};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -25,6 +27,7 @@ use std::fs;
 const TRACE_MUTATIONS: u64 = 400;
 const CHECKPOINT_MUTATIONS: u64 = 400;
 const ARENA_MUTATIONS: u64 = 300;
+const SIGNATURE_MUTATIONS: u64 = 300;
 
 /// Apply one seeded mutation in place: a bit flip, a byte splice, or a
 /// truncation (occasionally to empty).
@@ -133,6 +136,88 @@ fn mutated_checkpoint_files_never_panic_and_never_corrupt() {
         // one must carry exactly the clean values.
         assert_eq!(resumed, clean, "seed {i}: resume served corrupt data");
     }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn mutated_signature_files_never_yield_a_wrong_prediction() {
+    let root = std::env::temp_dir().join(format!("membw_fuzz_sig_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let w = Zipf::new(0, 4096, 16, 2_000, 0.7, 3).with_write_fraction(0.25);
+    let clean = compute_signature("fuzz", "Test", &w);
+    // The reference prediction every accepted-or-recomputed signature
+    // must reproduce exactly.
+    let clean_pred = ecm::predict_traffic(
+        &clean.kernel,
+        32,
+        64 * 1024,
+        TrafficGeometry::Assoc { ways: 1 },
+    )
+    .expect("32 B histogram recorded");
+
+    let store = SignatureStore::open(&root).expect("open signature store");
+    store.save(&clean).expect("persist clean signature");
+    let path = store.path_for("fuzz", "Test");
+    let clean_bytes = fs::read(&path).expect("signature file exists");
+
+    let mut rejected = 0u64;
+    for i in 0..SIGNATURE_MUTATIONS {
+        let mut rng = SmallRng::seed_from_u64(0x51D0_0000 + i);
+        let mut bytes = clean_bytes.clone();
+        mutate(&mut bytes, &mut rng);
+        if bytes == clean_bytes {
+            continue;
+        }
+        fs::write(&path, &bytes).expect("write mutated signature");
+        // Load path: either the seal check quarantines the file (and a
+        // fresh cache recomputes the exact clean signature), or the
+        // accepted content IS the clean signature. Either way the
+        // prediction downstream is bit-identical — a damaged signature
+        // can cost a recompute, never a wrong prediction.
+        match store.load("fuzz", "Test") {
+            Some(sig) => assert_eq!(
+                sig, clean,
+                "seed {i}: store accepted a mutated signature with different data"
+            ),
+            None => {
+                rejected += 1;
+                assert!(
+                    !path.exists(),
+                    "seed {i}: corrupt entry must be quarantined"
+                );
+                let cache =
+                    SignatureCache::with_store(Some(SignatureStore::open(&root).expect("reopen")));
+                let recomputed = cache.get_or_compute("fuzz", "Test", &w);
+                assert_eq!(*recomputed, clean, "seed {i}: recompute must match clean");
+            }
+        }
+        let served = store
+            .load("fuzz", "Test")
+            .expect("entry re-persisted after recompute");
+        let pred = ecm::predict_traffic(
+            &served.kernel,
+            32,
+            64 * 1024,
+            TrafficGeometry::Assoc { ways: 1 },
+        )
+        .expect("32 B histogram recorded");
+        assert_eq!(
+            pred.bytes.to_bits(),
+            clean_pred.bytes.to_bits(),
+            "seed {i}: prediction drifted"
+        );
+        assert_eq!(
+            pred.bound.to_bits(),
+            clean_pred.bound.to_bits(),
+            "seed {i}: bound drifted"
+        );
+        // Restore the sealed clean bytes for the next mutation round.
+        fs::write(&path, &clean_bytes).expect("restore clean signature");
+    }
+    assert!(
+        rejected > SIGNATURE_MUTATIONS / 2,
+        "most mutations must be structurally rejected, got {rejected}"
+    );
     let _ = fs::remove_dir_all(&root);
 }
 

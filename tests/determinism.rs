@@ -36,16 +36,24 @@ fn fig3_decomposition_identical_across_jobs() {
 
 #[test]
 fn table7_and_table8_identical_across_jobs() {
-    let (t7_serial, t7_tab_serial) = with_jobs(1, || run_table7::run(Scale::Test).expect("no faults injected"));
-    let (t7_parallel, t7_tab_parallel) = with_jobs(8, || run_table7::run(Scale::Test).expect("no faults injected"));
+    let (t7_serial, t7_tab_serial) = with_jobs(1, || {
+        run_table7::run(Scale::Test).expect("no faults injected")
+    });
+    let (t7_parallel, t7_tab_parallel) = with_jobs(8, || {
+        run_table7::run(Scale::Test).expect("no faults injected")
+    });
     assert_eq!(t7_tab_serial.render(), t7_tab_parallel.render());
     assert_eq!(
         serde_json::to_string_pretty(&t7_serial).unwrap(),
         serde_json::to_string_pretty(&t7_parallel).unwrap()
     );
 
-    let (t8_serial, t8_tab_serial) = with_jobs(1, || run_table8::run(Scale::Test).expect("no faults injected"));
-    let (t8_parallel, t8_tab_parallel) = with_jobs(8, || run_table8::run(Scale::Test).expect("no faults injected"));
+    let (t8_serial, t8_tab_serial) = with_jobs(1, || {
+        run_table8::run(Scale::Test).expect("no faults injected")
+    });
+    let (t8_parallel, t8_tab_parallel) = with_jobs(8, || {
+        run_table8::run(Scale::Test).expect("no faults injected")
+    });
     assert_eq!(t8_tab_serial.render(), t8_tab_parallel.render());
     assert_eq!(
         serde_json::to_string_pretty(&t8_serial).unwrap(),
@@ -55,13 +63,21 @@ fn table7_and_table8_identical_across_jobs() {
 
 #[test]
 fn fig4_mtc_traffic_counts_identical_across_jobs() {
-    let (serial, _) = with_jobs(1, || run_fig4::run(Scale::Test).expect("no faults injected"));
-    let (parallel, _) = with_jobs(8, || run_fig4::run(Scale::Test).expect("no faults injected"));
+    let (serial, _) = with_jobs(1, || {
+        run_fig4::run(Scale::Test).expect("no faults injected")
+    });
+    let (parallel, _) = with_jobs(8, || {
+        run_fig4::run(Scale::Test).expect("no faults injected")
+    });
     assert_eq!(serial.len(), parallel.len());
     for (s, p) in serial.iter().zip(&parallel) {
         assert_eq!(s.name, p.name);
         for (cs, cp) in s.curves.iter().zip(&p.curves) {
-            assert_eq!(cs.label, cp.label, "{}: curve order must be canonical", s.name);
+            assert_eq!(
+                cs.label, cp.label,
+                "{}: curve order must be canonical",
+                s.name
+            );
             // Exact u64 traffic counts, point by point — the MTC curves
             // exercise the heap min cache inside parallel jobs.
             assert_eq!(cs.points, cp.points, "{}/{}", s.name, cs.label);
@@ -71,8 +87,12 @@ fn fig4_mtc_traffic_counts_identical_across_jobs() {
 
 #[test]
 fn table9_factor_gaps_identical_across_jobs() {
-    let (serial, _) = with_jobs(1, || run_table9::run(Scale::Test).expect("no faults injected"));
-    let (parallel, _) = with_jobs(8, || run_table9::run(Scale::Test).expect("no faults injected"));
+    let (serial, _) = with_jobs(1, || {
+        run_table9::run(Scale::Test).expect("no faults injected")
+    });
+    let (parallel, _) = with_jobs(8, || {
+        run_table9::run(Scale::Test).expect("no faults injected")
+    });
     assert_eq!(
         serde_json::to_string_pretty(&serial).unwrap(),
         serde_json::to_string_pretty(&parallel).unwrap()
@@ -81,8 +101,12 @@ fn table9_factor_gaps_identical_across_jobs() {
 
 #[test]
 fn ablation_identical_across_jobs() {
-    let (serial, tab_serial) = with_jobs(1, || run_ablation::run(Scale::Test, 8 * 1024).expect("no faults injected"));
-    let (parallel, tab_parallel) = with_jobs(8, || run_ablation::run(Scale::Test, 8 * 1024).expect("no faults injected"));
+    let (serial, tab_serial) = with_jobs(1, || {
+        run_ablation::run(Scale::Test, 8 * 1024).expect("no faults injected")
+    });
+    let (parallel, tab_parallel) = with_jobs(8, || {
+        run_ablation::run(Scale::Test, 8 * 1024).expect("no faults injected")
+    });
     assert_eq!(tab_serial.render(), tab_parallel.render());
     assert_eq!(
         serde_json::to_string_pretty(&serial).unwrap(),

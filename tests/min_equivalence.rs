@@ -81,9 +81,15 @@ fn heap_matches_reference_on_long_reuse_heavy_trace() {
     let mut x = 7u64;
     let refs: Vec<MemRef> = (0..200_000)
         .map(|i| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // Zipf-ish: half the accesses hit an 8-word hot set.
-            let w = if i % 2 == 0 { (x >> 33) % 8 } else { (x >> 33) % 4096 };
+            let w = if i % 2 == 0 {
+                (x >> 33) % 8
+            } else {
+                (x >> 33) % 4096
+            };
             if (x >> 13).is_multiple_of(3) {
                 MemRef::write(w * 4, 4)
             } else {

@@ -12,9 +12,9 @@
 //! stack distances predict the same fully-associative LRU miss counts
 //! the sweep engine reports.
 
+use membw::cache::{Associativity, WriteAllocate, WritePolicy};
 use membw::mtc::{min_sweep, MinCache, MinConfig, MinWritePolicy};
 use membw::sweep::{direct_reference, sweep_lru, SweepSpec};
-use membw::cache::{Associativity, WriteAllocate, WritePolicy};
 use membw::trace::reuse::ReuseProfile;
 use membw::trace::{MemRef, VecWorkload};
 use proptest::prelude::*;
