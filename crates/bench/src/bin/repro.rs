@@ -235,7 +235,11 @@ fn parse_args() -> Result<Options, String> {
                 );
                 println!("SIGINT/SIGTERM request a graceful drain (second signal force-exits).");
                 println!("exit codes: 0 ok, 1 target/job failures, 2 usage error,");
-                println!("            124 deadline exceeded, 130 interrupted.");
+                println!("            124 deadline exceeded, 130 interrupted,");
+                println!(
+                    "            134 aborted at an injected {}=crash@K I/O point.",
+                    runner::faultio::IO_FAULT_ENV
+                );
                 std::process::exit(0);
             }
             t if !t.starts_with('-') => targets.push(t.to_string()),
@@ -341,7 +345,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
             .json_dir
             .clone()
             .unwrap_or_else(|| PathBuf::from("traces"));
-        std::fs::create_dir_all(&dir)
+        runner::faultio::create_dir_all(&dir)
             .map_err(|e| MembwError::io("create trace directory", dir.clone(), e))?;
         use membw_core::trace::io::save_workload;
         use membw_core::workloads::{suite92, suite95};
@@ -358,7 +362,7 @@ fn run_leaf(opts: &Options, target: &str) -> Result<(), MembwError> {
     let rendered = targets::render_target(target, opts.scale, opts.sweep)?;
     print!("{}", rendered.stdout);
     if let Some(dir) = &opts.json_dir {
-        std::fs::create_dir_all(dir)
+        runner::faultio::create_dir_all(dir)
             .map_err(|e| MembwError::io("create JSON directory", dir.clone(), e))?;
         for a in &rendered.artifacts {
             let path = dir.join(format!("{}.json", a.name));
@@ -496,7 +500,9 @@ fn cmd_serve(argv: &[String]) -> i32 {
         if let Ok(v) = std::env::var(runner::JOBS_ENV) {
             runner::parse_jobs(&v)?;
         }
-        runner::validate_fault_env()?;
+        // The serve driver honors the chaos variable too, so validate
+        // the chained registry (runner hooks + MEMBW_SERVE_FAULT).
+        membw_serve::chaos::validate_env()?;
         if let Ok(v) = std::env::var(runner::MEM_BUDGET_MB_ENV) {
             let mb = runner::parse_mem_budget_mb(&v)?;
             if mem_budget_mb.is_none() {
@@ -546,6 +552,13 @@ fn cmd_serve(argv: &[String]) -> i32 {
             return 1;
         }
     };
+    // Warn-only: a daemon without a pidfile still serves, but the
+    // orphaned-tmp sweeps lose their liveness cross-check for it.
+    match membw_serve::net::write_pidfile(&endpoint) {
+        Ok(Some(path)) => eprintln!("serve: pid {} at {}", std::process::id(), path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: cannot write pidfile: {e}"),
+    }
     eprintln!(
         "serve: listening on {} (max-inflight {}, queue {}, store {})",
         endpoint.display(),
@@ -563,8 +576,9 @@ fn cmd_serve(argv: &[String]) -> i32 {
         }
     };
     if let Some(path) = endpoint.socket_path() {
-        let _ = std::fs::remove_file(path);
+        let _ = runner::faultio::remove_file(path);
     }
+    membw_serve::net::remove_pidfile(&endpoint);
     eprintln!("serve: drained cleanly after {served} connection(s)");
     0
 }
@@ -699,13 +713,17 @@ fn cmd_query(argv: &[String]) -> i32 {
             ServiceResponse::Stats(stats) => {
                 println!(
                     "stats: analytic {} simulated {} store {} coalesced {} rejected {} \
-                     store-hit {} permille",
+                     store-hit {} permille quarantined {} retention-dropped {} \
+                     save-failures {}",
                     stats.analytic,
                     stats.simulated,
                     stats.store,
                     stats.coalesced,
                     stats.rejected,
-                    stats.store_hit_permille()
+                    stats.store_hit_permille(),
+                    stats.quarantined,
+                    stats.retention_dropped,
+                    stats.save_failures
                 );
             }
             ServiceResponse::Busy { queued, bound } => {
@@ -720,12 +738,16 @@ fn cmd_query(argv: &[String]) -> i32 {
                 kind,
                 message,
                 cell,
+                retry_after_ms,
             } => {
                 match cell {
                     Some(cell) => {
                         eprintln!("error: query '{target}': [{kind}] {message} (cell: {cell})");
                     }
                     None => eprintln!("error: query '{target}': [{kind}] {message}"),
+                }
+                if let Some(ms) = retry_after_ms {
+                    eprintln!("query: {target}: transient; retry after {ms} ms");
                 }
                 return 1;
             }

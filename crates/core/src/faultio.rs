@@ -1,0 +1,12 @@
+//! The deterministic fault-injecting I/O layer, re-exported at the
+//! `membw-core` level.
+//!
+//! The implementation lives in [`membw_runner::faultio`] because the
+//! dependency arrow points the other way: the runner's persistence
+//! primitives (`persist`, `checkpoint`) and the trace crate's artifact
+//! writers all sit *below* core and must themselves write through the
+//! facade. Downstream code that depends on core (the serve daemon, the
+//! bench binaries, integration tests) reaches it as
+//! `membw_core::faultio`.
+
+pub use membw_runner::faultio::*;

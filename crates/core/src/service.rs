@@ -182,7 +182,12 @@ pub mod error_kind {
     pub const DEADLINE: &str = "deadline";
     /// The job was cancelled (daemon drain).
     pub const CANCELLED: &str = "cancelled";
-    /// Target I/O or other internal failure.
+    /// A transient I/O failure (full disk, failed fsync, injected
+    /// fault): the render may well succeed if retried — the response
+    /// carries a `retry_after_ms` hint and well-behaved clients back
+    /// off and retry ([`membw_serve::Backoff`] in the serve crate).
+    pub const TRANSIENT: &str = "transient";
+    /// Non-retryable internal failure (corrupt trace, logic error).
     pub const INTERNAL: &str = "internal";
 }
 
@@ -213,6 +218,15 @@ pub struct ServeStats {
     pub coalesced: u64,
     /// Requests refused (queue at bound, or daemon draining).
     pub rejected: u64,
+    /// Store entries quarantined (seal/identity verification failed);
+    /// each one cost a recompute, never a corrupt answer.
+    pub quarantined: u64,
+    /// Quarantined generations deleted by the retention sweep at store
+    /// open, bounding the `.corrupt` backlog.
+    pub retention_dropped: u64,
+    /// Completed renders that could not be persisted (`ENOSPC`, failed
+    /// fsync); the result was still served, only durability was lost.
+    pub save_failures: u64,
 }
 
 impl ServeStats {
@@ -276,12 +290,25 @@ pub enum ServiceResponse {
         /// For [`error_kind::INVARIANT`]: the auditor's matrix cell
         /// (`"compress @ 16KB"`).
         cell: Option<String>,
+        /// For [`error_kind::TRANSIENT`]: how long a polite client
+        /// should wait before retrying, in milliseconds. `None` (and
+        /// omitted on the wire) for non-retryable kinds, so every
+        /// pre-taxonomy response stays byte-identical.
+        retry_after_ms: Option<u64>,
     },
 }
 
+/// The `retry_after_ms` hint attached to [`error_kind::TRANSIENT`]
+/// responses: long enough for a brief I/O stall to clear, short enough
+/// that a retry storm is bounded by the backoff policy, not this hint.
+pub const TRANSIENT_RETRY_AFTER_MS: u64 = 250;
+
 impl ServiceResponse {
     /// Build the error response for a failed render, classifying the
-    /// [`MembwError`] and surfacing the auditor's cell name.
+    /// [`MembwError`] and surfacing the auditor's cell name. I/O
+    /// failures are [`error_kind::TRANSIENT`] — a full disk or failed
+    /// fsync can clear — and carry a retry hint; everything else is
+    /// non-retryable.
     pub fn from_error(err: &MembwError) -> Self {
         let (kind, cell) = match err {
             MembwError::InvariantViolation { violations } => (
@@ -289,12 +316,15 @@ impl ServiceResponse {
                 violations.first().map(|v| v.cell.clone()),
             ),
             MembwError::Jobs { .. } => (error_kind::JOBS_FAILED, None),
-            MembwError::Io { .. } | MembwError::Trace { .. } => (error_kind::INTERNAL, None),
+            MembwError::Io { .. } => (error_kind::TRANSIENT, None),
+            MembwError::Trace { .. } => (error_kind::INTERNAL, None),
         };
+        let retry_after_ms = (kind == error_kind::TRANSIENT).then_some(TRANSIENT_RETRY_AFTER_MS);
         ServiceResponse::Error {
             kind: kind.to_string(),
             message: err.to_string(),
             cell,
+            retry_after_ms,
         }
     }
 
@@ -349,6 +379,12 @@ impl Serialize for ServiceResponse {
                 fields.push(("store".to_string(), Value::UInt(s.store)));
                 fields.push(("coalesced".to_string(), Value::UInt(s.coalesced)));
                 fields.push(("rejected".to_string(), Value::UInt(s.rejected)));
+                fields.push(("quarantined".to_string(), Value::UInt(s.quarantined)));
+                fields.push((
+                    "retention_dropped".to_string(),
+                    Value::UInt(s.retention_dropped),
+                ));
+                fields.push(("save_failures".to_string(), Value::UInt(s.save_failures)));
                 fields.push((
                     "store_hit_permille".to_string(),
                     Value::UInt(s.store_hit_permille()),
@@ -363,6 +399,7 @@ impl Serialize for ServiceResponse {
                 kind,
                 message,
                 cell,
+                retry_after_ms,
             } => {
                 fields.push(("kind".to_string(), Value::Str(kind.clone())));
                 fields.push(("message".to_string(), Value::Str(message.clone())));
@@ -373,6 +410,11 @@ impl Serialize for ServiceResponse {
                         None => Value::Null,
                     },
                 ));
+                // Written only on retryable errors, so every other
+                // error response's bytes are unchanged.
+                if let Some(ms) = retry_after_ms {
+                    fields.push(("retry_after_ms".to_string(), Value::UInt(*ms)));
+                }
             }
         }
         Value::Object(fields)
@@ -401,6 +443,10 @@ impl Deserialize for ServiceResponse {
                 store: serde::__field(v, "store", "ServiceResponse")?,
                 coalesced: serde::__field(v, "coalesced", "ServiceResponse")?,
                 rejected: serde::__field(v, "rejected", "ServiceResponse")?,
+                // Optional so pre-taxonomy daemons still parse.
+                quarantined: opt_field(v, "quarantined", 0)?,
+                retention_dropped: opt_field(v, "retention_dropped", 0)?,
+                save_failures: opt_field(v, "save_failures", 0)?,
             })),
             "busy" => Ok(ServiceResponse::Busy {
                 queued: serde::__field(v, "queued", "ServiceResponse")?,
@@ -411,6 +457,7 @@ impl Deserialize for ServiceResponse {
                 kind: serde::__field(v, "kind", "ServiceResponse")?,
                 message: serde::__field(v, "message", "ServiceResponse")?,
                 cell: opt_field(v, "cell", None)?,
+                retry_after_ms: opt_field(v, "retry_after_ms", None)?,
             }),
             other => Err(DeError(format!("unknown response status {other:?}"))),
         }
@@ -522,6 +569,9 @@ mod tests {
                 store: 3,
                 coalesced: 1,
                 rejected: 4,
+                quarantined: 2,
+                retention_dropped: 1,
+                save_failures: 1,
             }),
             ServiceResponse::Busy {
                 queued: 8,
@@ -532,11 +582,19 @@ mod tests {
                 kind: error_kind::INVARIANT.into(),
                 message: "1 paper invariant(s) violated".into(),
                 cell: Some("compress @ 16KB".into()),
+                retry_after_ms: None,
             },
             ServiceResponse::Error {
                 kind: error_kind::PANIC.into(),
                 message: "job panicked".into(),
                 cell: None,
+                retry_after_ms: None,
+            },
+            ServiceResponse::Error {
+                kind: error_kind::TRANSIENT.into(),
+                message: "cannot fsync artifact".into(),
+                cell: None,
+                retry_after_ms: Some(TRANSIENT_RETRY_AFTER_MS),
             },
         ];
         for resp in cases {
@@ -620,11 +678,43 @@ mod tests {
             std::io::Error::from(std::io::ErrorKind::PermissionDenied),
         );
         match ServiceResponse::from_error(&e) {
-            ServiceResponse::Error { kind, cell, .. } => {
-                assert_eq!(kind, error_kind::INTERNAL);
+            ServiceResponse::Error {
+                kind,
+                cell,
+                retry_after_ms,
+                ..
+            } => {
+                assert_eq!(kind, error_kind::TRANSIENT, "I/O failures are retryable");
                 assert_eq!(cell, None);
+                assert_eq!(retry_after_ms, Some(TRANSIENT_RETRY_AFTER_MS));
             }
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn retry_hint_absent_from_non_retryable_error_bytes() {
+        // Pre-taxonomy error responses must keep their exact bytes:
+        // the hint field appears only on transient errors.
+        let plain = ServiceResponse::Error {
+            kind: error_kind::PANIC.into(),
+            message: "m".into(),
+            cell: None,
+            retry_after_ms: None,
+        };
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            r#"{"status":"error","kind":"panic","message":"m","cell":null}"#
+        );
+        let transient = ServiceResponse::Error {
+            kind: error_kind::TRANSIENT.into(),
+            message: "m".into(),
+            cell: None,
+            retry_after_ms: Some(250),
+        };
+        assert_eq!(
+            serde_json::to_string(&transient).unwrap(),
+            r#"{"status":"error","kind":"transient","message":"m","cell":null,"retry_after_ms":250}"#
+        );
     }
 }

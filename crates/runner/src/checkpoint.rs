@@ -157,7 +157,7 @@ impl Store {
     fn quarantine(&self, path: &Path) {
         let corrupt = persist::quarantine_path(path);
         QUARANTINED.fetch_add(1, Ordering::Relaxed);
-        match std::fs::rename(path, &corrupt) {
+        match crate::faultio::rename(path, &corrupt) {
             Ok(()) => eprintln!(
                 "warning: checkpoint {} failed verification; quarantined to {} and recomputing",
                 path.display(),
@@ -166,7 +166,7 @@ impl Store {
             Err(e) => {
                 // Last resort: make sure the bad artifact cannot be
                 // replayed on the next resume either.
-                let _ = std::fs::remove_file(path);
+                let _ = crate::faultio::remove_file(path);
                 eprintln!(
                     "warning: checkpoint {} failed verification and could not be quarantined \
                      ({e}); removed and recomputing",
@@ -199,8 +199,20 @@ impl Store {
 }
 
 fn write_meta(dir: &Path, meta_path: &Path, meta: &str) -> Option<()> {
-    std::fs::create_dir_all(dir).ok()?;
-    std::fs::write(meta_path, meta).ok()
+    crate::faultio::create_dir_all(dir).ok()?;
+    // Atomic + fsynced like every other artifact: a crash mid-meta must
+    // not leave a directory whose identity file is torn (a torn meta
+    // would wipe the directory's completed checkpoints on reopen).
+    match persist::write_atomic(meta_path, meta.as_bytes()) {
+        Ok(()) => Some(()),
+        Err((context, path, e)) => {
+            eprintln!(
+                "warning: cannot {context} at {} ({e}); checkpointing disabled for this batch",
+                path.display()
+            );
+            None
+        }
+    }
 }
 
 #[derive(Serialize)]

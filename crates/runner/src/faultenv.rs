@@ -1,0 +1,145 @@
+//! The consolidated registry of strict fault-injection environment
+//! validators.
+//!
+//! Every fault hook in the workspace follows the same contract: a
+//! malformed spec is a **named-variable error and a refusal to start**
+//! (exit 2 from drivers), never a silently-ignored hook. This module is
+//! the one place that knows which variables exist, so drivers validate
+//! all of them with one call and the "garbage spec is rejected with the
+//! variable's name" property is asserted once, uniformly, for every
+//! hook ([`tests::every_registered_var_rejects_garbage_by_name`]).
+//!
+//! The serve-layer chaos variable (`MEMBW_SERVE_FAULT`) lives in the
+//! `membw-serve` crate — a layer above this one — and registers itself
+//! through the same [`FaultVar`] shape; its driver chains the two
+//! registries.
+
+use crate::{faultio, inject};
+
+/// One strict fault-env variable: its name, its grammar (for docs and
+/// error messages), and its validator.
+#[derive(Clone, Copy)]
+pub struct FaultVar {
+    /// The environment variable name.
+    pub name: &'static str,
+    /// Human-readable grammar summary.
+    pub grammar: &'static str,
+    /// Strict spec validator; the error names the variable.
+    pub validate: fn(&str) -> Result<(), String>,
+}
+
+/// The fault variables owned by the runner layer.
+pub fn vars() -> [FaultVar; 4] {
+    [
+        FaultVar {
+            name: inject::FAULT_INJECT_ENV,
+            grammar: "label:index[,label:*] — matching jobs panic on every attempt",
+            validate: |spec| inject::validate_selector_spec(inject::FAULT_INJECT_ENV, spec),
+        },
+        FaultVar {
+            name: inject::FAULT_CANCEL_ENV,
+            grammar: "label:index[,label:*] — dispatching a match cancels the run",
+            validate: |spec| inject::validate_selector_spec(inject::FAULT_CANCEL_ENV, spec),
+        },
+        FaultVar {
+            name: inject::FAULT_SLOW_ENV,
+            grammar: "label:index:millis — matching jobs sleep before running",
+            validate: inject::validate_slow_spec,
+        },
+        FaultVar {
+            name: faultio::IO_FAULT_ENV,
+            grammar: "enospc[:pth]|eintr|shortwrite|fsyncfail[:pth]|tornrename[:pth]\
+                      |crash@K|count:PATH — I/O-layer fault plan",
+            validate: faultio::validate_spec,
+        },
+    ]
+}
+
+/// Validate every variable in `vars` that is present in the
+/// environment.
+///
+/// # Errors
+///
+/// The first validator failure, naming the variable.
+pub fn validate(vars: &[FaultVar]) -> Result<(), String> {
+    for var in vars {
+        if let Ok(spec) = std::env::var(var.name) {
+            (var.validate)(&spec)?;
+        }
+    }
+    Ok(())
+}
+
+/// Validate every runner-layer fault variable present in the
+/// environment. Drivers (`repro`) call this before starting work.
+///
+/// # Errors
+///
+/// The first validator failure, naming the variable.
+pub fn validate_env() -> Result<(), String> {
+    validate(&vars())
+}
+
+/// Assert the uniform contract on one [`FaultVar`]: garbage is
+/// rejected, and the error names the variable so the user knows which
+/// knob to fix. Shared by this module's tests and the serve layer's.
+pub fn assert_rejects_garbage(var: &FaultVar) {
+    for garbage in [
+        "@@definitely-not-a-spec@@",
+        "",
+        ",,,",
+        "label:index:extra:junk:!",
+    ] {
+        match (var.validate)(garbage) {
+            Ok(()) => panic!("{} accepted garbage spec {garbage:?}", var.name),
+            Err(e) => assert!(
+                e.contains(var.name),
+                "{} error must name the variable: {e}",
+                var.name
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_var_rejects_garbage_by_name() {
+        for var in &vars() {
+            assert_rejects_garbage(var);
+        }
+    }
+
+    #[test]
+    fn every_registered_var_accepts_a_canonical_spec() {
+        for (name, spec) in [
+            (inject::FAULT_INJECT_ENV, "table8:*"),
+            (inject::FAULT_CANCEL_ENV, "fig3/SPEC92:3"),
+            (inject::FAULT_SLOW_ENV, "table8:0:500"),
+            (faultio::IO_FAULT_ENV, "eintr,shortwrite,enospc:3"),
+        ] {
+            let var = vars()
+                .into_iter()
+                .find(|v| v.name == name)
+                .expect("registered");
+            (var.validate)(spec).unwrap_or_else(|e| panic!("{name}={spec:?}: {e}"));
+            assert!(!var.grammar.is_empty());
+        }
+    }
+
+    #[test]
+    fn validate_checks_only_present_vars() {
+        // A variable that is unset cannot fail validation.
+        let unset = FaultVar {
+            name: "MEMBW_FAULTENV_TEST_UNSET_VAR",
+            grammar: "never valid",
+            validate: |_| Err("MEMBW_FAULTENV_TEST_UNSET_VAR always fails".into()),
+        };
+        assert!(validate(&[unset]).is_ok());
+        std::env::set_var(unset.name, "x");
+        assert!(validate(&[unset]).is_err());
+        std::env::remove_var(unset.name);
+    }
+}

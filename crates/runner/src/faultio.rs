@@ -1,0 +1,581 @@
+//! Deterministic I/O fault injection: the facade every durable write
+//! in the workspace goes through, and the one place the failure surface
+//! of the filesystem itself becomes injectable.
+//!
+//! The durability story built by the checkpoint store, the `.mwtr`
+//! writer, the signature store, and the `membw serve` result store is a
+//! *claim* until something actually makes `write(2)` return short,
+//! `fsync` fail, or the process die between `rename` and the next line.
+//! This module makes all of that a pure function of an environment
+//! variable, so the crash-consistency proof in
+//! `tests/crash_consistency.rs` can enumerate every I/O point of a
+//! workload and kill the process at each one.
+//!
+//! # `MEMBW_IO_FAULT` grammar
+//!
+//! Comma-separated directives (strictly validated; a typo is a
+//! named-variable error and a refusal to start):
+//!
+//! * `enospc[:P]` — write operations fail as if the disk were full;
+//!   with `:P` only the P-th write operation (1-based, process-wide),
+//!   without it every one.
+//! * `eintr` — the first write attempt of every logical write returns
+//!   `EINTR`; a correct caller retries and the output bytes are
+//!   unchanged (this *proves* the retry loop exists).
+//! * `shortwrite` — write operations write only half the buffer per
+//!   call, so a single `write_all` needs several raw writes; output
+//!   bytes are unchanged if and only if the loop is correct.
+//! * `fsyncfail[:P]` — fsync operations (file and directory) fail
+//!   with an injected I/O error.
+//! * `tornrename[:P]` — instead of an atomic rename, half the source
+//!   bytes are copied to the destination and the operation fails: the
+//!   torn publish a non-atomic filesystem could leave behind. Readers
+//!   must quarantine the destination, never serve it.
+//! * `crash@K` — the process hard-aborts (`std::process::abort`, no
+//!   destructors, no flushes) immediately before executing the K-th
+//!   I/O point. While a crash (or count) plan is active, logical
+//!   writes are split in two so crash points land *inside* writes too.
+//! * `count:PATH` — no faults; after every I/O point the running
+//!   count, operation, and path are written to `PATH`, so a harness
+//!   can enumerate the I/O points of a workload before exploring them.
+//!
+//! # I/O points
+//!
+//! Every operation performed through this module — create, raw write,
+//! fsync, rename, remove, mkdir — is one I/O point, numbered from 1 in
+//! process order. `crash@K` therefore reaches states like "temp file
+//! created but empty", "half the payload written", "fsynced but not
+//! renamed", and "renamed but the directory not yet fsynced".
+//!
+//! With `MEMBW_IO_FAULT` unset the facade is pass-through: one relaxed
+//! atomic load per operation, no counting, no bookkeeping.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+
+/// Environment variable carrying the I/O fault plan.
+pub const IO_FAULT_ENV: &str = "MEMBW_IO_FAULT";
+
+/// Which operations of one kind a directive selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Select {
+    /// Directive absent.
+    #[default]
+    Off,
+    /// Every operation of the kind.
+    All,
+    /// Only the N-th operation of the kind (1-based, process-wide).
+    Nth(u64),
+}
+
+impl Select {
+    fn hits(self, n: u64) -> bool {
+        match self {
+            Select::Off => false,
+            Select::All => true,
+            Select::Nth(k) => k == n,
+        }
+    }
+}
+
+/// A parsed `MEMBW_IO_FAULT` plan. See the [module docs](self) for the
+/// grammar.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    crash_at: Option<u64>,
+    count_to: Option<PathBuf>,
+    enospc: Select,
+    fsyncfail: Select,
+    tornrename: Select,
+    eintr: bool,
+    shortwrite: bool,
+}
+
+impl FaultPlan {
+    /// Strictly parse a [`IO_FAULT_ENV`] spec.
+    ///
+    /// # Errors
+    ///
+    /// Names the variable and the offending entry, like every other
+    /// fault-env validator in the workspace.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        let bad = |entry: &str, why: &str| {
+            format!(
+                "invalid {IO_FAULT_ENV} entry {entry:?}: {why} (expected \
+                 enospc[:pth]|eintr|shortwrite|fsyncfail[:pth]|tornrename[:pth]|crash@K|count:PATH)"
+            )
+        };
+        let nth = |entry: &str, arg: &str| -> Result<Select, String> {
+            match arg.parse::<u64>() {
+                Ok(n) if n >= 1 => Ok(Select::Nth(n)),
+                _ => Err(bad(entry, "the operation index must be a positive integer")),
+            }
+        };
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            match entry {
+                "eintr" => plan.eintr = true,
+                "shortwrite" => plan.shortwrite = true,
+                "enospc" => plan.enospc = Select::All,
+                "fsyncfail" => plan.fsyncfail = Select::All,
+                "tornrename" => plan.tornrename = Select::All,
+                _ => {
+                    if let Some(p) = entry.strip_prefix("enospc:") {
+                        plan.enospc = nth(entry, p)?;
+                    } else if let Some(p) = entry.strip_prefix("fsyncfail:") {
+                        plan.fsyncfail = nth(entry, p)?;
+                    } else if let Some(p) = entry.strip_prefix("tornrename:") {
+                        plan.tornrename = nth(entry, p)?;
+                    } else if let Some(k) = entry.strip_prefix("crash@") {
+                        match k.parse::<u64>() {
+                            Ok(k) if k >= 1 => plan.crash_at = Some(k),
+                            _ => {
+                                return Err(bad(entry, "crash@K needs a positive I/O point number"))
+                            }
+                        }
+                    } else if let Some(path) = entry.strip_prefix("count:") {
+                        if path.is_empty() {
+                            return Err(bad(entry, "count: needs a file path"));
+                        }
+                        plan.count_to = Some(PathBuf::from(path));
+                    } else {
+                        return Err(bad(entry, "unknown directive"));
+                    }
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// True when the plan wants fine-grained I/O points: logical writes
+    /// are split in two so a crash (or the count) can land mid-write.
+    fn stepped(&self) -> bool {
+        self.crash_at.is_some() || self.count_to.is_some()
+    }
+}
+
+/// Strictly validate a [`IO_FAULT_ENV`] spec without installing it.
+///
+/// # Errors
+///
+/// The named-variable parse error.
+pub fn validate_spec(spec: &str) -> Result<(), String> {
+    FaultPlan::parse(spec).map(|_| ())
+}
+
+// ---------------------------------------------------------------------
+// Plan installation and the I/O point counter.
+
+/// Fast-path gate: false means "no plan, no bookkeeping".
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<Arc<FaultPlan>>> = Mutex::new(None);
+static ENV_READ: Once = Once::new();
+
+static IO_POINTS: AtomicU64 = AtomicU64::new(0);
+static WRITE_OPS: AtomicU64 = AtomicU64::new(0);
+static FSYNC_OPS: AtomicU64 = AtomicU64::new(0);
+static RENAME_OPS: AtomicU64 = AtomicU64::new(0);
+
+fn install(plan: Option<FaultPlan>) {
+    let mut slot = PLAN.lock().expect("fault plan");
+    // Each installed plan counts points and per-operation ordinals from
+    // 1: `enospc:N` means the N-th write *under this plan*, not the
+    // N-th since the process started — in-process harnesses install
+    // plans repeatedly and must not inherit a previous plan's progress.
+    IO_POINTS.store(0, Ordering::SeqCst);
+    WRITE_OPS.store(0, Ordering::SeqCst);
+    FSYNC_OPS.store(0, Ordering::SeqCst);
+    RENAME_OPS.store(0, Ordering::SeqCst);
+    ACTIVE.store(plan.is_some(), Ordering::SeqCst);
+    *slot = plan.map(Arc::new);
+}
+
+fn init_from_env() {
+    ENV_READ.call_once(|| {
+        if let Ok(spec) = std::env::var(IO_FAULT_ENV) {
+            match FaultPlan::parse(&spec) {
+                Ok(plan) => install(Some(plan)),
+                Err(e) => {
+                    // Drivers validate up front and exit 2; a library
+                    // hitting a malformed spec honours the same
+                    // contract — refuse to run, never silently ignore
+                    // an injection hook.
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    });
+}
+
+/// Install (or with `None` clear) the process-wide fault plan,
+/// overriding whatever [`IO_FAULT_ENV`] said. Test harnesses that run
+/// the daemon in-process use this; CLI runs never call it.
+pub fn set_plan(plan: Option<FaultPlan>) {
+    ENV_READ.call_once(|| {}); // disarm the env initializer
+    install(plan);
+}
+
+/// The number of I/O points executed so far under an active plan
+/// (always 0 when no plan is installed — the pass-through path does no
+/// counting).
+pub fn io_points() -> u64 {
+    IO_POINTS.load(Ordering::SeqCst)
+}
+
+fn current() -> Option<Arc<FaultPlan>> {
+    init_from_env();
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    PLAN.lock().expect("fault plan").clone()
+}
+
+/// Count one I/O point; honour `count:` and `crash@K`.
+fn io_point(plan: &FaultPlan, op: &str, path: &Path) {
+    let k = IO_POINTS.fetch_add(1, Ordering::SeqCst) + 1;
+    if let Some(file) = &plan.count_to {
+        // Bypasses the facade on purpose: the bookkeeping file is not
+        // part of the workload under test.
+        let _ = std::fs::write(file, format!("{k} {op} {}\n", path.display()));
+    }
+    if plan.crash_at == Some(k) {
+        eprintln!(
+            "faultio: injected crash at I/O point {k} (before {op} {})",
+            path.display()
+        );
+        std::process::abort();
+    }
+}
+
+fn injected(what: &str) -> io::Error {
+    io::Error::other(format!("injected {what} ({IO_FAULT_ENV})"))
+}
+
+// ---------------------------------------------------------------------
+// The facade.
+
+/// A file opened for durable writing through the fault plan. Wraps
+/// create/write/fsync; [`rename`], [`remove_file`], [`create_dir_all`]
+/// and [`Dir`] cover the rest of the durable-write vocabulary.
+#[derive(Debug)]
+pub struct DurableFile {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl DurableFile {
+    /// Create (truncating) `path` for writing. One I/O point.
+    ///
+    /// # Errors
+    ///
+    /// The underlying create error.
+    pub fn create(path: &Path) -> io::Result<DurableFile> {
+        if let Some(plan) = current() {
+            io_point(&plan, "create", path);
+        }
+        Ok(DurableFile {
+            file: std::fs::File::create(path)?,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Write all of `buf`, retrying interrupted and short writes. Under
+    /// an active plan each raw write attempt is one I/O point; `eintr`,
+    /// `shortwrite`, and `enospc` inject here.
+    ///
+    /// # Errors
+    ///
+    /// The underlying (or injected) write error; `EINTR` is always
+    /// retried, a short write always continued.
+    pub fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        let Some(plan) = current() else {
+            return self.file.write_all(buf);
+        };
+        let mut rest = buf;
+        // One mid-buffer boundary is enough to prove the loop and to
+        // give crash plans a torn-write state to land on.
+        let mut split_pending = (plan.shortwrite || plan.stepped()) && rest.len() >= 2;
+        let mut eintr_pending = plan.eintr;
+        while !rest.is_empty() {
+            let nth_write = WRITE_OPS.fetch_add(1, Ordering::SeqCst) + 1;
+            io_point(&plan, "write", &self.path);
+            let attempt: io::Result<usize> = if eintr_pending {
+                eintr_pending = false;
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    format!("injected EINTR ({IO_FAULT_ENV})"),
+                ))
+            } else if plan.enospc.hits(nth_write) {
+                Err(injected("ENOSPC: no space left on device"))
+            } else {
+                let take = if split_pending {
+                    split_pending = false;
+                    (rest.len() / 2).max(1)
+                } else {
+                    rest.len()
+                };
+                self.file.write_all(&rest[..take]).map(|()| take)
+            };
+            match attempt {
+                Ok(n) => rest = &rest[n..],
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Fsync the file. One I/O point; `fsyncfail` injects here. The
+    /// error is returned — never deferred to a drop that cannot report
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// The underlying (or injected) fsync error.
+    pub fn sync_all(&self) -> io::Result<()> {
+        let Some(plan) = current() else {
+            return self.file.sync_all();
+        };
+        let nth = FSYNC_OPS.fetch_add(1, Ordering::SeqCst) + 1;
+        io_point(&plan, "fsync", &self.path);
+        if plan.fsyncfail.hits(nth) {
+            return Err(injected("fsync failure"));
+        }
+        self.file.sync_all()
+    }
+}
+
+/// A directory handle for rename durability: after publishing via
+/// [`rename`], fsyncing the parent directory makes the new directory
+/// entry itself survive power loss.
+#[derive(Debug)]
+pub struct Dir {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl Dir {
+    /// Open `path` (a directory) for fsync.
+    ///
+    /// # Errors
+    ///
+    /// The underlying open error.
+    pub fn open(path: &Path) -> io::Result<Dir> {
+        Ok(Dir {
+            file: std::fs::File::open(path)?,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Fsync the directory. One I/O point; `fsyncfail` injects here
+    /// too (directory fsync fails the same way file fsync does).
+    ///
+    /// # Errors
+    ///
+    /// The underlying (or injected) fsync error.
+    pub fn sync_all(&self) -> io::Result<()> {
+        let Some(plan) = current() else {
+            return self.file.sync_all();
+        };
+        let nth = FSYNC_OPS.fetch_add(1, Ordering::SeqCst) + 1;
+        io_point(&plan, "fsyncdir", &self.path);
+        if plan.fsyncfail.hits(nth) {
+            return Err(injected("directory fsync failure"));
+        }
+        self.file.sync_all()
+    }
+}
+
+/// Rename `from` onto `to`. One I/O point; `tornrename` injects here:
+/// half the source bytes land at the destination and the call fails,
+/// simulating the torn publish of a non-atomic filesystem.
+///
+/// # Errors
+///
+/// The underlying (or injected) rename error.
+pub fn rename(from: &Path, to: &Path) -> io::Result<()> {
+    let Some(plan) = current() else {
+        return std::fs::rename(from, to);
+    };
+    let nth = RENAME_OPS.fetch_add(1, Ordering::SeqCst) + 1;
+    io_point(&plan, "rename", to);
+    if plan.tornrename.hits(nth) {
+        let bytes = std::fs::read(from).unwrap_or_default();
+        let _ = std::fs::write(to, &bytes[..bytes.len() / 2]);
+        let _ = std::fs::remove_file(from);
+        return Err(injected("torn rename"));
+    }
+    std::fs::rename(from, to)
+}
+
+/// Remove `path`. One I/O point (so crash plans cover sweep/cleanup
+/// states); no fault directive targets removes.
+///
+/// # Errors
+///
+/// The underlying remove error.
+pub fn remove_file(path: &Path) -> io::Result<()> {
+    if let Some(plan) = current() {
+        io_point(&plan, "remove", path);
+    }
+    std::fs::remove_file(path)
+}
+
+/// Create `path` and its ancestors. One I/O point.
+///
+/// # Errors
+///
+/// The underlying mkdir error.
+pub fn create_dir_all(path: &Path) -> io::Result<()> {
+    if let Some(plan) = current() {
+        io_point(&plan, "mkdir", path);
+    }
+    std::fs::create_dir_all(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Plan-installing tests share the process-wide plan; serialize
+    /// them so parallel test threads never see each other's injection.
+    static PLAN_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_plan<R>(spec: &str, f: impl FnOnce() -> R) -> R {
+        let _guard = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_plan(Some(FaultPlan::parse(spec).expect("test spec")));
+        let out = f();
+        set_plan(None);
+        out
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("membw_faultio_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn specs_parse_strictly() {
+        assert!(FaultPlan::parse("eintr").unwrap().eintr);
+        assert!(FaultPlan::parse("shortwrite").unwrap().shortwrite);
+        assert_eq!(FaultPlan::parse("enospc").unwrap().enospc, Select::All);
+        assert_eq!(FaultPlan::parse("enospc:3").unwrap().enospc, Select::Nth(3));
+        assert_eq!(
+            FaultPlan::parse("fsyncfail:1").unwrap().fsyncfail,
+            Select::Nth(1)
+        );
+        assert_eq!(
+            FaultPlan::parse("tornrename").unwrap().tornrename,
+            Select::All
+        );
+        assert_eq!(FaultPlan::parse("crash@7").unwrap().crash_at, Some(7));
+        let combo = FaultPlan::parse("eintr, shortwrite, fsyncfail:2").unwrap();
+        assert!(combo.eintr && combo.shortwrite);
+        assert_eq!(combo.fsyncfail, Select::Nth(2));
+        assert_eq!(
+            FaultPlan::parse("count:/tmp/points").unwrap().count_to,
+            Some(PathBuf::from("/tmp/points"))
+        );
+        for bad in [
+            "",
+            "enospcc",
+            "enospc:",
+            "enospc:0",
+            "enospc:x",
+            "crash@",
+            "crash@0",
+            "crash@x",
+            "count:",
+            "eintr;shortwrite",
+        ] {
+            let e = FaultPlan::parse(bad).unwrap_err();
+            assert!(e.contains(IO_FAULT_ENV), "{bad:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn eintr_and_shortwrite_are_transparent_to_a_correct_loop() {
+        let dir = tmpdir("transparent");
+        let path = dir.join("payload");
+        let body = b"0123456789abcdef0123456789abcdef";
+        with_plan("eintr, shortwrite", || {
+            let mut f = DurableFile::create(&path).unwrap();
+            f.write_all(body).unwrap();
+            f.sync_all().unwrap();
+        });
+        assert_eq!(std::fs::read(&path).unwrap(), body, "bytes unchanged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_and_fsyncfail_inject_errors() {
+        let dir = tmpdir("errs");
+        with_plan("enospc", || {
+            let mut f = DurableFile::create(&dir.join("a")).unwrap();
+            let e = f.write_all(b"xx").unwrap_err();
+            assert!(e.to_string().contains("ENOSPC"), "{e}");
+        });
+        with_plan("fsyncfail", || {
+            let mut f = DurableFile::create(&dir.join("b")).unwrap();
+            f.write_all(b"xx").unwrap();
+            let e = f.sync_all().unwrap_err();
+            assert!(e.to_string().contains("injected fsync"), "{e}");
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_rename_leaves_half_the_bytes_and_fails() {
+        let dir = tmpdir("torn");
+        let src = dir.join("src");
+        let dst = dir.join("dst");
+        std::fs::write(&src, b"0123456789").unwrap();
+        with_plan("tornrename", || {
+            let e = rename(&src, &dst).unwrap_err();
+            assert!(e.to_string().contains("torn rename"), "{e}");
+        });
+        assert!(!src.exists(), "torn rename consumes the source");
+        assert_eq!(std::fs::read(&dst).unwrap(), b"01234", "half published");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn count_mode_enumerates_points() {
+        let dir = tmpdir("count");
+        let counter = dir.join("points");
+        let spec = format!("count:{}", counter.display());
+        with_plan(&spec, || {
+            let mut f = DurableFile::create(&dir.join("x")).unwrap();
+            f.write_all(b"0123456789").unwrap(); // stepped: two raw writes
+            f.sync_all().unwrap();
+            rename(&dir.join("x"), &dir.join("y")).unwrap();
+        });
+        let last = std::fs::read_to_string(&counter).unwrap();
+        let k: u64 = last.split_whitespace().next().unwrap().parse().unwrap();
+        assert!(k >= 5, "create + 2 writes + fsync + rename, got {last:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nth_selection_spares_other_operations() {
+        let dir = tmpdir("nth");
+        with_plan("enospc:2", || {
+            // Ordinals restart at plan installation, so "the second
+            // write" is deterministic no matter what ran before.
+            let mut f = DurableFile::create(&dir.join("a")).unwrap();
+            f.write_all(b"first").unwrap(); // write #1: fine
+            let e = f.write_all(b"second").unwrap_err(); // write #2: injected
+            assert!(e.to_string().contains("ENOSPC"), "{e}");
+            assert_eq!(WRITE_OPS.load(Ordering::SeqCst), 2);
+            f.write_all(b"third").unwrap(); // later writes unaffected
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -20,9 +20,10 @@
 //! function of the matrix position — the healthy jobs' outputs stay
 //! byte-identical at any `--jobs` setting.
 //!
-//! Each variable's grammar has a strict validator ([`validate_env`])
-//! that drivers call up front: a typo'd spec is a named-variable error
-//! and a refusal to start, never a silently-ignored hook.
+//! Each variable's grammar has a strict validator, registered in the
+//! consolidated [`faultenv`](crate::faultenv) module that drivers call
+//! up front: a typo'd spec is a named-variable error and a refusal to
+//! start, never a silently-ignored hook.
 
 use crate::cancel::{ambient_cancel_token, CancelReason};
 use std::time::Duration;
@@ -90,22 +91,6 @@ pub fn validate_slow_spec(spec: &str) -> Result<(), String> {
             ));
         }
         check_selector(FAULT_SLOW_ENV, sel)?;
-    }
-    Ok(())
-}
-
-/// Validate every fault-injection variable present in the environment.
-/// Drivers (`repro`) call this before starting work so a typo'd hook
-/// is an up-front, named-variable error.
-pub fn validate_env() -> Result<(), String> {
-    if let Ok(spec) = std::env::var(FAULT_INJECT_ENV) {
-        validate_selector_spec(FAULT_INJECT_ENV, &spec)?;
-    }
-    if let Ok(spec) = std::env::var(FAULT_CANCEL_ENV) {
-        validate_selector_spec(FAULT_CANCEL_ENV, &spec)?;
-    }
-    if let Ok(spec) = std::env::var(FAULT_SLOW_ENV) {
-        validate_slow_spec(&spec)?;
     }
     Ok(())
 }

@@ -63,6 +63,8 @@
 mod cancel;
 mod checkpoint;
 mod failure;
+pub mod faultenv;
+pub mod faultio;
 mod governor;
 mod handle;
 mod inject;
@@ -74,14 +76,14 @@ pub use cancel::{
 };
 pub use checkpoint::{quarantined_artifacts, CheckpointConfig};
 pub use failure::{JobError, JobFailure};
+pub use faultenv::validate_env as validate_fault_env;
 pub use governor::{
     ambient_governor, global_governor, parse_mem_budget_mb, set_mem_budget, with_governor,
     AdmissionGuard, Governor, GovernorStats, MEM_BUDGET_MB_ENV,
 };
 pub use handle::{Dispatcher, JobHandle, JobOutcome, SubmitError};
 pub use inject::{
-    validate_env as validate_fault_env, validate_selector_spec, validate_slow_spec,
-    FAULT_CANCEL_ENV, FAULT_INJECT_ENV, FAULT_SLOW_ENV,
+    validate_selector_spec, validate_slow_spec, FAULT_CANCEL_ENV, FAULT_INJECT_ENV, FAULT_SLOW_ENV,
 };
 
 use serde::{Deserialize, Serialize};

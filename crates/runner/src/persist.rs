@@ -20,8 +20,17 @@
 //!
 //! The checkpoint store (PR 4), the `repro` JSON archives, and the
 //! `membw serve` result store all persist through this module, so their
-//! crash-safety stories are literally the same code path.
+//! crash-safety stories are literally the same code path. Every
+//! filesystem operation goes through [`faultio`](crate::faultio), so
+//! the `MEMBW_IO_FAULT` plan — short writes, injected `ENOSPC`, failing
+//! `fsync`, torn renames, a crash at any I/O point — exercises exactly
+//! the code production runs.
+//!
+//! Temp files are named `<artifact>.p<pid>.tmp`, so the orphan sweep
+//! can tell a *dead* writer's leftovers (swept) from a *live* sibling
+//! process writing into the same directory (left alone).
 
+use crate::faultio::{self, Dir, DurableFile};
 use std::path::{Path, PathBuf};
 
 /// 64-bit FNV-1a over a string — stable across runs and platforms
@@ -61,28 +70,38 @@ pub fn unseal(text: &str) -> Option<&str> {
 /// and the OS error — the same shape `MembwError::Io` renders.
 pub type PersistError = (&'static str, PathBuf, std::io::Error);
 
-/// Write `bytes` to `fin` durably: create `<fin>.tmp`, write, fsync,
-/// rename onto `fin`. A crash at any point leaves either the old `fin`
-/// (plus at worst an orphaned temp file) or the complete new one.
+/// The temp sibling this process writes `fin` through:
+/// `<fin>.p<pid>.tmp`. The embedded PID lets [`sweep_orphaned_tmp`]
+/// distinguish a dead writer's leftovers from a live one's in-flight
+/// file.
+pub fn tmp_path(fin: &Path) -> PathBuf {
+    let mut tmp = fin.as_os_str().to_owned();
+    tmp.push(format!(".p{}.tmp", std::process::id()));
+    PathBuf::from(tmp)
+}
+
+/// Write `bytes` to `fin` durably: create `<fin>.p<pid>.tmp`, write,
+/// fsync, rename onto `fin`, fsync the parent directory. A crash at any
+/// point leaves either the old `fin` (plus at worst an orphaned temp
+/// file) or the complete new one.
 ///
 /// # Errors
 ///
 /// Names the failed operation and path (`ENOSPC`, permissions, short
-/// writes included); the temp file is removed on failure.
+/// writes included); the temp file is removed on failure. Sync errors
+/// are returned from the explicit `fsync` calls here — never deferred
+/// to a file-handle drop that cannot report them.
 pub fn write_atomic(fin: &Path, bytes: &[u8]) -> Result<(), PersistError> {
-    let mut tmp = fin.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = PathBuf::from(tmp);
+    let tmp = tmp_path(fin);
     let result = write_atomic_at(&tmp, fin, bytes);
     if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
+        let _ = faultio::remove_file(&tmp);
     }
     result
 }
 
 fn write_atomic_at(tmp: &Path, fin: &Path, bytes: &[u8]) -> Result<(), PersistError> {
-    use std::io::Write as _;
-    let mut f = std::fs::File::create(tmp)
+    let mut f = DurableFile::create(tmp)
         .map_err(|e| ("create artifact temp file", tmp.to_path_buf(), e))?;
     f.write_all(bytes)
         .map_err(|e| ("write artifact", tmp.to_path_buf(), e))?;
@@ -92,20 +111,61 @@ fn write_atomic_at(tmp: &Path, fin: &Path, bytes: &[u8]) -> Result<(), PersistEr
     f.sync_all()
         .map_err(|e| ("fsync artifact", tmp.to_path_buf(), e))?;
     drop(f);
-    std::fs::rename(tmp, fin).map_err(|e| ("publish artifact", fin.to_path_buf(), e))
+    faultio::rename(tmp, fin).map_err(|e| ("publish artifact", fin.to_path_buf(), e))?;
+    // fsync the directory so the new *entry* survives power loss too; a
+    // crash before this point replays the old artifact, which is fine.
+    if let Some(parent) = fin.parent().filter(|p| !p.as_os_str().is_empty()) {
+        let dir =
+            Dir::open(parent).map_err(|e| ("open artifact directory", parent.to_path_buf(), e))?;
+        dir.sync_all()
+            .map_err(|e| ("fsync artifact directory", parent.to_path_buf(), e))?;
+    }
+    Ok(())
 }
 
-/// Remove `*.tmp` leftovers from a process that was killed mid-save.
-pub fn sweep_orphaned_tmp(dir: &Path) {
+/// The PID embedded in a `<artifact>.p<pid>.tmp` name, if the name has
+/// that shape. Legacy bare `*.tmp` names yield `None`.
+fn tmp_owner_pid(name: &str) -> Option<u32> {
+    let stem = name.strip_suffix(".tmp")?;
+    let (_, pid) = stem.rsplit_once(".p")?;
+    pid.parse().ok()
+}
+
+/// True when the process that owns a temp file is still alive (Linux:
+/// `/proc/<pid>` exists). On platforms without `/proc` every owner
+/// looks dead, which degrades to the historical sweep-everything
+/// behaviour.
+fn tmp_owner_alive(pid: u32) -> bool {
+    Path::new("/proc").join(pid.to_string()).exists()
+}
+
+/// Remove `*.tmp` leftovers from a process that was killed mid-save,
+/// returning how many were removed. A temp file whose embedded PID
+/// belongs to a still-running process is an in-flight write by a live
+/// sibling and is left alone; bare legacy `*.tmp` names (no PID) are
+/// always swept.
+pub fn sweep_orphaned_tmp(dir: &Path) -> usize {
     let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
+        return 0;
     };
+    let mut swept = 0;
     for entry in entries.flatten() {
         let path = entry.path();
-        if path.extension().is_some_and(|e| e == "tmp") {
-            let _ = std::fs::remove_file(&path);
+        if path.extension().is_none_or(|e| e != "tmp") {
+            continue;
+        }
+        let owner = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(tmp_owner_pid);
+        if owner.is_some_and(tmp_owner_alive) {
+            continue;
+        }
+        if faultio::remove_file(&path).is_ok() {
+            swept += 1;
         }
     }
+    swept
 }
 
 /// Default number of quarantined generations kept per artifact by
@@ -232,7 +292,7 @@ mod tests {
         let fin = dir.join("out.json");
         write_atomic(&fin, b"hello").unwrap();
         assert_eq!(std::fs::read(&fin).unwrap(), b"hello");
-        assert!(!dir.join("out.json.tmp").exists());
+        assert!(!tmp_path(&fin).exists());
         // Overwrite in place is atomic too.
         write_atomic(&fin, b"world").unwrap();
         assert_eq!(std::fs::read(&fin).unwrap(), b"world");
@@ -245,7 +305,11 @@ mod tests {
         let fin = dir.join("no/such/dir/out.json");
         let (ctx, path, _) = write_atomic(&fin, b"x").unwrap_err();
         assert_eq!(ctx, "create artifact temp file");
-        assert!(path.to_string_lossy().contains("out.json.tmp"));
+        let name = path.to_string_lossy().into_owned();
+        assert!(
+            name.contains("out.json.p") && name.ends_with(".tmp"),
+            "temp name carries the artifact and writer pid: {name}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -254,10 +318,37 @@ mod tests {
         let dir = tmpdir("sweep");
         std::fs::write(dir.join("a.json.tmp"), "half").unwrap();
         std::fs::write(dir.join("b.json"), "whole").unwrap();
-        sweep_orphaned_tmp(&dir);
+        assert_eq!(sweep_orphaned_tmp(&dir), 1);
         assert!(!dir.join("a.json.tmp").exists());
         assert!(dir.join("b.json").exists());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_spares_a_live_writers_tmp_and_claims_dead_ones() {
+        let dir = tmpdir("liveness");
+        // Our own in-flight write: the sweep must not race us.
+        let alive = tmp_path(&dir.join("mine.json"));
+        std::fs::write(&alive, "in flight").unwrap();
+        // A writer that no longer exists (PIDs are bounded well below
+        // this on Linux), and a pre-PID legacy name.
+        let dead = dir.join("theirs.json.p999999999.tmp");
+        std::fs::write(&dead, "orphan").unwrap();
+        let legacy = dir.join("old.json.tmp");
+        std::fs::write(&legacy, "orphan").unwrap();
+        assert_eq!(sweep_orphaned_tmp(&dir), 2);
+        assert!(alive.exists(), "live sibling's tmp must survive the sweep");
+        assert!(!dead.exists());
+        assert!(!legacy.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tmp_owner_pid_parses_only_the_pid_shape() {
+        assert_eq!(tmp_owner_pid("x.json.p1234.tmp"), Some(1234));
+        assert_eq!(tmp_owner_pid("x.json.tmp"), None);
+        assert_eq!(tmp_owner_pid("x.json.pabc.tmp"), None);
+        assert_eq!(tmp_owner_pid("x.json.p12"), None);
     }
 
     #[test]

@@ -10,14 +10,25 @@
 //!   server's frame deadline closes the connection;
 //! * `dupburst[:N]` — N concurrent identical requests (default 8),
 //!   which must coalesce onto one computation and produce N
-//!   byte-identical response lines.
+//!   byte-identical response lines;
+//! * `enospc` — while one full request runs, every durable write in
+//!   the daemon's process fails with an injected ENOSPC
+//!   ([`faultio`]); the render must still be served and the loss must
+//!   surface as a `save_failures` stats counter, never a wrong byte;
+//! * `fsyncfail` — same, but the injected failure is at fsync, the
+//!   classic silently-swallowed error
+//!   (satellite 6's regression trap).
 //!
-//! These are *client-side* faults: the daemon under test runs
+//! The first four are *client-side* faults: the daemon under test runs
 //! completely unmodified, which is the point — the soak criterion is
 //! that no client behavior, however broken, changes a well-formed
-//! client's bytes or brings the process down.
+//! client's bytes or brings the process down. The last two are
+//! *server-side* I/O faults, installed through the process-global
+//! [`faultio`] plan (the soak daemon runs in-process) for the duration
+//! of one exchange.
 
 use crate::net::Endpoint;
+use membw_core::runner::faultio;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::time::Duration;
 
@@ -35,14 +46,21 @@ pub enum FaultMode {
     SlowLoris,
     /// N concurrent identical requests.
     DupBurst(usize),
+    /// Every durable write in the daemon fails with injected ENOSPC
+    /// for one exchange.
+    Enospc,
+    /// Every fsync in the daemon fails for one exchange.
+    FsyncFail,
 }
 
 /// Every mode, at default intensities (the unset-env default).
-pub const ALL_MODES: [FaultMode; 4] = [
+pub const ALL_MODES: [FaultMode; 6] = [
     FaultMode::Torn,
     FaultMode::Disconnect,
     FaultMode::SlowLoris,
     FaultMode::DupBurst(8),
+    FaultMode::Enospc,
+    FaultMode::FsyncFail,
 ];
 
 /// Strictly parse a [`SERVE_FAULT_ENV`] spec.
@@ -60,6 +78,8 @@ pub fn parse_spec(spec: &str) -> Result<Vec<FaultMode>, String> {
             "disconnect" => FaultMode::Disconnect,
             "slowloris" => FaultMode::SlowLoris,
             "dupburst" => FaultMode::DupBurst(8),
+            "enospc" => FaultMode::Enospc,
+            "fsyncfail" => FaultMode::FsyncFail,
             _ => match entry.strip_prefix("dupburst:") {
                 Some(n) => match n.parse::<usize>() {
                     Ok(n) if n > 0 => FaultMode::DupBurst(n),
@@ -72,7 +92,7 @@ pub fn parse_spec(spec: &str) -> Result<Vec<FaultMode>, String> {
                 None => {
                     return Err(format!(
                         "invalid {SERVE_FAULT_ENV} entry {entry:?} \
-                         (expected torn|disconnect|slowloris|dupburst[:N])"
+                         (expected torn|disconnect|slowloris|dupburst[:N]|enospc|fsyncfail)"
                     ))
                 }
             },
@@ -92,6 +112,30 @@ pub fn modes_from_env() -> Result<Vec<FaultMode>, String> {
         Ok(spec) => parse_spec(&spec),
         Err(_) => Ok(ALL_MODES.to_vec()),
     }
+}
+
+/// This layer's entry in the consolidated fault-env registry
+/// ([`membw_core::runner::faultenv`]).
+pub fn fault_var() -> membw_core::runner::faultenv::FaultVar {
+    membw_core::runner::faultenv::FaultVar {
+        name: SERVE_FAULT_ENV,
+        grammar: "torn|disconnect|slowloris|dupburst[:N]|enospc|fsyncfail \
+                  — soak-harness chaos modes",
+        validate: |spec| parse_spec(spec).map(|_| ()),
+    }
+}
+
+/// Validate every fault variable a serve-layer driver honors: the four
+/// runner-layer hooks plus [`SERVE_FAULT_ENV`].
+///
+/// # Errors
+///
+/// The first validator failure, naming the variable.
+pub fn validate_env() -> Result<(), String> {
+    let runner_vars = membw_core::runner::faultenv::vars();
+    let mut all: Vec<membw_core::runner::faultenv::FaultVar> = runner_vars.to_vec();
+    all.push(fault_var());
+    membw_core::runner::faultenv::validate(&all)
 }
 
 /// Throw one chaos client at the daemon. Returns any response lines
@@ -140,6 +184,30 @@ pub fn apply(endpoint: &Endpoint, mode: FaultMode, request_line: &str) -> Vec<St
             }
             Vec::new()
         }
+        FaultMode::Enospc | FaultMode::FsyncFail => {
+            let spec = match mode {
+                FaultMode::Enospc => "enospc",
+                _ => "fsyncfail",
+            };
+            let plan = faultio::FaultPlan::parse(spec).expect("built-in spec parses");
+            faultio::set_plan(Some(plan));
+            let mut lines = Vec::new();
+            if let Ok(mut s) = endpoint.connect() {
+                let _ = s.set_read_timeout(Some(Duration::from_secs(60)));
+                if s.write_all(request_line.as_bytes()).is_ok()
+                    && s.write_all(b"\n").is_ok()
+                    && s.flush().is_ok()
+                {
+                    let mut reader = BufReader::new(s);
+                    let mut reply = String::new();
+                    if reader.read_line(&mut reply).is_ok() && !reply.is_empty() {
+                        lines.push(reply.trim_end().to_string());
+                    }
+                }
+            }
+            faultio::set_plan(None);
+            lines
+        }
         FaultMode::DupBurst(n) => {
             let handles: Vec<_> = (0..n)
                 .map(|_| {
@@ -172,21 +240,30 @@ mod tests {
     #[test]
     fn specs_parse_strictly() {
         assert_eq!(
-            parse_spec("torn,disconnect,slowloris,dupburst").unwrap(),
-            vec![
-                FaultMode::Torn,
-                FaultMode::Disconnect,
-                FaultMode::SlowLoris,
-                FaultMode::DupBurst(8)
-            ]
+            parse_spec("torn,disconnect,slowloris,dupburst,enospc,fsyncfail").unwrap(),
+            ALL_MODES.to_vec()
         );
         assert_eq!(
             parse_spec("dupburst:3").unwrap(),
             vec![FaultMode::DupBurst(3)]
         );
-        for bad in ["", "tornn", "dupburst:0", "dupburst:x", "torn;disconnect"] {
+        for bad in [
+            "",
+            "tornn",
+            "dupburst:0",
+            "dupburst:x",
+            "torn;disconnect",
+            "enospc:3",
+        ] {
             let e = parse_spec(bad).unwrap_err();
             assert!(e.contains(SERVE_FAULT_ENV), "{bad:?} -> {e}");
         }
+    }
+
+    #[test]
+    fn serve_fault_var_keeps_the_registry_contract() {
+        let var = fault_var();
+        membw_core::runner::faultenv::assert_rejects_garbage(&var);
+        (var.validate)("torn,dupburst:4,fsyncfail").expect("canonical spec passes");
     }
 }

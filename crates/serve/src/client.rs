@@ -1,7 +1,9 @@
-//! The `repro query` client: one request, one parsed response.
+//! The `repro query` client: one request, one parsed response — plus
+//! the bounded-exponential-backoff retry loop the retryable error
+//! taxonomy exists for ([`query_with_backoff`]).
 
 use crate::net::Endpoint;
-use membw_core::service::{ServiceRequest, ServiceResponse};
+use membw_core::service::{error_kind, ServiceRequest, ServiceResponse};
 use std::io::{BufRead, BufReader, Write};
 use std::time::Duration;
 
@@ -38,6 +40,107 @@ pub fn query(
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
+/// Bounded exponential backoff for retryable daemon responses.
+///
+/// The schedule is `initial * factor^attempt`, capped at `cap`, for at
+/// most `attempts` tries. A [`ServiceResponse::Error`] carrying a
+/// `retry_after_ms` hint raises (never lowers) the computed delay, so
+/// a daemon that knows its stall horizon wins over the client's guess.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// First retry delay.
+    pub initial: Duration,
+    /// Multiplier between consecutive delays.
+    pub factor: u32,
+    /// Ceiling on any single delay.
+    pub cap: Duration,
+    /// Total tries (the first attempt counts as one).
+    pub attempts: u32,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            initial: Duration::from_millis(50),
+            factor: 2,
+            cap: Duration::from_secs(2),
+            attempts: 8,
+        }
+    }
+}
+
+impl Backoff {
+    /// The delay before retry number `attempt` (0-based: the delay
+    /// after the first failed try is `delay(0)`).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = self.factor.max(1);
+        let mut d = self.initial;
+        for _ in 0..attempt {
+            d = d.saturating_mul(factor);
+            if d >= self.cap {
+                return self.cap;
+            }
+        }
+        d.min(self.cap)
+    }
+}
+
+/// Whether `resp` is worth retrying under the error taxonomy:
+/// [`ServiceResponse::Busy`] (queue at bound) and
+/// [`error_kind::TRANSIENT`] errors are; everything else is final.
+pub fn retryable(resp: &ServiceResponse) -> bool {
+    match resp {
+        ServiceResponse::Busy { .. } => true,
+        ServiceResponse::Error { kind, .. } => kind == error_kind::TRANSIENT,
+        _ => false,
+    }
+}
+
+/// [`query`], retried with bounded exponential backoff on retryable
+/// outcomes: transport errors (daemon restarting, socket not yet
+/// bound), [`ServiceResponse::Busy`], and [`error_kind::TRANSIENT`]
+/// errors. Any other response — including non-retryable errors — is
+/// returned immediately.
+///
+/// # Errors
+///
+/// The last failure once `policy.attempts` are exhausted, rendered
+/// with the attempt count so operators can tell a dead daemon from a
+/// slow one.
+pub fn query_with_backoff(
+    endpoint: &Endpoint,
+    req: &ServiceRequest,
+    timeout: Option<Duration>,
+    policy: &Backoff,
+) -> Result<ServiceResponse, String> {
+    let attempts = policy.attempts.max(1);
+    let mut last = String::new();
+    for attempt in 0..attempts {
+        let (outcome, hint_ms) = match query(endpoint, req, timeout) {
+            Ok(resp) if !retryable(&resp) => return Ok(resp),
+            Ok(ServiceResponse::Busy { queued, bound }) => {
+                (format!("busy (queued {queued} of bound {bound})"), None)
+            }
+            Ok(ServiceResponse::Error {
+                message,
+                retry_after_ms,
+                ..
+            }) => (format!("transient: {message}"), retry_after_ms),
+            Ok(_) => unreachable!("retryable() covers every retried variant"),
+            Err(e) => (format!("transport: {e}"), None),
+        };
+        last = outcome;
+        if attempt + 1 < attempts {
+            let mut delay = policy.delay(attempt);
+            if let Some(ms) = hint_ms {
+                delay = delay.max(Duration::from_millis(ms));
+            }
+            std::thread::sleep(delay);
+        }
+    }
+    Err(format!("gave up after {attempts} attempts; last: {last}"))
+}
+
 /// Wait until a daemon accepts connections at `endpoint` (startup
 /// race in tests and CI), up to `timeout`.
 pub fn wait_ready(endpoint: &Endpoint, timeout: Duration) -> bool {
@@ -50,5 +153,60 @@ pub fn wait_ready(endpoint: &Endpoint, timeout: Duration) -> bool {
             return false;
         }
         std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_doubles_and_caps() {
+        let b = Backoff::default();
+        assert_eq!(b.delay(0), Duration::from_millis(50));
+        assert_eq!(b.delay(1), Duration::from_millis(100));
+        assert_eq!(b.delay(2), Duration::from_millis(200));
+        assert_eq!(b.delay(5), Duration::from_millis(1600));
+        assert_eq!(b.delay(6), Duration::from_secs(2), "capped");
+        assert_eq!(b.delay(30), Duration::from_secs(2), "no overflow past cap");
+    }
+
+    #[test]
+    fn retryable_follows_the_taxonomy() {
+        assert!(retryable(&ServiceResponse::Busy {
+            queued: 3,
+            bound: 3
+        }));
+        assert!(retryable(&ServiceResponse::Error {
+            kind: error_kind::TRANSIENT.into(),
+            message: "fsync stall".into(),
+            cell: None,
+            retry_after_ms: Some(250),
+        }));
+        assert!(!retryable(&ServiceResponse::Error {
+            kind: error_kind::PANIC.into(),
+            message: "boom".into(),
+            cell: None,
+            retry_after_ms: None,
+        }));
+        assert!(!retryable(&ServiceResponse::Draining));
+    }
+
+    #[test]
+    fn exhaustion_reports_attempts_and_last_failure() {
+        // No daemon listens here: every try is a transport failure.
+        let ep = Endpoint::Unix(
+            std::env::temp_dir().join(format!("membw_backoff_nobody_{}.sock", std::process::id())),
+        );
+        let policy = Backoff {
+            initial: Duration::from_millis(1),
+            factor: 2,
+            cap: Duration::from_millis(4),
+            attempts: 3,
+        };
+        let req = ServiceRequest::new("table7");
+        let err = query_with_backoff(&ep, &req, None, &policy).unwrap_err();
+        assert!(err.contains("3 attempts"), "{err}");
+        assert!(err.contains("transport:"), "{err}");
     }
 }

@@ -1,7 +1,10 @@
 //! Transport: Unix-domain sockets (default) and TCP (`--listen
 //! tcp:PORT`), behind one pair of enums so the protocol layer is
-//! transport-blind.
+//! transport-blind. Also the daemon's pidfile, published beside a
+//! Unix socket so operators (and the crash-consistency suite) can
+//! tell a live daemon's files from a dead one's.
 
+use membw_core::runner::faultio;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -77,7 +80,7 @@ impl Endpoint {
                             format!("a daemon is already serving on {}", path.display()),
                         ));
                     }
-                    std::fs::remove_file(path)?;
+                    faultio::remove_file(path)?;
                     UnixListener::bind(path).map(Listener::Unix)
                 }
                 Err(e) => Err(e),
@@ -100,6 +103,42 @@ impl Endpoint {
             Endpoint::Unix(path) => Some(path),
             Endpoint::Tcp(_) => None,
         }
+    }
+}
+
+/// The pidfile published beside a Unix socket: `<socket>.pid`. TCP
+/// endpoints have no natural directory, so they publish none.
+pub fn pidfile_path(endpoint: &Endpoint) -> Option<PathBuf> {
+    endpoint.socket_path().map(|p| {
+        let mut os = p.as_os_str().to_os_string();
+        os.push(".pid");
+        PathBuf::from(os)
+    })
+}
+
+/// Durably publish this process's PID beside the endpoint's socket
+/// (create → write → fsync, through the fault-injecting I/O layer so
+/// `crash@K` exploration covers daemon startup too). Returns the
+/// written path, or `None` for TCP endpoints.
+///
+/// # Errors
+///
+/// The failed I/O step. Callers treat this as a warning — a daemon
+/// without a pidfile still serves.
+pub fn write_pidfile(endpoint: &Endpoint) -> std::io::Result<Option<PathBuf>> {
+    let Some(path) = pidfile_path(endpoint) else {
+        return Ok(None);
+    };
+    let mut f = faultio::DurableFile::create(&path)?;
+    f.write_all(format!("{}\n", std::process::id()).as_bytes())?;
+    f.sync_all()?;
+    Ok(Some(path))
+}
+
+/// Remove the endpoint's pidfile on clean shutdown (best-effort).
+pub fn remove_pidfile(endpoint: &Endpoint) {
+    if let Some(path) = pidfile_path(endpoint) {
+        let _ = faultio::remove_file(&path);
     }
 }
 
@@ -241,5 +280,21 @@ mod tests {
         let err = ep.listen().expect_err("second daemon must be refused");
         assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
         let _ = std::fs::remove_file(&path);
+    }
+    #[test]
+    fn pidfile_round_trips_beside_a_unix_socket() {
+        let sock = std::env::temp_dir().join(format!("membw_net_pid_{}.sock", std::process::id()));
+        let ep = Endpoint::Unix(sock.clone());
+        let path = write_pidfile(&ep).unwrap().expect("unix endpoints publish");
+        assert_eq!(path, sock.with_extension("sock.pid"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.trim().parse::<u32>().unwrap(), std::process::id());
+        remove_pidfile(&ep);
+        assert!(!path.exists(), "pidfile removed on shutdown");
+        // TCP endpoints publish nothing.
+        assert_eq!(
+            write_pidfile(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap(),
+            None
+        );
     }
 }

@@ -110,6 +110,11 @@ impl Counters {
             store: self.store.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            // Durability counters live with the store module (they
+            // move inside load/save/open, not the request path).
+            quarantined: crate::store::quarantined(),
+            retention_dropped: crate::store::retention_dropped(),
+            save_failures: crate::store::save_failures(),
         }
     }
 }
@@ -238,6 +243,7 @@ impl Server {
             kind: kind.to_string(),
             message: message.into(),
             cell: None,
+            retry_after_ms: None,
         }
     }
 
@@ -273,6 +279,7 @@ impl Server {
                     if let Err((step, path, e)) = store.save(&key, &rendered.stdout) {
                         // The client still gets its answer; only the
                         // warm-restart cache misses out.
+                        crate::store::note_save_failure();
                         eprintln!(
                             "serve: warning: cannot {step} {}: {e} (result served, not persisted)",
                             path.display()

@@ -246,15 +246,29 @@ pub fn read_refs<R: Read>(mut r: R) -> Result<Vec<MemRef>, TraceIoError> {
     Ok(refs)
 }
 
-/// Dump a workload's reference stream to `path`.
+/// Dump a workload's reference stream to `path`, durably: the records
+/// are serialized in memory, then published via the shared atomic
+/// tmp→write→fsync→rename path ([`membw_runner::persist`]), so a crash
+/// or full disk mid-dump leaves the previous trace (or nothing), never
+/// a torn `.mwtr` file — and an fsync failure is a reported error, not
+/// a silently-dropped one at file-handle drop.
 ///
 /// # Errors
 ///
-/// Propagates I/O failures.
+/// Propagates I/O failures, naming the failed persistence step and
+/// path.
 pub fn save_workload<W: Workload + ?Sized>(w: &W, path: &Path) -> Result<u64, TraceIoError> {
     let refs = w.collect_mem_refs();
-    let file = std::fs::File::create(path)?;
-    write_refs(io::BufWriter::new(file), &refs)?;
+    let mut buf = Vec::with_capacity(
+        (RECORDS_START + refs.len() as u64 * RECORD_BYTES + CHECKSUM_BYTES) as usize,
+    );
+    write_refs(&mut buf, &refs)?;
+    membw_runner::persist::write_atomic(path, &buf).map_err(|(step, at, e)| {
+        TraceIoError::Io(io::Error::new(
+            e.kind(),
+            format!("cannot {step} at {}: {e}", at.display()),
+        ))
+    })?;
     Ok(refs.len() as u64)
 }
 

@@ -224,7 +224,7 @@ impl SignatureStore {
     ///
     /// Fails only if the directory cannot be created.
     pub fn open(dir: &Path) -> std::io::Result<Self> {
-        std::fs::create_dir_all(dir)?;
+        membw_runner::faultio::create_dir_all(dir)?;
         persist::sweep_orphaned_tmp(dir);
         persist::sweep_corrupt_retention(dir, persist::CORRUPT_KEEP_DEFAULT);
         Ok(SignatureStore {
@@ -260,7 +260,7 @@ impl SignatureStore {
                     path.display(),
                     quarantine.display()
                 );
-                let _ = std::fs::rename(&path, &quarantine);
+                let _ = membw_runner::faultio::rename(&path, &quarantine);
                 None
             }
         }
