@@ -382,7 +382,7 @@ fn serve_usage() {
     println!("                   [--max-inflight N] [--queue N] [--conn-limit N]");
     println!("                   [--store DIR] [--checkpoint-dir DIR]");
     println!("                   [--jobs N] [--mem-budget MB] [--read-timeout-ms N]");
-    println!("                   [--analytic off|assist]");
+    println!("                   [--analytic off|assist] [--supervise]");
     println!("Resident daemon speaking newline-delimited JSON requests");
     println!("  {{\"target\":\"table7\",\"scale\":\"small\",\"sweep\":\"stack\",");
     println!("    \"audit\":\"warn\",\"deadline_ms\":0,\"priority\":0}}");
@@ -402,9 +402,58 @@ fn serve_usage() {
     println!("and simulated renders audit the model via analytic-bound. The");
     println!("daemon always keeps the simulation fallback, so there is no");
     println!("'only' mode. Query target 'stats' for triage counters.");
+    println!("--supervise runs the daemon under a restarting parent: a crashed");
+    println!("daemon (SIGKILL, abort, injected crash@K) is respawned with");
+    println!("bounded deterministic backoff (50ms doubling, cap 2s); 5 fast");
+    println!("crashes in a row give up loudly with exit 1. Restarted children");
+    println!("run with MEMBW_NET_FAULT/MEMBW_IO_FAULT cleared (injected faults");
+    println!("test one generation, not the healed service) and report their");
+    println!("generation as the stats counter supervisor-restarts.");
+    println!("exit codes: 0 clean drain, 1 fatal/crash-loop give-up, 2 usage,");
+    println!("            130 interrupted (SIGTERM/SIGINT), 134 crash@K abort.");
+}
+
+/// `repro serve --supervise`: spawn and babysit `repro serve` (same
+/// argv minus the flag) per the supervision state machine in
+/// [`membw_serve::supervisor`].
+fn cmd_serve_supervised(argv: &[String]) -> i32 {
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot locate the repro binary to supervise: {e}");
+            return 1;
+        }
+    };
+    let child_args: Vec<String> = argv.iter().filter(|a| *a != "--supervise").cloned().collect();
+    // The parent validates nothing itself: a config typo makes the
+    // child exit 2 and the supervisor propagates it without looping.
+    runner::install_signal_drain();
+    let cancel = runner::global_cancel_token();
+    membw_serve::supervisor::supervise(
+        |restarts| {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("serve");
+            cmd.args(&child_args);
+            if restarts > 0 {
+                // An injected fault plan tests one daemon generation;
+                // the restarted service must come back clean, or a
+                // deterministic crash@K would re-fire at the same point
+                // every generation and the loop detector would give up
+                // on a fault that was, by construction, transient.
+                cmd.env_remove(membw_serve::NET_FAULT_ENV);
+                cmd.env_remove(runner::faultio::IO_FAULT_ENV);
+            }
+            cmd
+        },
+        &membw_serve::SupervisorConfig::default(),
+        &cancel,
+    )
 }
 
 fn cmd_serve(argv: &[String]) -> i32 {
+    if argv.iter().any(|a| a == "--supervise") {
+        return cmd_serve_supervised(argv);
+    }
     let mut endpoint = Endpoint::Unix(PathBuf::from("results/membw.sock"));
     let mut config = ServeConfig::default();
     let mut store_dir = PathBuf::from("results/.serve-store");
@@ -586,7 +635,7 @@ fn cmd_serve(argv: &[String]) -> i32 {
 fn query_usage() {
     println!("usage: repro query [--socket PATH|tcp:HOST:PORT] [--scale test|small|full]");
     println!("                   [--sweep stack|direct] [--audit off|warn|strict]");
-    println!("                   [--deadline-ms N] [--priority P]");
+    println!("                   [--deadline-ms N] [--priority P] [--retries N]");
     println!("                   [--analytic-rel PERMILLE] <target>...");
     println!("Sends one request per target to a repro serve daemon and prints each");
     println!("ok response's stdout payload (byte-identical to the CLI run);");
@@ -596,6 +645,11 @@ fn query_usage() {
     println!("prediction) this client accepts from the daemon's analytic fast");
     println!("lane; 0 demands real simulation (default 600).");
     println!("The pseudo-target 'stats' returns the daemon's triage counters.");
+    println!("--retries N retries retryable outcomes (busy, transient errors,");
+    println!("torn replies, connection resets — e.g. a daemon restarting under");
+    println!("serve --supervise) up to N times with bounded exponential backoff");
+    println!("(50ms doubling, cap 2s); the converged answer is byte-identical");
+    println!("to a fault-free run. 0 (default) fails fast on the first error.");
     println!("exit codes: 0 ok, 1 error response or transport failure,");
     println!("            2 usage error, 3 busy, 4 draining.");
 }
@@ -604,6 +658,7 @@ fn cmd_query(argv: &[String]) -> i32 {
     let mut endpoint_spec = "results/membw.sock".to_string();
     let mut template = ServiceRequest::new("");
     let mut targets_req: Vec<String> = Vec::new();
+    let mut retries: u32 = 0;
     let mut args = argv.iter();
     let parsed = (|| -> Result<(), String> {
         while let Some(a) = args.next() {
@@ -643,6 +698,12 @@ fn cmd_query(argv: &[String]) -> i32 {
                         .parse::<u32>()
                         .map_err(|_| format!("--analytic-rel needs permille, got '{v}'"))?;
                 }
+                "--retries" => {
+                    let v = args.next().ok_or("--retries needs a count")?;
+                    retries = v
+                        .parse::<u32>()
+                        .map_err(|_| format!("--retries needs a count, got '{v}'"))?;
+                }
                 "--help" | "-h" => {
                     query_usage();
                     std::process::exit(0);
@@ -670,14 +731,31 @@ fn cmd_query(argv: &[String]) -> i32 {
     for target in &targets_req {
         let mut req = template.clone();
         req.target = target.clone();
-        let resp = match client::query(&endpoint, &req, None) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!(
-                    "error: query '{target}' against {}: {e}",
-                    endpoint.display()
-                );
-                return 1;
+        let resp = if retries == 0 {
+            match client::query(&endpoint, &req, None) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!(
+                        "error: query '{target}' against {}: {e}",
+                        endpoint.display()
+                    );
+                    return 1;
+                }
+            }
+        } else {
+            let policy = client::Backoff {
+                attempts: retries.saturating_add(1),
+                ..client::Backoff::default()
+            };
+            match client::query_with_backoff(&endpoint, &req, None, &policy) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!(
+                        "error: query '{target}' against {}: {e}",
+                        endpoint.display()
+                    );
+                    return 1;
+                }
             }
         };
         match resp {
@@ -714,7 +792,8 @@ fn cmd_query(argv: &[String]) -> i32 {
                 println!(
                     "stats: analytic {} simulated {} store {} coalesced {} rejected {} \
                      store-hit {} permille quarantined {} retention-dropped {} \
-                     save-failures {}",
+                     save-failures {} net-timeouts {} oversize-rejected {} \
+                     malformed-rejected {} reply-aborted {} supervisor-restarts {}",
                     stats.analytic,
                     stats.simulated,
                     stats.store,
@@ -723,7 +802,12 @@ fn cmd_query(argv: &[String]) -> i32 {
                     stats.store_hit_permille(),
                     stats.quarantined,
                     stats.retention_dropped,
-                    stats.save_failures
+                    stats.save_failures,
+                    stats.net_timeouts,
+                    stats.oversize_rejected,
+                    stats.malformed_rejected,
+                    stats.reply_aborted,
+                    stats.supervisor_restarts
                 );
             }
             ServiceResponse::Busy { queued, bound } => {

@@ -227,6 +227,20 @@ pub struct ServeStats {
     /// Completed renders that could not be persisted (`ENOSPC`, failed
     /// fsync); the result was still served, only durability was lost.
     pub save_failures: u64,
+    /// Connections ended by the wire, not the client: read timeouts on
+    /// a half-sent frame (slow-loris bound included).
+    pub net_timeouts: u64,
+    /// Request frames refused for exceeding the daemon's `max_frame`.
+    pub oversize_rejected: u64,
+    /// Request frames refused as unparseable NDJSON.
+    pub malformed_rejected: u64,
+    /// Replies whose client vanished mid-write. The render itself
+    /// succeeded (and persisted); only delivery on that one connection
+    /// was lost.
+    pub reply_aborted: u64,
+    /// Times a `--supervise` parent has restarted this daemon (0 when
+    /// unsupervised or still the first generation).
+    pub supervisor_restarts: u64,
 }
 
 impl ServeStats {
@@ -385,6 +399,20 @@ impl Serialize for ServiceResponse {
                     Value::UInt(s.retention_dropped),
                 ));
                 fields.push(("save_failures".to_string(), Value::UInt(s.save_failures)));
+                fields.push(("net_timeouts".to_string(), Value::UInt(s.net_timeouts)));
+                fields.push((
+                    "oversize_rejected".to_string(),
+                    Value::UInt(s.oversize_rejected),
+                ));
+                fields.push((
+                    "malformed_rejected".to_string(),
+                    Value::UInt(s.malformed_rejected),
+                ));
+                fields.push(("reply_aborted".to_string(), Value::UInt(s.reply_aborted)));
+                fields.push((
+                    "supervisor_restarts".to_string(),
+                    Value::UInt(s.supervisor_restarts),
+                ));
                 fields.push((
                     "store_hit_permille".to_string(),
                     Value::UInt(s.store_hit_permille()),
@@ -447,6 +475,12 @@ impl Deserialize for ServiceResponse {
                 quarantined: opt_field(v, "quarantined", 0)?,
                 retention_dropped: opt_field(v, "retention_dropped", 0)?,
                 save_failures: opt_field(v, "save_failures", 0)?,
+                // Optional so pre-wire-robustness daemons still parse.
+                net_timeouts: opt_field(v, "net_timeouts", 0)?,
+                oversize_rejected: opt_field(v, "oversize_rejected", 0)?,
+                malformed_rejected: opt_field(v, "malformed_rejected", 0)?,
+                reply_aborted: opt_field(v, "reply_aborted", 0)?,
+                supervisor_restarts: opt_field(v, "supervisor_restarts", 0)?,
             })),
             "busy" => Ok(ServiceResponse::Busy {
                 queued: serde::__field(v, "queued", "ServiceResponse")?,
@@ -572,6 +606,11 @@ mod tests {
                 quarantined: 2,
                 retention_dropped: 1,
                 save_failures: 1,
+                net_timeouts: 2,
+                oversize_rejected: 1,
+                malformed_rejected: 7,
+                reply_aborted: 1,
+                supervisor_restarts: 3,
             }),
             ServiceResponse::Busy {
                 queued: 8,

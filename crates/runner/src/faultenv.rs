@@ -9,10 +9,11 @@
 //! variable's name" property is asserted once, uniformly, for every
 //! hook ([`tests::every_registered_var_rejects_garbage_by_name`]).
 //!
-//! The serve-layer chaos variable (`MEMBW_SERVE_FAULT`) lives in the
-//! `membw-serve` crate — a layer above this one — and registers itself
-//! through the same [`FaultVar`] shape; its driver chains the two
-//! registries.
+//! The serve-layer variables (`MEMBW_SERVE_FAULT` protocol chaos and
+//! `MEMBW_NET_FAULT` wire-level fault plans) live in the `membw-serve`
+//! crate — a layer above this one — and register themselves through the
+//! same [`FaultVar`] shape; the serve driver chains the registries so
+//! every hook keeps the one garbage-spec-is-exit-2 contract.
 
 use crate::{faultio, inject};
 

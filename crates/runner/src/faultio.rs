@@ -58,9 +58,11 @@ use std::sync::{Arc, Mutex, Once};
 /// Environment variable carrying the I/O fault plan.
 pub const IO_FAULT_ENV: &str = "MEMBW_IO_FAULT";
 
-/// Which operations of one kind a directive selects.
+/// Which operations of one kind a directive selects. Public so other
+/// fault layers (the serve crate's `MEMBW_NET_FAULT` wire plan) reuse
+/// the exact `all`-vs-`Nth` semantics instead of reinventing them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-enum Select {
+pub enum Select {
     /// Directive absent.
     #[default]
     Off,
@@ -71,7 +73,8 @@ enum Select {
 }
 
 impl Select {
-    fn hits(self, n: u64) -> bool {
+    /// True when the directive fires on the `n`-th operation (1-based).
+    pub fn hits(self, n: u64) -> bool {
         match self {
             Select::Off => false,
             Select::All => true,

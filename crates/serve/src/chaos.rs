@@ -126,7 +126,8 @@ pub fn fault_var() -> membw_core::runner::faultenv::FaultVar {
 }
 
 /// Validate every fault variable a serve-layer driver honors: the four
-/// runner-layer hooks plus [`SERVE_FAULT_ENV`].
+/// runner-layer hooks plus [`SERVE_FAULT_ENV`] and the wire-level
+/// [`crate::netfault::NET_FAULT_ENV`].
 ///
 /// # Errors
 ///
@@ -135,6 +136,7 @@ pub fn validate_env() -> Result<(), String> {
     let runner_vars = membw_core::runner::faultenv::vars();
     let mut all: Vec<membw_core::runner::faultenv::FaultVar> = runner_vars.to_vec();
     all.push(fault_var());
+    all.push(crate::netfault::fault_var());
     membw_core::runner::faultenv::validate(&all)
 }
 

@@ -28,14 +28,38 @@ pub fn query(
     stream.write_all(line.as_bytes())?;
     stream.flush()?;
     let mut reader = BufReader::new(stream);
-    let mut reply = String::new();
-    let n = reader.read_line(&mut reply)?;
+    // Raw bytes first: frame *completeness* must be judged before
+    // frame *validity*. `read_line` would conflate the two — a reply
+    // torn mid-UTF-8-codepoint surfaces as InvalidData even though the
+    // frame never finished — so UTF-8 is only required of a frame that
+    // actually carried its terminator.
+    let mut raw = Vec::new();
+    let n = reader.read_until(b'\n', &mut raw)?;
     if n == 0 {
         return Err(std::io::Error::new(
             std::io::ErrorKind::UnexpectedEof,
             "daemon closed the connection without replying",
         ));
     }
+    if raw.last() != Some(&b'\n') {
+        // Partial line then EOF: the daemon died (or was injected dead)
+        // mid-reply. The frame is torn, not malformed — the answer
+        // exists server-side, so this is a retryable transport outcome,
+        // never InvalidData.
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            format!(
+                "torn reply: connection ended after {} byte(s) of an unterminated frame",
+                raw.len()
+            ),
+        ));
+    }
+    let reply = std::str::from_utf8(&raw).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("complete reply frame is not UTF-8: {e}"),
+        )
+    })?;
     serde_json::from_str::<ServiceResponse>(reply.trim_end())
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
@@ -96,17 +120,43 @@ pub fn retryable(resp: &ServiceResponse) -> bool {
     }
 }
 
+/// Whether a *transport* failure from [`query`] is worth retrying.
+///
+/// Torn replies and vanished daemons are transient by the wire
+/// contract — the answer (or its recomputation) exists server-side,
+/// and a supervised daemon comes back — so connection-lifecycle
+/// failures retry. [`std::io::ErrorKind::InvalidData`] does not: it
+/// means a *complete* reply line arrived and didn't parse, and
+/// re-asking will reproduce it byte-for-byte.
+pub fn transport_retryable(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        e.kind(),
+        ErrorKind::UnexpectedEof        // torn reply / closed unanswered
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionRefused // socket file exists, daemon restarting
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe     // daemon died while we wrote the request
+            | ErrorKind::NotFound       // socket not republished yet mid-restart
+            | ErrorKind::AddrNotAvailable
+            | ErrorKind::TimedOut       // stalled write/read; the render continues
+            | ErrorKind::WouldBlock     // read-timeout surface on some platforms
+            | ErrorKind::Interrupted
+    )
+}
+
 /// [`query`], retried with bounded exponential backoff on retryable
-/// outcomes: transport errors (daemon restarting, socket not yet
-/// bound), [`ServiceResponse::Busy`], and [`error_kind::TRANSIENT`]
-/// errors. Any other response — including non-retryable errors — is
-/// returned immediately.
+/// outcomes: retryable transport errors ([`transport_retryable`]:
+/// torn replies, resets, a daemon mid-restart under `--supervise`),
+/// [`ServiceResponse::Busy`], and [`error_kind::TRANSIENT`] errors.
+/// Any other outcome — including non-retryable errors and
+/// `InvalidData` transport failures — is returned immediately.
 ///
 /// # Errors
 ///
-/// The last failure once `policy.attempts` are exhausted, rendered
-/// with the attempt count so operators can tell a dead daemon from a
-/// slow one.
+/// A non-retryable transport failure (as `Err(message)`), or the last
+/// failure once `policy.attempts` are exhausted, rendered with the
+/// attempt count so operators can tell a dead daemon from a slow one.
 pub fn query_with_backoff(
     endpoint: &Endpoint,
     req: &ServiceRequest,
@@ -127,7 +177,8 @@ pub fn query_with_backoff(
                 ..
             }) => (format!("transient: {message}"), retry_after_ms),
             Ok(_) => unreachable!("retryable() covers every retried variant"),
-            Err(e) => (format!("transport: {e}"), None),
+            Err(e) if transport_retryable(&e) => (format!("transport: {e}"), None),
+            Err(e) => return Err(format!("non-retryable transport failure: {e}")),
         };
         last = outcome;
         if attempt + 1 < attempts {
@@ -190,6 +241,55 @@ mod tests {
             retry_after_ms: None,
         }));
         assert!(!retryable(&ServiceResponse::Draining));
+    }
+
+    #[test]
+    fn transport_taxonomy_separates_torn_from_garbage() {
+        use std::io::{Error, ErrorKind};
+        // Torn replies, resets, and restart races converge on retry.
+        for kind in [
+            ErrorKind::UnexpectedEof,
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionRefused,
+            ErrorKind::BrokenPipe,
+            ErrorKind::NotFound,
+            ErrorKind::TimedOut,
+            ErrorKind::WouldBlock,
+        ] {
+            assert!(transport_retryable(&Error::from(kind)), "{kind:?}");
+        }
+        // A complete-but-unparseable reply is deterministic: final.
+        assert!(!transport_retryable(&Error::new(
+            ErrorKind::InvalidData,
+            "unknown response status"
+        )));
+        assert!(!transport_retryable(&Error::from(
+            ErrorKind::PermissionDenied
+        )));
+    }
+
+    #[test]
+    fn torn_reply_classifies_as_retryable_eof() {
+        // A fake daemon that writes half a reply line and hangs up.
+        let path = std::env::temp_dir().join(format!("membw_torn_{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Drain the request line first so the client's write wins.
+            let mut buf = [0u8; 1024];
+            use std::io::Read;
+            let _ = s.read(&mut buf);
+            let _ = s.write_all(br#"{"status":"ok","target":"#);
+            // Drop: EOF mid-frame.
+        });
+        let ep = Endpoint::Unix(path.clone());
+        let err = query(&ep, &ServiceRequest::new("table7"), None).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err}");
+        assert!(err.to_string().contains("torn reply"), "{err}");
+        assert!(transport_retryable(&err), "torn replies must retry");
+        server.join().unwrap();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -3,10 +3,17 @@
 //! transport-blind. Also the daemon's pidfile, published beside a
 //! Unix socket so operators (and the crash-consistency suite) can
 //! tell a live daemon's files from a dead one's.
+//!
+//! Every socket operation here — accept, read, write — consults the
+//! [`crate::netfault`] plan first, making this facade the single
+//! injection surface for `MEMBW_NET_FAULT` exactly as
+//! `runner::faultio` is for `MEMBW_IO_FAULT`. With the plan unset each
+//! hook is one relaxed atomic load.
 
+use crate::netfault::{self, WireAction};
 use membw_core::runner::faultio;
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -117,9 +124,13 @@ pub fn pidfile_path(endpoint: &Endpoint) -> Option<PathBuf> {
 }
 
 /// Durably publish this process's PID beside the endpoint's socket
-/// (create → write → fsync, through the fault-injecting I/O layer so
-/// `crash@K` exploration covers daemon startup too). Returns the
-/// written path, or `None` for TCP endpoints.
+/// (tmp → write → fsync → rename, through the fault-injecting I/O
+/// layer so `crash@K` exploration covers daemon startup too). The
+/// rename makes publication atomic: a reader — in particular the
+/// `--supervise` parent taking over after a crash, or an operator's
+/// `kill $(cat sock.pid)` — sees either the previous complete pidfile
+/// or this one, never a torn PID. Returns the written path, or `None`
+/// for TCP endpoints.
 ///
 /// # Errors
 ///
@@ -129,9 +140,14 @@ pub fn write_pidfile(endpoint: &Endpoint) -> std::io::Result<Option<PathBuf>> {
     let Some(path) = pidfile_path(endpoint) else {
         return Ok(None);
     };
-    let mut f = faultio::DurableFile::create(&path)?;
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    let tmp = PathBuf::from(os);
+    let mut f = faultio::DurableFile::create(&tmp)?;
     f.write_all(format!("{}\n", std::process::id()).as_bytes())?;
     f.sync_all()?;
+    drop(f);
+    faultio::rename(&tmp, &path)?;
     Ok(Some(path))
 }
 
@@ -163,22 +179,61 @@ impl Stream {
             Stream::Tcp(s) => s.set_read_timeout(d),
         }
     }
+
+    /// Shut both directions down (best-effort): how an injected
+    /// `disconnect@K`/`tornframe@K` makes the peer see a vanished
+    /// counterpart rather than a half-open socket.
+    fn sever(&self) {
+        match self {
+            Stream::Unix(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    fn raw_read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+
+    fn raw_write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
 }
 
 impl Read for Stream {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        match self {
-            Stream::Unix(s) => s.read(buf),
-            Stream::Tcp(s) => s.read(buf),
+        match netfault::on_read() {
+            WireAction::Proceed { .. } => self.raw_read(buf),
+            WireAction::Sever(e) => {
+                self.sever();
+                Err(e)
+            }
         }
     }
 }
 
 impl Write for Stream {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        match self {
-            Stream::Unix(s) => s.write(buf),
-            Stream::Tcp(s) => s.write(buf),
+        match netfault::on_write(buf.len()) {
+            WireAction::Proceed { limit } => {
+                let take = buf.len().min(limit.max(1));
+                let n = self.raw_write(&buf[..take])?;
+                netfault::wrote(n);
+                Ok(n)
+            }
+            WireAction::Sever(e) => {
+                self.sever();
+                Err(e)
+            }
         }
     }
 
@@ -215,15 +270,23 @@ impl Listener {
     /// Accept one connection (the accepted stream is switched back to
     /// blocking; per-read timeouts bound it instead).
     ///
+    /// The `MEMBW_NET_FAULT` hook fires *after* a connection actually
+    /// arrived, never on an idle `WouldBlock` poll — so `acceptfail:N`
+    /// and net-point ordinals count real connections and stay
+    /// deterministic under the serve loop's eager polling. An injected
+    /// failure drops the just-accepted stream (the peer sees EOF:
+    /// exactly a daemon that died between `accept` and service).
+    ///
     /// # Errors
     ///
     /// `WouldBlock` when non-blocking and idle; otherwise the socket
-    /// error.
+    /// error (or the injected accept failure).
     pub fn accept(&self) -> std::io::Result<Stream> {
         let stream = match self {
             Listener::Unix(l) => Stream::Unix(l.accept()?.0),
             Listener::Tcp(l) => Stream::Tcp(l.accept()?.0),
         };
+        netfault::on_accept()?;
         match &stream {
             Stream::Unix(s) => s.set_nonblocking(false)?,
             Stream::Tcp(s) => s.set_nonblocking(false)?,

@@ -1,0 +1,421 @@
+//! Deterministic wire-level fault injection: the plan every socket
+//! operation in this crate consults, and the one place the failure
+//! surface of the *network* becomes injectable.
+//!
+//! PR 9 proved the persistence layer crash-consistent by enumerating
+//! every I/O point and aborting at each one; this module does the same
+//! for the daemon's network edge. Every socket operation performed
+//! through [`crate::net`] — accept, raw read, raw write — is one **net
+//! point**, numbered from 1 in process order under an active plan, so
+//! `crates/serve/tests/wire_consistency.rs` can enumerate the fault
+//! points of a whole request/reply exchange and then inject at each.
+//!
+//! # `MEMBW_NET_FAULT` grammar
+//!
+//! Comma-separated directives (strictly validated through the
+//! [`membw_core::runner::faultenv`] registry: a typo is a
+//! named-variable error and a refusal to start):
+//!
+//! * `acceptfail[:N]` — accepting a connection fails with an injected
+//!   error; with `:N` only the N-th accept (1-based), without it every
+//!   one. The serve loop must log and survive, never die.
+//! * `tornframe@K` — the connection is shut down after exactly K bytes
+//!   of reply have been written (mid-`write_all`), so the client sees a
+//!   partial line then EOF: the torn frame a dying peer leaves behind.
+//!   One-shot: the wire tore *once*, so a client's retry converges —
+//!   which is precisely the transient-fault contract under proof.
+//! * `stallwrite[:MS]` — every write stalls MS milliseconds (default
+//!   [`DEFAULT_STALL_MS`]) before executing: a congested or malicious-
+//!   slow peer on the reply path.
+//! * `disconnect@K` — at net point K the peer "vanishes": the stream is
+//!   shut down and the operation fails with `ConnectionReset` (reads)
+//!   or `BrokenPipe` (writes).
+//! * `crash@K` — the daemon hard-aborts (`std::process::abort`, no
+//!   destructors, exit 134 like `MEMBW_IO_FAULT=crash@K`) immediately
+//!   before executing net point K — with connections open.
+//! * `count:PATH` — no faults; after every net point the running
+//!   count, operation, and peer are appended to `PATH` so a harness can
+//!   enumerate an exchange's fault surface before exploring it.
+//!
+//! While a crash or count plan is active, logical writes are split in
+//! two (exactly like `faultio`'s stepped writes) so crash points land
+//! *mid-reply* too, not only at frame boundaries.
+//!
+//! With `MEMBW_NET_FAULT` unset the facade is pass-through: one relaxed
+//! atomic load per socket operation, no counting, no bookkeeping.
+//!
+//! # The contract the plan exists to prove
+//!
+//! Under any directive above, a client of `membw serve` must observe
+//! either the correct reply bytes or a typed-transient failure (a
+//! [`membw_core::service::error_kind::TRANSIENT`] response, or a
+//! transport error [`crate::client::transport_retryable`] classifies as
+//! retryable) whose bounded retry converges to bytes identical to a
+//! fault-free run — never a wrong answer, never a hung admission slot.
+
+use membw_core::runner::faultenv::FaultVar;
+use membw_core::runner::faultio::Select;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+
+/// Environment variable carrying the wire fault plan.
+pub const NET_FAULT_ENV: &str = "MEMBW_NET_FAULT";
+
+/// `stallwrite` without an explicit duration stalls this long.
+pub const DEFAULT_STALL_MS: u64 = 50;
+
+/// A parsed [`NET_FAULT_ENV`] plan. See the [module docs](self) for the
+/// grammar.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetFaultPlan {
+    acceptfail: Select,
+    tornframe_at: Option<u64>,
+    stall_ms: Option<u64>,
+    disconnect_at: Option<u64>,
+    crash_at: Option<u64>,
+    count_to: Option<PathBuf>,
+}
+
+impl NetFaultPlan {
+    /// Strictly parse a [`NET_FAULT_ENV`] spec.
+    ///
+    /// # Errors
+    ///
+    /// Names the variable and the offending entry, like every other
+    /// fault-env validator in the workspace.
+    pub fn parse(spec: &str) -> Result<NetFaultPlan, String> {
+        let mut plan = NetFaultPlan::default();
+        let bad = |entry: &str, why: &str| {
+            format!(
+                "invalid {NET_FAULT_ENV} entry {entry:?}: {why} (expected \
+                 acceptfail[:N]|tornframe@K|stallwrite[:MS]|disconnect@K|crash@K|count:PATH)"
+            )
+        };
+        let point = |entry: &str, arg: &str, what: &str| -> Result<u64, String> {
+            match arg.parse::<u64>() {
+                Ok(k) if k >= 1 => Ok(k),
+                _ => Err(bad(entry, what)),
+            }
+        };
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            match entry {
+                "acceptfail" => plan.acceptfail = Select::All,
+                "stallwrite" => plan.stall_ms = Some(DEFAULT_STALL_MS),
+                _ => {
+                    if let Some(n) = entry.strip_prefix("acceptfail:") {
+                        plan.acceptfail = Select::Nth(point(
+                            entry,
+                            n,
+                            "acceptfail:N needs a positive accept ordinal",
+                        )?);
+                    } else if let Some(k) = entry.strip_prefix("tornframe@") {
+                        plan.tornframe_at =
+                            Some(point(entry, k, "tornframe@K needs a positive byte offset")?);
+                    } else if let Some(ms) = entry.strip_prefix("stallwrite:") {
+                        match ms.parse::<u64>() {
+                            Ok(ms) => plan.stall_ms = Some(ms),
+                            Err(_) => {
+                                return Err(bad(entry, "stallwrite:MS needs whole milliseconds"))
+                            }
+                        }
+                    } else if let Some(k) = entry.strip_prefix("disconnect@") {
+                        plan.disconnect_at =
+                            Some(point(entry, k, "disconnect@K needs a positive net point")?);
+                    } else if let Some(k) = entry.strip_prefix("crash@") {
+                        plan.crash_at =
+                            Some(point(entry, k, "crash@K needs a positive net point")?);
+                    } else if let Some(path) = entry.strip_prefix("count:") {
+                        if path.is_empty() {
+                            return Err(bad(entry, "count: needs a file path"));
+                        }
+                        plan.count_to = Some(PathBuf::from(path));
+                    } else {
+                        return Err(bad(entry, "unknown directive"));
+                    }
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Every installed plan steps logical writes (splits them in two)
+    /// — not just `crash@K`/`count:` — so the net-point numbering a
+    /// `count:PATH` run enumerates is exactly the numbering
+    /// `disconnect@K` and `crash@K` then fire on. Directive-specific
+    /// stepping would renumber the points between enumeration and
+    /// exploration.
+    fn stepped(&self) -> bool {
+        true
+    }
+}
+
+/// Strictly validate a [`NET_FAULT_ENV`] spec without installing it.
+///
+/// # Errors
+///
+/// The named-variable parse error.
+pub fn validate_spec(spec: &str) -> Result<(), String> {
+    NetFaultPlan::parse(spec).map(|_| ())
+}
+
+/// This layer's entry in the consolidated fault-env registry — the
+/// serve driver chains it with the runner-layer hooks and
+/// [`crate::chaos::SERVE_FAULT_ENV`], so a garbage wire plan is the
+/// same named-variable exit-2 as every other fault hook.
+pub fn fault_var() -> FaultVar {
+    FaultVar {
+        name: NET_FAULT_ENV,
+        grammar: "acceptfail[:N]|tornframe@K|stallwrite[:MS]|disconnect@K\
+                  |crash@K|count:PATH — wire-level fault plan",
+        validate: validate_spec,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Plan installation and the net point counter (mirrors runner::faultio).
+
+/// Fast-path gate: false means "no plan, no bookkeeping".
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<Arc<NetFaultPlan>>> = Mutex::new(None);
+static ENV_READ: Once = Once::new();
+
+static NET_POINTS: AtomicU64 = AtomicU64::new(0);
+static ACCEPT_OPS: AtomicU64 = AtomicU64::new(0);
+static REPLY_BYTES: AtomicU64 = AtomicU64::new(0);
+static TORN_FIRED: AtomicBool = AtomicBool::new(false);
+
+fn install(plan: Option<NetFaultPlan>) {
+    let mut slot = PLAN.lock().expect("net fault plan");
+    // Ordinals restart at plan installation, exactly like faultio:
+    // `acceptfail:N` means the N-th accept under *this* plan.
+    NET_POINTS.store(0, Ordering::SeqCst);
+    ACCEPT_OPS.store(0, Ordering::SeqCst);
+    REPLY_BYTES.store(0, Ordering::SeqCst);
+    TORN_FIRED.store(false, Ordering::SeqCst);
+    ACTIVE.store(plan.is_some(), Ordering::SeqCst);
+    *slot = plan.map(Arc::new);
+}
+
+fn init_from_env() {
+    ENV_READ.call_once(|| {
+        if let Ok(spec) = std::env::var(NET_FAULT_ENV) {
+            match NetFaultPlan::parse(&spec) {
+                Ok(plan) => install(Some(plan)),
+                Err(e) => {
+                    // Same contract as faultio: refuse to run, never
+                    // silently ignore an injection hook.
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    });
+}
+
+/// Install (or with `None` clear) the process-wide wire fault plan,
+/// overriding whatever [`NET_FAULT_ENV`] said. In-process test
+/// harnesses use this; the daemon binary never calls it.
+pub fn set_plan(plan: Option<NetFaultPlan>) {
+    ENV_READ.call_once(|| {}); // disarm the env initializer
+    install(plan);
+}
+
+/// The number of net points executed so far under an active plan
+/// (always 0 when no plan is installed).
+pub fn net_points() -> u64 {
+    NET_POINTS.load(Ordering::SeqCst)
+}
+
+fn current() -> Option<Arc<NetFaultPlan>> {
+    init_from_env();
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    PLAN.lock().expect("net fault plan").clone()
+}
+
+/// Count one net point; honour `count:` and `crash@K`.
+fn net_point(plan: &NetFaultPlan, op: &str) -> u64 {
+    let k = NET_POINTS.fetch_add(1, Ordering::SeqCst) + 1;
+    if let Some(file) = &plan.count_to {
+        // Plain fs on purpose: the bookkeeping file is not part of the
+        // wire surface under test, and must not perturb faultio either.
+        let _ = std::fs::write(file, format!("{k} {op}\n"));
+    }
+    if plan.crash_at == Some(k) {
+        eprintln!("netfault: injected crash at net point {k} (before {op})");
+        std::process::abort();
+    }
+    k
+}
+
+fn injected(what: &str) -> io::Error {
+    io::Error::other(format!("injected {what} ({NET_FAULT_ENV})"))
+}
+
+// ---------------------------------------------------------------------
+// The hooks crate::net threads through its facade.
+
+/// What a read/write hook tells the stream facade to do.
+pub(crate) enum WireAction {
+    /// No directive fired: perform the operation normally, writing at
+    /// most `limit` bytes (stepped plans split logical writes).
+    Proceed { limit: usize },
+    /// Shut the stream down and return this error (`disconnect@K`,
+    /// `tornframe@K` once the offset is crossed).
+    Sever(io::Error),
+}
+
+/// Accept hook: one net point; `acceptfail` and `crash@K` inject here.
+///
+/// # Errors
+///
+/// The injected accept failure.
+pub(crate) fn on_accept() -> io::Result<()> {
+    let Some(plan) = current() else {
+        return Ok(());
+    };
+    let nth = ACCEPT_OPS.fetch_add(1, Ordering::SeqCst) + 1;
+    net_point(&plan, "accept");
+    if plan.acceptfail.hits(nth) {
+        return Err(injected("accept failure"));
+    }
+    Ok(())
+}
+
+/// Read hook: one net point; `disconnect@K` and `crash@K` inject here.
+pub(crate) fn on_read() -> WireAction {
+    let Some(plan) = current() else {
+        return WireAction::Proceed { limit: usize::MAX };
+    };
+    let k = net_point(&plan, "read");
+    if plan.disconnect_at == Some(k) {
+        return WireAction::Sever(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            format!("injected disconnect at net point {k} ({NET_FAULT_ENV})"),
+        ));
+    }
+    WireAction::Proceed { limit: usize::MAX }
+}
+
+/// Write hook for a buffer of `len` bytes: one net point; `stallwrite`,
+/// `disconnect@K`, `tornframe@K`, and `crash@K` inject here.
+pub(crate) fn on_write(len: usize) -> WireAction {
+    let Some(plan) = current() else {
+        return WireAction::Proceed { limit: usize::MAX };
+    };
+    if let Some(ms) = plan.stall_ms {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    let k = net_point(&plan, "write");
+    if plan.disconnect_at == Some(k) {
+        return WireAction::Sever(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            format!("injected disconnect at net point {k} ({NET_FAULT_ENV})"),
+        ));
+    }
+    let mut limit = if plan.stepped() && len >= 2 {
+        // One mid-buffer boundary per logical write is enough to give
+        // crash and count plans a mid-frame state to land on.
+        len / 2
+    } else {
+        len
+    };
+    if let Some(offset) = plan.tornframe_at {
+        if !TORN_FIRED.load(Ordering::SeqCst) {
+            let written = REPLY_BYTES.load(Ordering::SeqCst);
+            if written >= offset {
+                // One-shot: this connection tears; the retry's writes
+                // pass untouched so bounded backoff can converge.
+                TORN_FIRED.store(true, Ordering::SeqCst);
+                return WireAction::Sever(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    format!("injected torn frame after {written} reply byte(s) ({NET_FAULT_ENV})"),
+                ));
+            }
+            // Cut exactly at the offset: write up to it, sever on the
+            // next attempt — the peer sees a K-byte prefix then EOF.
+            limit = limit.min((offset - written) as usize);
+        }
+    }
+    WireAction::Proceed { limit }
+}
+
+/// Record `n` bytes actually written (drives the `tornframe@K` offset).
+pub(crate) fn wrote(n: usize) {
+    if ACTIVE.load(Ordering::Relaxed) {
+        REPLY_BYTES.fetch_add(n as u64, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_strictly() {
+        assert_eq!(
+            NetFaultPlan::parse("acceptfail").unwrap().acceptfail,
+            Select::All
+        );
+        assert_eq!(
+            NetFaultPlan::parse("acceptfail:3").unwrap().acceptfail,
+            Select::Nth(3)
+        );
+        assert_eq!(
+            NetFaultPlan::parse("tornframe@17").unwrap().tornframe_at,
+            Some(17)
+        );
+        assert_eq!(
+            NetFaultPlan::parse("stallwrite").unwrap().stall_ms,
+            Some(DEFAULT_STALL_MS)
+        );
+        assert_eq!(
+            NetFaultPlan::parse("stallwrite:5").unwrap().stall_ms,
+            Some(5)
+        );
+        assert_eq!(
+            NetFaultPlan::parse("disconnect@2").unwrap().disconnect_at,
+            Some(2)
+        );
+        assert_eq!(NetFaultPlan::parse("crash@9").unwrap().crash_at, Some(9));
+        let combo = NetFaultPlan::parse("acceptfail:1, stallwrite:5, crash@4").unwrap();
+        assert_eq!(combo.acceptfail, Select::Nth(1));
+        assert_eq!(combo.stall_ms, Some(5));
+        assert_eq!(combo.crash_at, Some(4));
+        assert!(combo.stepped());
+        assert_eq!(
+            NetFaultPlan::parse("count:/tmp/netpoints").unwrap().count_to,
+            Some(PathBuf::from("/tmp/netpoints"))
+        );
+        for bad in [
+            "",
+            "acceptfailx",
+            "acceptfail:",
+            "acceptfail:0",
+            "tornframe@",
+            "tornframe@0",
+            "tornframe@x",
+            "stallwrite:x",
+            "disconnect@0",
+            "crash@",
+            "crash@0",
+            "count:",
+            "acceptfail;crash@1",
+        ] {
+            let e = NetFaultPlan::parse(bad).unwrap_err();
+            assert!(e.contains(NET_FAULT_ENV), "{bad:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn net_fault_var_keeps_the_registry_contract() {
+        let var = fault_var();
+        membw_core::runner::faultenv::assert_rejects_garbage(&var);
+        (var.validate)("acceptfail:2,tornframe@40,stallwrite:10").expect("canonical spec passes");
+        assert!(!var.grammar.is_empty());
+    }
+}

@@ -100,6 +100,15 @@ struct Counters {
     store: AtomicU64,
     coalesced: AtomicU64,
     rejected: AtomicU64,
+    // Wire-health counters (PR 10): how often the network edge, not
+    // the compute path, ended an exchange.
+    net_timeouts: AtomicU64,
+    oversize_rejected: AtomicU64,
+    malformed_rejected: AtomicU64,
+    reply_aborted: AtomicU64,
+    /// Restart generation under `--supervise` (0 unsupervised); set
+    /// once at construction from [`crate::supervisor::RESTARTS_ENV`].
+    supervisor_restarts: AtomicU64,
 }
 
 impl Counters {
@@ -115,6 +124,11 @@ impl Counters {
             quarantined: crate::store::quarantined(),
             retention_dropped: crate::store::retention_dropped(),
             save_failures: crate::store::save_failures(),
+            net_timeouts: self.net_timeouts.load(Ordering::Relaxed),
+            oversize_rejected: self.oversize_rejected.load(Ordering::Relaxed),
+            malformed_rejected: self.malformed_rejected.load(Ordering::Relaxed),
+            reply_aborted: self.reply_aborted.load(Ordering::Relaxed),
+            supervisor_restarts: self.supervisor_restarts.load(Ordering::Relaxed),
         }
     }
 }
@@ -141,6 +155,13 @@ impl Server {
     /// behaves exactly like a CLI run configured the same way.
     pub fn new(config: ServeConfig, store: ResultStore) -> Self {
         let dispatcher = Dispatcher::new(config.max_inflight.max(1), config.queue_bound.max(1));
+        let counters = Counters::default();
+        // A garbage generation env is survivable noise (the supervisor
+        // always writes a number); count it as generation 0.
+        let restarts = crate::supervisor::restarts_from_env().unwrap_or(0);
+        counters
+            .supervisor_restarts
+            .store(restarts, Ordering::Relaxed);
         Server {
             config,
             dispatcher,
@@ -148,7 +169,7 @@ impl Server {
             dedupe: Arc::new(Mutex::new(HashMap::new())),
             draining: AtomicBool::new(false),
             connections: Arc::new(AtomicUsize::new(0)),
-            counters: Arc::new(Counters::default()),
+            counters: Arc::new(counters),
             analytic_cache: Mutex::new(HashMap::new()),
         }
     }
@@ -393,6 +414,14 @@ impl Server {
     /// Serve one connection: newline-framed requests in, one response
     /// line each, until EOF, an unparseable-frame bound, or a
     /// slow-loris timeout.
+    ///
+    /// Failure classification matters here: a client that vanishes
+    /// mid-reply has *not* failed the job — the render completed, the
+    /// result is in the store, and coalesced waiters each hold their
+    /// own handle clone — so a write failure only bumps `reply-aborted`
+    /// and ends this connection. The dedupe entry is owned by the job's
+    /// [`DedupeGuard`], never by the connection, so a dying client
+    /// cannot poison it for other waiters.
     fn handle_connection(&self, mut stream: Stream) {
         let _ = stream.set_read_timeout(Some(self.config.read_timeout));
         let mut buf: Vec<u8> = Vec::new();
@@ -410,14 +439,20 @@ impl Server {
                 let resp = match serde_json::from_str::<ServiceRequest>(line) {
                     Ok(req) => self.handle_request(&req),
                     Err(e) => {
+                        self.counters.malformed_rejected.fetch_add(1, Ordering::Relaxed);
                         Self::error(error_kind::BAD_REQUEST, format!("unparseable request: {e}"))
                     }
                 };
                 if write_response(&mut stream, &resp).is_err() {
-                    return; // client went away mid-reply
+                    // Client went away mid-reply. The job is NOT failed:
+                    // the result is persisted/coalesced independently of
+                    // this connection; only the delivery was lost.
+                    self.counters.reply_aborted.fetch_add(1, Ordering::Relaxed);
+                    return;
                 }
             }
             if buf.len() > self.config.max_frame {
+                self.counters.oversize_rejected.fetch_add(1, Ordering::Relaxed);
                 let resp = Self::error(
                     error_kind::FRAME_TOO_LONG,
                     format!("request line exceeds {} bytes", self.config.max_frame),
@@ -429,6 +464,7 @@ impl Server {
             // timeout of its first byte, however slowly bytes drip in.
             if let Some(t0) = frame_started {
                 if t0.elapsed() > self.config.read_timeout {
+                    self.counters.net_timeouts.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
             }
@@ -444,12 +480,47 @@ impl Server {
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
-                    return; // idle past the read timeout
+                    // Idle past the read timeout — only a half-sent
+                    // frame counts as a wire timeout; a client holding
+                    // an idle keepalive connection open is normal.
+                    if frame_started.is_some() || !buf.is_empty() {
+                        self.counters.net_timeouts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(_) => return,
             }
         }
+    }
+}
+
+/// One admitted connection's slot in the `conn_limit` budget, released
+/// by `Drop` — so *every* way a connection ends (EOF, oversized frame,
+/// read timeout, write failure, injected wire fault, handler panic
+/// unwinding the connection thread) gives the slot back. The previous
+/// explicit `fetch_sub` after `handle_connection` leaked the slot on
+/// any panicking path, wedging admission at `conn_limit` forever.
+struct ConnSlot {
+    active: Arc<AtomicUsize>,
+}
+
+impl ConnSlot {
+    /// Try to take a slot; `None` when the daemon is at `conn_limit`.
+    fn acquire(active: &Arc<AtomicUsize>, limit: usize) -> Option<ConnSlot> {
+        if active.fetch_add(1, Ordering::SeqCst) >= limit {
+            active.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        Some(ConnSlot {
+            active: Arc::clone(active),
+        })
+    }
+}
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -490,9 +561,8 @@ pub fn serve(
             Ok(stream) => {
                 last_activity = std::time::Instant::now();
                 served += 1;
-                let active = Arc::clone(&server.connections);
-                if active.fetch_add(1, Ordering::SeqCst) >= server.config.conn_limit {
-                    active.fetch_sub(1, Ordering::SeqCst);
+                let Some(slot) = ConnSlot::acquire(&server.connections, server.config.conn_limit)
+                else {
                     let mut stream = stream;
                     let _ = write_response(
                         &mut stream,
@@ -502,11 +572,13 @@ pub fn serve(
                         },
                     );
                     continue;
-                }
+                };
                 let srv = Arc::clone(server);
                 std::thread::spawn(move || {
+                    // The slot rides into the thread and is released by
+                    // Drop on every exit path, unwinds included.
+                    let _slot = slot;
                     srv.handle_connection(stream);
-                    active.fetch_sub(1, Ordering::SeqCst);
                 });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
